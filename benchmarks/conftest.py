@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Dataset sizes default to a laptop-friendly scale; set ``REPRO_SCALE``
+(records per dataset) to run closer to the paper's 150k-250k rows.
+Results tables are printed to stdout (run pytest with ``-s`` to watch
+live) and always appended to ``benchmarks/results.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Print a results table and append it to benchmarks/results.txt."""
+
+    def _record(text: str) -> None:
+        print()
+        print(text)
+        with RESULTS_PATH.open("a") as handle:
+            handle.write(text + "\n\n")
+
+    with RESULTS_PATH.open("w") as handle:
+        handle.write("Benchmark outputs (regenerated per run)\n\n")
+    return _record

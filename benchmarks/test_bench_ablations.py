@@ -1,0 +1,103 @@
+"""Ablation benches X1-X4 (see DESIGN.md section 6).
+
+X1 — prune-iteration depth (Section 6.2's "two-fold more pruning" claim);
+X2 — CPN lower bound vs the naive sequential bound;
+X3 — segmentation vs hierarchy frontiers, greedy vs spectral embedding;
+X4 — rank-query extra pruning beyond the count query.
+"""
+
+import pytest
+
+from repro.clustering.correlation import ScoreMatrix
+from repro.datasets import generate_author_sample
+from repro.experiments import (
+    benchmark_scale,
+    citation_pipeline,
+    cpn_vs_naive_checks,
+    format_table,
+    prune_iteration_checks,
+    rank_query_checks,
+    run_cpn_vs_naive,
+    run_cpn_vs_naive_constructed,
+    run_prune_iterations_ablation,
+    run_rank_query_ablation,
+    run_segmentation_vs_hierarchy,
+    segmentation_vs_hierarchy_checks,
+    student_pipeline,
+    train_scorer_for,
+)
+from repro.experiments.accuracy import _level_shim
+from repro.predicates.library import NgramOverlapPredicate
+
+
+@pytest.fixture(scope="module")
+def citation():
+    return citation_pipeline(
+        n_records=benchmark_scale() // 2, with_scorer=False
+    )
+
+
+@pytest.fixture(scope="module")
+def students():
+    return student_pipeline(n_records=benchmark_scale() // 2)
+
+
+def test_x1_prune_iterations(benchmark, students, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_prune_iterations_ablation(students),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(format_table(rows, title="X1 — prune iteration depth"))
+    checks = prune_iteration_checks(rows)
+    assert checks["second_pass_tightens"], rows
+    assert checks["third_pass_marginal"], rows
+
+
+def test_x2_cpn_vs_naive(benchmark, citation, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_cpn_vs_naive(citation), rounds=1, iterations=1
+    )
+    record_table(format_table(rows, title="X2 — CPN bound vs naive bound"))
+    checks = cpn_vs_naive_checks(rows)
+    assert checks["m_no_later"], rows
+    assert checks["bound_no_smaller"], rows
+    assert checks["pruning_no_weaker"], rows
+
+
+def test_x2_cpn_vs_naive_constructed(benchmark, record_table):
+    rows = benchmark.pedantic(run_cpn_vs_naive_constructed, rounds=1, iterations=1)
+    record_table(
+        format_table(rows, title="X2 (constructed) — Figure-1 separation")
+    )
+    row = rows[0]
+    assert int(row["m_cpn"]) == 3
+    assert int(row["m_naive"]) == 5
+    assert float(row["M_cpn"]) > float(row["M_naive"])
+
+
+def test_x3_segmentation_vs_hierarchy(benchmark, record_table):
+    dataset = generate_author_sample(n_records=500)
+    canopy = NgramOverlapPredicate("name", 0.6, name="authors-canopy")
+    scorer = train_scorer_for(
+        dataset, "name", levels=[_level_shim(canopy)], seed=0
+    )
+    scores = ScoreMatrix.from_scorer(list(dataset.store), scorer, canopy)
+    row = benchmark.pedantic(
+        lambda: run_segmentation_vs_hierarchy(scores), rounds=1, iterations=1
+    )
+    record_table(format_table([row], title="X3 — segmentation vs hierarchy"))
+    checks = segmentation_vs_hierarchy_checks(row)
+    assert checks["leaves_dominate_frontier"], row
+
+
+def test_x4_rank_query_pruning(benchmark, record_table):
+    from repro.experiments import address_pipeline
+
+    addresses = address_pipeline(n_records=benchmark_scale() // 2)
+    rows = benchmark.pedantic(
+        lambda: run_rank_query_ablation(addresses), rounds=1, iterations=1
+    )
+    record_table(format_table(rows, title="X4 — rank-query extra pruning"))
+    checks = rank_query_checks(rows)
+    assert checks["rank_no_bigger"], rows

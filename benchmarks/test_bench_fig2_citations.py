@@ -1,0 +1,45 @@
+"""Figure 2: citation-dataset pruning statistics (n, m, M, n' per K).
+
+Regenerates the paper's Figure 2 table on the synthetic citation corpus.
+Shape targets: small K retains a few percent of the records, the
+retained fraction grows with K, and M is heavily skewed toward large
+values at small K.
+"""
+
+import pytest
+
+from repro.experiments import (
+    benchmark_scale,
+    citation_pipeline,
+    format_table,
+    run_pruning_table,
+    shape_checks,
+)
+
+K_VALUES = (1, 5, 10, 50, 100, 500)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return citation_pipeline(n_records=benchmark_scale(), with_scorer=False)
+
+
+def test_fig2_citation_pruning(benchmark, pipeline, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_pruning_table(pipeline, k_values=K_VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(
+            rows,
+            title=(
+                f"Figure 2 — citation pruning "
+                f"({len(pipeline.store)} records)"
+            ),
+        )
+    )
+    checks = shape_checks(rows)
+    assert checks["small_k_prunes_hard"], checks
+    assert checks["bound_shrinks_with_k"], checks
+    assert checks["m_tight_at_small_k"], checks

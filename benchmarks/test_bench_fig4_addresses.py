@@ -1,0 +1,42 @@
+"""Figure 4: address-dataset pruning statistics (single predicate level).
+
+The paper reports reductions to 0.55-4.05% of the starting size across
+K = 1..1000 with one (S1, N1) level.
+"""
+
+import pytest
+
+from repro.experiments import (
+    address_pipeline,
+    benchmark_scale,
+    format_table,
+    run_pruning_table,
+    shape_checks,
+)
+
+K_VALUES = (1, 5, 10, 50, 100, 500)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return address_pipeline(n_records=benchmark_scale())
+
+
+def test_fig4_address_pruning(benchmark, pipeline, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_pruning_table(pipeline, k_values=K_VALUES),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(
+            rows,
+            title=(
+                f"Figure 4 — address pruning ({len(pipeline.store)} records)"
+            ),
+        )
+    )
+    checks = shape_checks(rows)
+    assert checks["small_k_prunes_hard"], checks
+    assert checks["bound_shrinks_with_k"], checks
+    assert checks["m_tight_at_small_k"], checks

@@ -1,0 +1,79 @@
+"""Figure 6: running time vs K — None / Canopy / Canopy+Collapse / PrunedDedup.
+
+The Cartesian "None" reference is quadratic in pure Python, so it runs
+on a sub-sample (the paper likewise restricted Figure 6 to a 45k subset
+because the slowest methods "took too long on the entire data").  Shape
+targets: canopy cuts the Cartesian cost by orders of magnitude, the
+sufficient-predicate collapse roughly halves canopy, and the K-aware
+pruning pipeline wins clearly at small K.
+"""
+
+import pytest
+
+from repro.experiments import (
+    benchmark_scale,
+    citation_pipeline,
+    format_table,
+    run_timing_comparison,
+    timing_shape_checks,
+)
+
+K_VALUES = (1, 10, 100)
+NONE_SAMPLE_CAP = 1200
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    n = max(1000, benchmark_scale() // 2)
+    return citation_pipeline(n_records=n, with_scorer=True)
+
+
+@pytest.fixture(scope="module")
+def small_pipeline():
+    return citation_pipeline(n_records=NONE_SAMPLE_CAP, with_scorer=True)
+
+
+def test_fig6_timing_comparison(benchmark, pipeline, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_timing_comparison(
+            pipeline, k_values=K_VALUES, include_none=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(
+            rows,
+            title=f"Figure 6 — timing vs K ({len(pipeline.store)} records)",
+        )
+    )
+    checks = timing_shape_checks(rows)
+    assert checks["pruned_beats_canopy_collapse"], checks
+    assert checks["pruned_does_far_less_work"], checks
+    assert checks["collapse_beats_canopy"], checks
+    assert checks["collapse_does_less_work"], checks
+
+
+def test_fig6_none_reference(benchmark, small_pipeline, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_timing_comparison(
+            small_pipeline,
+            k_values=(10,),
+            include_none=True,
+            none_cap=NONE_SAMPLE_CAP,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(
+            rows,
+            title=(
+                "Figure 6 (reference) — Cartesian None baseline "
+                f"({len(small_pipeline.store)} records)"
+            ),
+        )
+    )
+    checks = timing_shape_checks(rows)
+    assert checks["canopy_beats_none"], checks
+    assert checks["canopy_does_less_work_than_none"], checks

@@ -1,0 +1,31 @@
+"""Scaling sweep: retained fraction and runtime vs corpus size.
+
+Supports the paper's economic claim: the prunable tail grows faster
+than the Top-K head, so the retained fraction falls (or holds) with
+scale while the index-based pipeline stays far from quadratic.
+"""
+
+from repro.experiments import format_table, run_scaling_sweep, scaling_checks
+
+
+def test_scaling_students(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_scaling_sweep("students", sizes=(1000, 2000, 4000, 8000)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(format_table(rows, title="Scaling — students, K=10"))
+    checks = scaling_checks(rows)
+    assert checks["retained_fraction_not_growing"], rows
+    assert checks["subquadratic_runtime"], rows
+
+
+def test_scaling_citations(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_scaling_sweep("citations", sizes=(1000, 2000, 4000, 8000)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(format_table(rows, title="Scaling — citations, K=10"))
+    checks = scaling_checks(rows)
+    assert checks["subquadratic_runtime"], rows

@@ -1,0 +1,23 @@
+"""X7: robustness to mention-noise level (see DESIGN.md).
+
+Sweeps the citation generator's noise knob and checks graceful
+degradation: sufficiency holds at every level, necessity degrades
+slowly, the true Top-K always survives at the paper's noise level, and
+pruning stays useful even at 1.5x noise.
+"""
+
+from repro.experiments import format_table, robustness_checks, run_noise_sweep
+
+
+def test_x7_noise_robustness(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_noise_sweep(levels=(0.5, 1.0, 1.5), n_records=3000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(format_table(rows, title="X7 — noise robustness (citations)"))
+    checks = robustness_checks(rows)
+    assert checks["sufficiency_always_holds"], rows
+    assert checks["necessity_mostly_holds"], rows
+    assert checks["topk_survives_at_paper_noise"], rows
+    assert checks["pruning_still_useful_when_noisy"], rows

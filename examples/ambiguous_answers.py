@@ -1,0 +1,72 @@
+"""Exposing deduplication ambiguity: R alternative groupings (Section 5).
+
+Some record pairs cannot be confidently resolved.  Instead of forcing a
+single grouping, the segmentation DP returns the R highest-scoring
+Top-K answers with Gibbs-normalized probabilities.  This example builds
+a deliberately ambiguous instance — an author whose initials-only
+mentions might or might not belong to the prolific variant — and shows
+how the alternatives differ.
+
+Run:  python examples/ambiguous_answers.py
+"""
+
+from repro.clustering.correlation import ScoreMatrix
+from repro.embedding.greedy import greedy_embedding
+from repro.embedding.segmentation import top_k_answers
+from repro.scoring.gibbs import gibbs_probabilities
+
+
+def main() -> None:
+    # Nine mentions: positions 0-3 are "sunita sarawagi", 4-5 are the
+    # ambiguous "s sarawagi" (weak positive to both neighbors), and 6-8
+    # are "sanjay sarawagi".  Scores are signed log-odds from some P.
+    labels = [
+        "sunita sarawagi",
+        "sunita sarawagi",
+        "s sarawagi (ambiguous)",
+        "s sarawagi (ambiguous)",
+        "sanjay sarawagi",
+        "sanjay sarawagi",
+        "sanjay sarawagi",
+    ]
+    scores = ScoreMatrix(7)
+    # Confident within-entity pairs.
+    scores.set(0, 1, 4.0)
+    for i in (4, 5, 6):
+        for j in (4, 5, 6):
+            if i < j:
+                scores.set(i, j, 4.0)
+    # The ambiguous initial-only mentions: weakly positive toward both.
+    for ambiguous in (2, 3):
+        scores.set(0, ambiguous, 0.6)
+        scores.set(1, ambiguous, 0.4)
+        scores.set(ambiguous, 4, 0.5)
+        scores.set(ambiguous, 5, 0.3)
+    scores.set(2, 3, 1.0)
+    # Confident non-duplicates.
+    scores.set(0, 4, -3.0)
+    scores.set(1, 5, -3.0)
+
+    embedding = greedy_embedding(scores)
+    answers = top_k_answers(
+        scores, embedding, weights=[1.0] * 7, k=1, r=4, max_span=7
+    )
+    probabilities = gibbs_probabilities([a.score for a in answers])
+
+    print("Who has the most mentions?  Top alternative answers:\n")
+    for answer, probability in zip(answers, probabilities):
+        group = answer.groups[0]
+        members = ", ".join(labels[i] for i in group)
+        print(
+            f"  p={probability:.2f}  score={answer.score:6.2f}  "
+            f"count={answer.weights[0]:.0f}  [{members}]"
+        )
+    print(
+        "\nThe ambiguous 's sarawagi' mentions swing the winner between "
+        "the two full names; the ranked list surfaces both readings "
+        "instead of hiding one."
+    )
+
+
+if __name__ == "__main__":
+    main()

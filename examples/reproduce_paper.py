@@ -1,0 +1,96 @@
+"""Reproduce every paper table and figure in one command.
+
+Runs all experiment drivers at a configurable scale and prints the full
+paper-vs-measured report (the same tables `pytest benchmarks/` asserts
+on, without the pytest machinery).
+
+Run:  python examples/reproduce_paper.py [--records 4000] [--fig7-scale 0.3]
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    accuracy_shape_checks,
+    address_pipeline,
+    citation_pipeline,
+    fidelity_checks,
+    format_table,
+    robustness_checks,
+    run_figure7,
+    run_fidelity_sweep,
+    run_noise_sweep,
+    run_pruning_table,
+    run_timing_comparison,
+    shape_checks,
+    student_pipeline,
+    table1,
+    timing_shape_checks,
+)
+
+K_VALUES = (1, 5, 10, 50, 100)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def report_checks(checks: dict) -> None:
+    for name, ok in checks.items():
+        print(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=4000)
+    parser.add_argument("--fig7-scale", type=float, default=0.3)
+    args = parser.parse_args()
+    started = time.time()
+
+    banner("Figure 2 — citation pruning")
+    citations = citation_pipeline(n_records=args.records, with_scorer=True)
+    rows = run_pruning_table(citations, k_values=K_VALUES)
+    print(format_table(rows))
+    report_checks(shape_checks(rows))
+
+    banner("Figure 3 — student pruning")
+    students = student_pipeline(n_records=args.records)
+    rows = run_pruning_table(students, k_values=K_VALUES)
+    print(format_table(rows))
+    report_checks(shape_checks(rows))
+
+    banner("Figure 4 — address pruning")
+    addresses = address_pipeline(n_records=args.records)
+    rows = run_pruning_table(addresses, k_values=K_VALUES)
+    print(format_table(rows))
+    report_checks(shape_checks(rows))
+
+    banner("Figure 6 — running time vs K")
+    rows = run_timing_comparison(citations, k_values=(1, 10, 100))
+    print(format_table(rows))
+    report_checks(timing_shape_checks(rows))
+
+    banner("Figure 7 + Table 1 — accuracy vs exact LP")
+    rows = run_figure7(scale=args.fig7_scale)
+    print(format_table(rows))
+    print(format_table(table1(rows), title="Table 1"))
+    report_checks(accuracy_shape_checks(rows))
+
+    banner("X5 — segmentation vs exact exponential algorithm")
+    row = run_fidelity_sweep(n_instances=40)
+    print(format_table([row]))
+    report_checks(fidelity_checks(row))
+
+    banner("X7 — noise robustness")
+    rows = run_noise_sweep(n_records=min(args.records, 3000))
+    print(format_table(rows))
+    report_checks(robustness_checks(rows))
+
+    print(f"\ntotal: {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduction of "Efficient Top-K Count Queries over Imprecise Duplicates".
+
+Sarawagi, Deshpande and Kasliwal, EDBT 2009.
+
+Public entry points:
+
+* :func:`repro.core.topk_count_query` — the end-to-end Top-K count query
+  (PrunedDedup + final scoring + R best answers);
+* :func:`repro.core.pruned_dedup` — Algorithm 2's collapse/bound/prune
+  pipeline on its own;
+* :func:`repro.core.topk_rank_query` / ``thresholded_rank_query`` — the
+  Section 7 query variants;
+* :mod:`repro.datasets` — synthetic corpora with gold labels;
+* :mod:`repro.predicates` — the necessary/sufficient predicate library.
+"""
+
+from .core import (
+    EntityGroup,
+    IncrementalTopK,
+    GroupSet,
+    Record,
+    RecordStore,
+    TopKQueryResult,
+    pruned_dedup,
+    thresholded_rank_query,
+    topk_count_query,
+    topk_rank_query,
+)
+from .predicates import PredicateLevel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EntityGroup",
+    "IncrementalTopK",
+    "GroupSet",
+    "PredicateLevel",
+    "Record",
+    "RecordStore",
+    "TopKQueryResult",
+    "__version__",
+    "pruned_dedup",
+    "thresholded_rank_query",
+    "topk_count_query",
+    "topk_rank_query",
+]

@@ -1,0 +1,15 @@
+"""Full-deduplication baseline pipelines (Figure 6 comparators)."""
+
+from .full_dedup import (
+    DedupOutcome,
+    canopy_collapse_pipeline,
+    canopy_pipeline,
+    none_pipeline,
+)
+
+__all__ = [
+    "DedupOutcome",
+    "canopy_collapse_pipeline",
+    "canopy_pipeline",
+    "none_pipeline",
+]

@@ -1,0 +1,258 @@
+"""Command-line interface: Top-K count queries over a CSV of records.
+
+Usage::
+
+    python -m repro topk      --input mentions.csv --field name --k 5
+    python -m repro rank      --input mentions.csv --field name --k 5
+    python -m repro threshold --input mentions.csv --field name --min-weight 40
+
+The CSV needs a header row.  ``--field`` names the entity-mention column;
+``--weight-field`` (optional) names a numeric per-record weight.  The
+generic predicate suite used is: sufficient = exact match of the field,
+necessary = character-3-gram overlap above ``--ngram-threshold``; the
+final pairwise criterion is a hand-weighted name similarity shifted by
+``--score-bias``.  For domain-tuned predicates use the library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from collections.abc import Sequence
+
+from .core.rank_query import thresholded_rank_query, topk_rank_query
+from .core.records import RecordStore
+from .core.topk import topk_count_query
+from .predicates.base import PredicateLevel
+from .predicates.library import ExactFieldsPredicate, NgramOverlapPredicate
+from .scoring.pairwise import CachedScorer, WeightedScorer
+from .similarity.vectorize import PairFeaturizer
+
+
+def load_csv(
+    path: str, field: str, weight_field: str | None
+) -> RecordStore:
+    """Load *path* into a RecordStore; validates the named columns."""
+    rows: list[dict[str, str]] = []
+    weights: list[float] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or field not in reader.fieldnames:
+            raise SystemExit(
+                f"error: column {field!r} not found in {path} "
+                f"(columns: {reader.fieldnames})"
+            )
+        if weight_field is not None and weight_field not in reader.fieldnames:
+            raise SystemExit(
+                f"error: weight column {weight_field!r} not found in {path}"
+            )
+        for row in reader:
+            rows.append({k: (v or "") for k, v in row.items()})
+            if weight_field is None:
+                weights.append(1.0)
+            else:
+                try:
+                    weights.append(float(row[weight_field]))
+                except ValueError:
+                    raise SystemExit(
+                        f"error: non-numeric weight {row[weight_field]!r}"
+                    ) from None
+    if not rows:
+        raise SystemExit(f"error: {path} contains no data rows")
+    return RecordStore.from_rows(rows, weights=weights)
+
+
+def generic_levels(field: str, ngram_threshold: float) -> list[PredicateLevel]:
+    """The CLI's generic (exact, n-gram-overlap) predicate level."""
+    return [
+        PredicateLevel(
+            sufficient=ExactFieldsPredicate([field], name=f"exact-{field}"),
+            necessary=NgramOverlapPredicate(
+                field, ngram_threshold, name=f"ngram-{field}"
+            ),
+            name="cli-generic",
+        )
+    ]
+
+
+def generic_scorer(field: str, bias: float) -> CachedScorer:
+    """Hand-weighted similarity scorer over the query field."""
+    from .similarity.measures import jaccard
+    from .similarity.strings import jaro_winkler
+    from .similarity.tokenize import cached_ngram_set, cached_word_set, normalize
+
+    featurizer = PairFeaturizer(
+        [
+            (
+                "3gram_jaccard",
+                lambda a, b: jaccard(
+                    cached_ngram_set(a[field]), cached_ngram_set(b[field])
+                ),
+            ),
+            (
+                "word_jaccard",
+                lambda a, b: jaccard(
+                    cached_word_set(a[field]), cached_word_set(b[field])
+                ),
+            ),
+            (
+                "jaro_winkler",
+                lambda a, b: jaro_winkler(normalize(a[field]), normalize(b[field])),
+            ),
+        ]
+    )
+    return CachedScorer(
+        WeightedScorer(featurizer, weights=[2.0, 2.0, 2.0], bias=bias)
+    )
+
+
+def _common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", required=True, help="CSV file to query")
+    parser.add_argument(
+        "--field", required=True, help="entity-mention column name"
+    )
+    parser.add_argument(
+        "--weight-field", default=None, help="numeric weight column (optional)"
+    )
+    parser.add_argument(
+        "--ngram-threshold",
+        type=float,
+        default=0.6,
+        help="necessary-predicate 3-gram overlap threshold (default 0.6)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-K count queries over records with noisy duplicates",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    topk = commands.add_parser("topk", help="K largest entity groups")
+    _common_arguments(topk)
+    topk.add_argument("--k", type=int, default=10)
+    topk.add_argument("--r", type=int, default=1, help="alternative answers")
+    topk.add_argument(
+        "--score-bias",
+        type=float,
+        default=-3.0,
+        help="pairwise scorer bias (more negative = stricter matching)",
+    )
+
+    rank = commands.add_parser("rank", help="rank order of the K largest groups")
+    _common_arguments(rank)
+    rank.add_argument("--k", type=int, default=10)
+
+    threshold = commands.add_parser(
+        "threshold", help="all groups of total weight >= --min-weight"
+    )
+    _common_arguments(threshold)
+    threshold.add_argument("--min-weight", type=float, required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic labeled dataset to CSV"
+    )
+    generate.add_argument(
+        "--kind",
+        choices=("citations", "students", "addresses", "restaurants"),
+        default="citations",
+    )
+    generate.add_argument("--n", type=int, default=2000, help="record count")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help="CSV path to write")
+    return parser
+
+
+def run_topk(args: argparse.Namespace) -> int:
+    store = load_csv(args.input, args.field, args.weight_field)
+    levels = generic_levels(args.field, args.ngram_threshold)
+    scorer = generic_scorer(args.field, args.score_bias)
+    result = topk_count_query(
+        store,
+        args.k,
+        levels,
+        scorer,
+        r=args.r,
+        label_field=args.field,
+    )
+    for rank_index, answer in enumerate(result.answers, start=1):
+        if len(result.answers) > 1:
+            print(f"answer #{rank_index} (p={answer.probability:.2f})")
+        for entity in answer.entities:
+            print(f"{entity.weight:12.2f}  {entity.label}")
+        if rank_index < len(result.answers):
+            print()
+    return 0
+
+
+def run_rank(args: argparse.Namespace) -> int:
+    store = load_csv(args.input, args.field, args.weight_field)
+    levels = generic_levels(args.field, args.ngram_threshold)
+    result = topk_rank_query(store, args.k, levels)
+    for entry in result.ranking[: args.k]:
+        marker = " " if entry.resolved else "?"
+        label = store[entry.representative_id][args.field]
+        print(
+            f"{entry.weight:12.2f}  (u<={entry.upper_bound:12.2f}) {marker} "
+            f"{label}"
+        )
+    return 0
+
+
+def run_threshold(args: argparse.Namespace) -> int:
+    store = load_csv(args.input, args.field, args.weight_field)
+    levels = generic_levels(args.field, args.ngram_threshold)
+    result = thresholded_rank_query(store, args.min_weight, levels)
+    status = "certain" if result.certain else "may need exact evaluation"
+    print(f"# groups with weight >= {args.min_weight} ({status})")
+    for entry in result.ranking:
+        label = store[entry.representative_id][args.field]
+        print(f"{entry.weight:12.2f}  {label}")
+    return 0
+
+
+def run_generate(args: argparse.Namespace) -> int:
+    from .datasets import (
+        generate_addresses,
+        generate_citations,
+        generate_restaurants,
+        generate_students,
+    )
+
+    generators = {
+        "citations": generate_citations,
+        "students": generate_students,
+        "addresses": generate_addresses,
+        "restaurants": generate_restaurants,
+    }
+    dataset = generators[args.kind](n_records=args.n, seed=args.seed)
+    field_names = list(dataset.store[0].fields)
+    with open(args.output, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([*field_names, "weight", "gold_entity"])
+        for record, label in zip(dataset.store, dataset.labels):
+            writer.writerow(
+                [*(record[f] for f in field_names), record.weight, label]
+            )
+    print(
+        f"wrote {dataset.n_records} records over {dataset.n_entities} "
+        f"entities to {args.output}"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "topk": run_topk,
+        "rank": run_rank,
+        "threshold": run_threshold,
+        "generate": run_generate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Clustering substrate: scores, baselines, LP-exact, hierarchy, metrics."""
+
+from .correlation import (
+    ScoreMatrix,
+    correlation_score,
+    group_score,
+    partition_score,
+)
+from .exact import all_partitions, exact_best_partition, exact_top_partitions
+from .hierarchical import (
+    Hierarchy,
+    HierarchyNode,
+    agglomerate,
+    divide_and_merge,
+    top_r_frontiers,
+)
+from .lp import LpResult, lp_cluster
+from .metrics import (
+    BCubedScores,
+    PairwiseScores,
+    bcubed_scores,
+    groups_from_labels,
+    pairwise_f1,
+    pairwise_scores,
+)
+from .pivot import best_of_pivot, pivot_clusters
+from .transitive import transitive_closure_clusters
+
+__all__ = [
+    "BCubedScores",
+    "Hierarchy",
+    "HierarchyNode",
+    "LpResult",
+    "PairwiseScores",
+    "ScoreMatrix",
+    "agglomerate",
+    "all_partitions",
+    "bcubed_scores",
+    "best_of_pivot",
+    "correlation_score",
+    "divide_and_merge",
+    "exact_best_partition",
+    "exact_top_partitions",
+    "group_score",
+    "groups_from_labels",
+    "lp_cluster",
+    "pairwise_f1",
+    "pairwise_scores",
+    "partition_score",
+    "pivot_clusters",
+    "top_r_frontiers",
+    "transitive_closure_clusters",
+]

@@ -1,0 +1,160 @@
+"""Correlation-clustering scores (Section 5.1, Eq. 1).
+
+A :class:`ScoreMatrix` holds the sparse signed pairwise scores P — only
+pairs that passed the necessary predicate (or were otherwise enumerated)
+are stored; absent pairs score the ``default`` (0.0: fully uncertain).
+
+:func:`correlation_score` implements Eq. 1 exactly (ordered-pair
+convention: within-group positive edges and cross-group negative edges
+each count once per endpoint).  :func:`group_score` is the
+group-decomposable term ``Group_Score(c, D - c)`` of Eq. 2, which the
+segmentation DP sums over segments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+from ..core.records import Record
+from ..predicates.base import Predicate
+from ..predicates.blocking import candidate_pairs
+from ..scoring.pairwise import PairwiseScorer
+
+
+class ScoreMatrix:
+    """Sparse symmetric pairwise score storage over positions 0..n-1."""
+
+    def __init__(self, n: int, default: float = 0.0):
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self._n = n
+        self._default = default
+        self._scores: dict[tuple[int, int], float] = {}
+        self._adjacency: dict[int, set[int]] = defaultdict(set)
+
+    @property
+    def n(self) -> int:
+        """Number of items the matrix covers."""
+        return self._n
+
+    @property
+    def default(self) -> float:
+        """Score assumed for pairs that were never evaluated."""
+        return self._default
+
+    @property
+    def n_scored_pairs(self) -> int:
+        """Number of explicitly stored pairs."""
+        return len(self._scores)
+
+    @staticmethod
+    def _key(i: int, j: int) -> tuple[int, int]:
+        return (i, j) if i < j else (j, i)
+
+    def set(self, i: int, j: int, score: float) -> None:
+        """Store the score of the unordered pair (i, j)."""
+        if i == j:
+            raise ValueError(f"self-pair ({i}, {i})")
+        if not (0 <= i < self._n and 0 <= j < self._n):
+            raise IndexError(f"pair ({i}, {j}) outside range 0..{self._n - 1}")
+        self._scores[self._key(i, j)] = score
+        self._adjacency[i].add(j)
+        self._adjacency[j].add(i)
+
+    def get(self, i: int, j: int) -> float:
+        """Return the score of (i, j); the default when never stored."""
+        if i == j:
+            raise ValueError(f"self-pair ({i}, {i})")
+        return self._scores.get(self._key(i, j), self._default)
+
+    def has(self, i: int, j: int) -> bool:
+        """Return True when (i, j) was explicitly scored."""
+        return self._key(i, j) in self._scores
+
+    def scored_neighbors(self, i: int) -> set[int]:
+        """Return positions with an explicit score against *i*."""
+        return set(self._adjacency.get(i, ()))
+
+    def scored_pairs(self) -> Iterable[tuple[int, int, float]]:
+        """Yield every stored (i, j, score) with i < j."""
+        for (i, j), score in self._scores.items():
+            yield i, j, score
+
+    @classmethod
+    def from_scorer(
+        cls,
+        records: Sequence[Record],
+        scorer: PairwiseScorer,
+        necessary: Predicate | None = None,
+        default: float = 0.0,
+    ) -> "ScoreMatrix":
+        """Score all pairs passing *necessary* (or all pairs when None).
+
+        Passing ``necessary=None`` enumerates the full Cartesian set —
+        only sensible for small inputs (e.g. the Figure-7 datasets).
+        """
+        matrix = cls(len(records), default=default)
+        if necessary is None:
+            for i, record_a in enumerate(records):
+                for j in range(i + 1, len(records)):
+                    matrix.set(i, j, scorer.score(record_a, records[j]))
+        else:
+            for i, j in candidate_pairs(necessary, records, verify=True):
+                matrix.set(i, j, scorer.score(records[i], records[j]))
+        return matrix
+
+
+def correlation_score(
+    partition: Sequence[Sequence[int]], scores: ScoreMatrix
+) -> float:
+    """Eq. 1: agreement of *partition* with the pairwise scores.
+
+    Ordered-pair convention (each within-group positive pair and each
+    cross-group negative edge contributes twice overall, once per
+    endpoint) — matching the paper's double summation literally.
+    Only explicitly scored pairs contribute; unscored pairs carry the
+    matrix default of 0 and are neutral.
+    """
+    member_of: dict[int, int] = {}
+    for group_index, group in enumerate(partition):
+        for position in group:
+            if position in member_of:
+                raise ValueError(f"position {position} appears in two groups")
+            member_of[position] = group_index
+
+    total = 0.0
+    for i, j, score in scores.scored_pairs():
+        same = member_of.get(i) is not None and member_of.get(i) == member_of.get(j)
+        if same and score > 0:
+            total += 2.0 * score
+        elif not same and score < 0:
+            total -= 2.0 * score
+    return total
+
+
+def group_score(members: Sequence[int], scores: ScoreMatrix) -> float:
+    """Eq. 2 term ``Group_Score(c, D - c)`` for the group *members*.
+
+    Within-group positive pairs count twice (ordered pairs); negative
+    edges leaving the group count once from this side — summing over all
+    groups of a partition reproduces :func:`correlation_score` exactly.
+    """
+    member_set = set(members)
+    total = 0.0
+    for i in members:
+        for j in scores.scored_neighbors(i):
+            score = scores.get(i, j)
+            if j in member_set:
+                if score > 0:
+                    total += score  # ordered pairs: (i,j) and (j,i) both hit
+            elif score < 0:
+                total -= score
+    return total
+
+
+def partition_score(
+    partition: Sequence[Sequence[int]], scores: ScoreMatrix
+) -> float:
+    """Sum of :func:`group_score` over the groups (equals Eq. 1)."""
+    return sum(group_score(group, scores) for group in partition)

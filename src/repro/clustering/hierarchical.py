@@ -1,0 +1,351 @@
+"""Agglomerative hierarchical grouping (Section 5.2).
+
+Builds a merge tree over records using the pairwise scores and supports
+the two things the paper derives from a hierarchy:
+
+* the **best frontier**: a dynamic program that picks, for every internal
+  node, either the node's whole cluster or the best frontiers of its
+  children — the highest-scoring disjoint grouping selectable from the
+  hierarchy (Section 5.2's leaf-to-root propagation);
+* the **leaf order**: a linear arrangement of records obtained by reading
+  the leaves left to right, usable as an embedding for the segmentation
+  DP (which strictly generalizes frontier selection — Section 5.3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .correlation import ScoreMatrix, group_score
+
+
+@dataclass
+class HierarchyNode:
+    """A node of the merge tree.
+
+    Leaves carry a single position; internal nodes carry two children and
+    the linkage score at which they merged.
+    """
+
+    node_id: int
+    members: list[int]
+    children: tuple[int, int] | None = None
+    merge_score: float = 0.0
+
+
+@dataclass
+class Hierarchy:
+    """A full agglomerative merge forest (one root per final component)."""
+
+    nodes: list[HierarchyNode] = field(default_factory=list)
+    roots: list[int] = field(default_factory=list)
+
+    def leaf_order(self) -> list[int]:
+        """Return positions in left-to-right leaf order across all roots."""
+        order: list[int] = []
+        for root in self.roots:
+            self._collect(root, order)
+        return order
+
+    def _collect(self, node_id: int, out: list[int]) -> None:
+        node = self.nodes[node_id]
+        if node.children is None:
+            out.extend(node.members)
+        else:
+            self._collect(node.children[0], out)
+            self._collect(node.children[1], out)
+
+    def best_frontier(self, scores: ScoreMatrix) -> tuple[list[list[int]], float]:
+        """Return the best-scoring frontier partition and its Eq. 2 score."""
+        best_parts: dict[int, list[list[int]]] = {}
+        best_score: dict[int, float] = {}
+
+        # Nodes were appended children-before-parents, so one forward
+        # pass is a valid bottom-up order.
+        for node in self.nodes:
+            own = group_score(node.members, scores)
+            if node.children is None:
+                best_parts[node.node_id] = [list(node.members)]
+                best_score[node.node_id] = own
+                continue
+            left, right = node.children
+            split_score = best_score[left] + best_score[right]
+            if own >= split_score:
+                best_parts[node.node_id] = [list(node.members)]
+                best_score[node.node_id] = own
+            else:
+                best_parts[node.node_id] = best_parts[left] + best_parts[right]
+                best_score[node.node_id] = split_score
+
+        partition: list[list[int]] = []
+        total = 0.0
+        for root in self.roots:
+            partition.extend(best_parts[root])
+            total += best_score[root]
+        return partition, total
+
+
+def top_r_frontiers(
+    hierarchy: Hierarchy, scores: ScoreMatrix, r: int
+) -> list[tuple[list[list[int]], float]]:
+    """The Section 5.2 leaf-to-root DP: R best frontier groupings.
+
+    For every node the R highest-scoring disjoint groupings of its
+    subtree are maintained — either the node's whole cluster, or a
+    combination of the children's best lists (top R of the cross
+    product).  Roots' lists are combined the same way.  Returns up to
+    *r* ``(partition, score)`` pairs, best first.
+
+    The paper mentions this algorithm but presents only the (strictly
+    more general) segmentation DP; it is implemented here as the X3
+    comparison point.
+    """
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+
+    best: dict[int, list[tuple[float, list[list[int]]]]] = {}
+    for node in hierarchy.nodes:  # children precede parents
+        own = (group_score(node.members, scores), [list(node.members)])
+        if node.children is None:
+            best[node.node_id] = [own]
+            continue
+        left, right = node.children
+        combined = _cross_top_r(best[left], best[right], r)
+        merged = combined + [own]
+        merged.sort(key=lambda entry: -entry[0])
+        best[node.node_id] = _dedupe_partitions(merged)[:r]
+
+    result: list[tuple[float, list[list[int]]]] = [(0.0, [])]
+    for root in hierarchy.roots:
+        result = _cross_top_r(result, best[root], r)
+    return [(partition, score) for score, partition in result[:r]]
+
+
+def _cross_top_r(
+    left: list[tuple[float, list[list[int]]]],
+    right: list[tuple[float, list[list[int]]]],
+    r: int,
+) -> list[tuple[float, list[list[int]]]]:
+    combos = [
+        (ls + rs, [list(g) for g in lp] + [list(g) for g in rp])
+        for ls, lp in left
+        for rs, rp in right
+    ]
+    combos.sort(key=lambda entry: -entry[0])
+    return combos[:r]
+
+
+def _dedupe_partitions(
+    entries: list[tuple[float, list[list[int]]]],
+) -> list[tuple[float, list[list[int]]]]:
+    seen: set[tuple] = set()
+    out = []
+    for score, partition in entries:
+        key = tuple(sorted(tuple(sorted(g)) for g in partition))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((score, partition))
+    return out
+
+
+def divide_and_merge(scores: ScoreMatrix) -> Hierarchy:
+    """Divide-and-merge hierarchy (Cheng, Kannan, Vempala & Wang [14]).
+
+    The hybrid the paper cites for Section 5.2: a *divide* phase
+    recursively bisects each positive-similarity component by the sign of
+    its Fiedler vector (the spectral cut), producing a binary tree; the
+    *merge* phase is whatever frontier selection the caller runs on it
+    (:meth:`Hierarchy.best_frontier` or :func:`top_r_frontiers` — the
+    dynamic programs over the tree).
+    """
+    import numpy as np
+
+    from ..graphs.union_find import UnionFind
+
+    hierarchy = Hierarchy()
+
+    def positive_components(members: list[int]) -> list[list[int]]:
+        local = {m: i for i, m in enumerate(members)}
+        uf = UnionFind(len(members))
+        for m in members:
+            for other in scores.scored_neighbors(m):
+                j = local.get(other)
+                if j is not None and scores.get(m, other) > 0:
+                    uf.union(local[m], j)
+        return [
+            sorted(members[i] for i in component)
+            for component in uf.components()
+        ]
+
+    def spectral_split(members: list[int]) -> tuple[list[int], list[int]] | None:
+        if len(members) < 2:
+            return None
+        local = {m: i for i, m in enumerate(members)}
+        size = len(members)
+        weight = np.zeros((size, size))
+        for m in members:
+            for other in scores.scored_neighbors(m):
+                j = local.get(other)
+                if j is None:
+                    continue
+                score = scores.get(m, other)
+                if score > 0:
+                    weight[local[m], j] = score
+        weight = np.maximum(weight, weight.T)
+        laplacian = np.diag(weight.sum(axis=1)) - weight
+        _, eigenvectors = np.linalg.eigh(laplacian)
+        fiedler = eigenvectors[:, 1] if size > 1 else np.zeros(size)
+        left = [m for m in members if fiedler[local[m]] < 0]
+        right = [m for m in members if fiedler[local[m]] >= 0]
+        if not left or not right:
+            # Degenerate cut: split off the single extreme vertex.
+            ordered = sorted(members, key=lambda m: fiedler[local[m]])
+            left, right = ordered[:1], ordered[1:]
+        return left, right
+
+    def build(members: list[int]) -> int:
+        node = HierarchyNode(node_id=len(hierarchy.nodes), members=sorted(members))
+        hierarchy.nodes.append(node)
+        if len(members) >= 2:
+            split = spectral_split(members)
+            if split is not None:
+                placeholder = node.node_id
+                left_id = build(split[0])
+                right_id = build(split[1])
+                hierarchy.nodes[placeholder].children = (left_id, right_id)
+        return node.node_id
+
+    roots = []
+    for component in positive_components(list(range(scores.n))):
+        roots.append(build(component))
+    hierarchy.roots = sorted(roots)
+    # best_frontier/top_r_frontiers expect children before parents; the
+    # recursive build appends parents first, so re-order bottom-up.
+    hierarchy.nodes = _reorder_children_first(hierarchy)
+    return hierarchy
+
+
+def _reorder_children_first(hierarchy: Hierarchy) -> list[HierarchyNode]:
+    """Renumber nodes so every child precedes its parent."""
+    order: list[int] = []
+    visited: set[int] = set()
+
+    def visit(node_id: int) -> None:
+        if node_id in visited:
+            return
+        visited.add(node_id)
+        node = hierarchy.nodes[node_id]
+        if node.children is not None:
+            visit(node.children[0])
+            visit(node.children[1])
+        order.append(node_id)
+
+    for root in hierarchy.roots:
+        visit(root)
+    remap = {old: new for new, old in enumerate(order)}
+    new_nodes = []
+    for old_id in order:
+        node = hierarchy.nodes[old_id]
+        new_nodes.append(
+            HierarchyNode(
+                node_id=remap[old_id],
+                members=node.members,
+                children=(
+                    (remap[node.children[0]], remap[node.children[1]])
+                    if node.children is not None
+                    else None
+                ),
+                merge_score=node.merge_score,
+            )
+        )
+    hierarchy.roots = sorted(remap[r] for r in hierarchy.roots)
+    return new_nodes
+
+
+def agglomerate(
+    scores: ScoreMatrix,
+    linkage: str = "average",
+    min_link_score: float = 0.0,
+) -> Hierarchy:
+    """Agglomerative clustering on the scored pairs.
+
+    Repeatedly merges the cluster pair with the best linkage score
+    (``"single"``: max pairwise score, ``"average"``: mean pairwise
+    score) while that score exceeds *min_link_score*.  Only explicitly
+    scored pairs create merge opportunities, so unrelated records never
+    join the same tree.
+    """
+    if linkage not in ("single", "average"):
+        raise ValueError(f"linkage must be 'single' or 'average', got {linkage!r}")
+
+    hierarchy = Hierarchy()
+    cluster_of: dict[int, int] = {}
+    for position in range(scores.n):
+        node = HierarchyNode(node_id=len(hierarchy.nodes), members=[position])
+        hierarchy.nodes.append(node)
+        cluster_of[position] = node.node_id
+
+    # cross[a][b] = (sum of pair scores, n pairs) between live clusters.
+    cross: dict[int, dict[int, tuple[float, int]]] = {
+        node.node_id: {} for node in hierarchy.nodes
+    }
+    single_best: dict[tuple[int, int], float] = {}
+    heap: list[tuple[float, int, int]] = []
+    for i, j, score in scores.scored_pairs():
+        a, b = cluster_of[i], cluster_of[j]
+        key = (min(a, b), max(a, b))
+        total, count = cross[a].get(b, (0.0, 0))
+        cross[a][b] = cross[b][a] = (total + score, count + 1)
+        single_best[key] = max(single_best.get(key, float("-inf")), score)
+        heapq.heappush(heap, (-score, *key))
+
+    live = {node.node_id for node in hierarchy.nodes}
+
+    def linkage_score(a: int, b: int) -> float:
+        if linkage == "single":
+            return single_best[(min(a, b), max(a, b))]
+        total, count = cross[a][b]
+        return total / count
+
+    while heap:
+        neg_score, a, b = heapq.heappop(heap)
+        if a not in live or b not in live or b not in cross[a]:
+            continue
+        current = linkage_score(a, b)
+        if current != -neg_score:
+            continue  # stale entry; the true value was re-pushed on merge
+        if current <= min_link_score:
+            break
+
+        merged = HierarchyNode(
+            node_id=len(hierarchy.nodes),
+            members=hierarchy.nodes[a].members + hierarchy.nodes[b].members,
+            children=(a, b),
+            merge_score=current,
+        )
+        hierarchy.nodes.append(merged)
+        live.discard(a)
+        live.discard(b)
+        live.add(merged.node_id)
+
+        cross[merged.node_id] = {}
+        neighbors = (set(cross[a]) | set(cross[b])) - {a, b}
+        for other in neighbors:
+            if other not in live:
+                continue
+            total_a, count_a = cross[a].get(other, (0.0, 0))
+            total_b, count_b = cross[b].get(other, (0.0, 0))
+            combined = (total_a + total_b, count_a + count_b)
+            cross[merged.node_id][other] = combined
+            cross[other][merged.node_id] = combined
+            key = (min(merged.node_id, other), max(merged.node_id, other))
+            best_a = single_best.get((min(a, other), max(a, other)), float("-inf"))
+            best_b = single_best.get((min(b, other), max(b, other)), float("-inf"))
+            single_best[key] = max(best_a, best_b)
+            new_score = linkage_score(merged.node_id, other)
+            heapq.heappush(heap, (-new_score, *key))
+
+    hierarchy.roots = sorted(live)
+    return hierarchy

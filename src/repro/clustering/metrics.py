@@ -1,0 +1,145 @@
+"""Partition agreement metrics.
+
+Figure 7 measures "pairwise F1 ... which treats as positive any pair of
+records that appears in the same cluster in the [reference], and negative
+otherwise".  Computed set-wise (no O(n^2) pair scan): the true-positive
+count is the sum over intersection cells of the two partitions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PairwiseScores:
+    """Pairwise precision / recall / F1 between two partitions."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    predicted_pairs: int
+    reference_pairs: int
+
+
+def _pair_count(sizes: Sequence[int]) -> int:
+    return sum(s * (s - 1) // 2 for s in sizes)
+
+
+def _membership(partition: Sequence[Sequence[int]]) -> dict[int, int]:
+    member_of: dict[int, int] = {}
+    for index, group in enumerate(partition):
+        for item in group:
+            if item in member_of:
+                raise ValueError(f"item {item} appears in two groups")
+            member_of[item] = index
+    return member_of
+
+
+def pairwise_scores(
+    predicted: Sequence[Sequence[int]], reference: Sequence[Sequence[int]]
+) -> PairwiseScores:
+    """Return pairwise P/R/F1 of *predicted* against *reference*.
+
+    Items appearing in only one of the partitions are treated as
+    singletons in the other (contributing no pairs there).
+    """
+    predicted_member = _membership(predicted)
+    reference_member = _membership(reference)
+
+    cell_sizes: Counter[tuple[int, int]] = Counter()
+    for item, predicted_group in predicted_member.items():
+        reference_group = reference_member.get(item)
+        if reference_group is not None:
+            cell_sizes[(predicted_group, reference_group)] += 1
+    true_positives = _pair_count(list(cell_sizes.values()))
+
+    predicted_pairs = _pair_count([len(g) for g in predicted])
+    reference_pairs = _pair_count([len(g) for g in reference])
+    precision = true_positives / predicted_pairs if predicted_pairs else 1.0
+    recall = true_positives / reference_pairs if reference_pairs else 1.0
+    if precision + recall == 0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return PairwiseScores(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=true_positives,
+        predicted_pairs=predicted_pairs,
+        reference_pairs=reference_pairs,
+    )
+
+
+def pairwise_f1(
+    predicted: Sequence[Sequence[int]], reference: Sequence[Sequence[int]]
+) -> float:
+    """Shorthand for ``pairwise_scores(...).f1``."""
+    return pairwise_scores(predicted, reference).f1
+
+
+@dataclass(frozen=True)
+class BCubedScores:
+    """B-cubed precision / recall / F1 between two partitions."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def bcubed_scores(
+    predicted: Sequence[Sequence[int]], reference: Sequence[Sequence[int]]
+) -> BCubedScores:
+    """Return B-cubed P/R/F1 of *predicted* against *reference*.
+
+    B³ averages, per item, the fraction of its predicted cluster that
+    shares its reference cluster (precision) and vice versa (recall) —
+    the entity-resolution standard that, unlike pairwise F1, does not let
+    a few huge clusters dominate.  Items present in only one partition
+    are ignored (they have no counterpart to be judged against).
+    """
+    predicted_member = _membership(predicted)
+    reference_member = _membership(reference)
+    common = set(predicted_member) & set(reference_member)
+    if not common:
+        return BCubedScores(precision=1.0, recall=1.0, f1=1.0)
+
+    # Sizes of each intersection cell and of each cluster restricted to
+    # the common item set.
+    cell: Counter[tuple[int, int]] = Counter()
+    predicted_size: Counter[int] = Counter()
+    reference_size: Counter[int] = Counter()
+    for item in common:
+        p = predicted_member[item]
+        r = reference_member[item]
+        cell[(p, r)] += 1
+        predicted_size[p] += 1
+        reference_size[r] += 1
+
+    precision = 0.0
+    recall = 0.0
+    for (p, r), count in cell.items():
+        # Each of the `count` items in this cell contributes
+        # count/|predicted cluster| to precision and count/|reference
+        # cluster| to recall.
+        precision += count * count / predicted_size[p]
+        recall += count * count / reference_size[r]
+    precision /= len(common)
+    recall /= len(common)
+    if precision + recall == 0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return BCubedScores(precision=precision, recall=recall, f1=f1)
+
+
+def groups_from_labels(labels: Sequence[int]) -> list[list[int]]:
+    """Turn per-item labels into a partition, largest group first."""
+    by_label: dict[int, list[int]] = defaultdict(list)
+    for item, label in enumerate(labels):
+        by_label[label].append(item)
+    return sorted(by_label.values(), key=len, reverse=True)

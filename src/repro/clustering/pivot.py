@@ -1,0 +1,62 @@
+"""CC-Pivot: randomized pivot approximation for correlation clustering.
+
+Ailon, Charikar and Newman's classic 3-approximation (for +/- edge
+weights): pick a random pivot, group it with every remaining item that
+scores positively against it, recurse on the rest.  The paper cites this
+family of approximations ([10], [14]) as the standard way to optimize
+Eq. 1; we provide it both as a comparison point for the segmentation
+method and as a fast final-clustering fallback.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .correlation import ScoreMatrix, partition_score
+
+
+def pivot_clusters(
+    scores: ScoreMatrix,
+    seed: int | None = None,
+    threshold: float = 0.0,
+) -> list[list[int]]:
+    """Return a pivot clustering of positions 0..n-1, largest group first."""
+    rng = random.Random(seed)
+    remaining = list(range(scores.n))
+    rng.shuffle(remaining)
+    unassigned = set(remaining)
+    clusters: list[list[int]] = []
+    for pivot in remaining:
+        if pivot not in unassigned:
+            continue
+        unassigned.remove(pivot)
+        cluster = [pivot]
+        # Only explicitly scored neighbors can exceed a threshold >= 0.
+        for j in scores.scored_neighbors(pivot):
+            if j in unassigned and scores.get(pivot, j) > threshold:
+                cluster.append(j)
+                unassigned.remove(j)
+        clusters.append(cluster)
+    clusters.sort(key=len, reverse=True)
+    return clusters
+
+
+def best_of_pivot(
+    scores: ScoreMatrix,
+    n_restarts: int = 5,
+    seed: int = 0,
+    threshold: float = 0.0,
+) -> list[list[int]]:
+    """Run :func:`pivot_clusters` *n_restarts* times; keep the best Eq. 1 score."""
+    if n_restarts < 1:
+        raise ValueError(f"n_restarts must be >= 1, got {n_restarts}")
+    best: list[list[int]] | None = None
+    best_score = float("-inf")
+    for restart in range(n_restarts):
+        clusters = pivot_clusters(scores, seed=seed + restart, threshold=threshold)
+        score = partition_score(clusters, scores)
+        if score > best_score:
+            best = clusters
+            best_score = score
+    assert best is not None
+    return best

@@ -1,0 +1,26 @@
+"""Transitive-closure clustering baseline (Figure 7's comparator).
+
+Forms duplicate groups as connected components of the positive-score
+pairs — the simplest way to turn pairwise scores into a partition, and
+the baseline the paper shows agreeing only 92–96% with the exact LP.
+"""
+
+from __future__ import annotations
+
+from ..graphs.union_find import UnionFind
+from .correlation import ScoreMatrix
+
+
+def transitive_closure_clusters(
+    scores: ScoreMatrix, threshold: float = 0.0
+) -> list[list[int]]:
+    """Return components of pairs with score > *threshold*, largest first.
+
+    Every position 0..n-1 appears in exactly one output group (isolated
+    positions become singletons).
+    """
+    uf = UnionFind(scores.n)
+    for i, j, score in scores.scored_pairs():
+        if score > threshold:
+            uf.union(i, j)
+    return uf.components()

@@ -1,0 +1,53 @@
+"""Core pipeline: records, PrunedDedup stages, and query engines."""
+
+from .collapse import collapse, collapse_records
+from .incremental import IncrementalTopK
+from .lower_bound import (
+    LowerBoundEstimate,
+    estimate_lower_bound,
+    estimate_lower_bound_naive,
+)
+from .prune import PruneResult, prune
+from .pruned_dedup import LevelStats, PrunedDedupResult, pruned_dedup
+from .rank_query import (
+    RankQueryResult,
+    RankedGroup,
+    thresholded_rank_query,
+    topk_rank_query,
+)
+from .records import Group, GroupSet, Record, RecordStore, merge_groups
+from .topk import (
+    EntityGroup,
+    RankedAnswer,
+    TopKQueryResult,
+    group_score_matrix,
+    topk_count_query,
+)
+
+__all__ = [
+    "EntityGroup",
+    "IncrementalTopK",
+    "Group",
+    "GroupSet",
+    "LevelStats",
+    "LowerBoundEstimate",
+    "PruneResult",
+    "PrunedDedupResult",
+    "RankQueryResult",
+    "RankedAnswer",
+    "RankedGroup",
+    "Record",
+    "RecordStore",
+    "TopKQueryResult",
+    "collapse",
+    "collapse_records",
+    "estimate_lower_bound",
+    "estimate_lower_bound_naive",
+    "group_score_matrix",
+    "merge_groups",
+    "prune",
+    "pruned_dedup",
+    "thresholded_rank_query",
+    "topk_count_query",
+    "topk_rank_query",
+]

@@ -1,0 +1,40 @@
+"""Collapse stage (Section 4.1): merge sure duplicates early.
+
+Groups are the transitive closure of pairs satisfying the sufficient
+predicate S, computed over the current group *representatives* — Section
+4.1 proves the choice of representative cannot change later predicate
+outcomes, so collapsing is safe at any stage of the pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..predicates.base import Predicate
+from ..predicates.blocking import closure
+from .records import Group, GroupSet, RecordStore, merge_groups
+
+
+def collapse(group_set: GroupSet, sufficient: Predicate) -> GroupSet:
+    """Merge groups connected by the transitive closure of *sufficient*.
+
+    Evaluates S on group representatives only; merged groups pool their
+    members and weights and elect a new representative
+    (see :func:`repro.core.records.merge_groups`).
+    """
+    representatives = group_set.representatives()
+    uf = closure(sufficient, representatives)
+
+    by_root: dict[int, list[Group]] = defaultdict(list)
+    for position, group in enumerate(group_set):
+        by_root[uf.find(position)].append(group)
+
+    merged = [
+        merge_groups(group_set.store, members) for members in by_root.values()
+    ]
+    return GroupSet(store=group_set.store, groups=merged)
+
+
+def collapse_records(store: RecordStore, sufficient: Predicate) -> GroupSet:
+    """Collapse raw records directly (singleton groups then S-closure)."""
+    return collapse(GroupSet.singletons(store), sufficient)

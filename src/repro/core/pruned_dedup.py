@@ -1,0 +1,141 @@
+"""PrunedDedup — the paper's Algorithm 2.
+
+For each predicate level ``(S_l, N_l)`` (cheapest first), the pipeline
+
+1. **collapses** obvious duplicates via the transitive closure of S_l,
+2. **estimates** the lower bound M on the weight of the K-th answer group
+   via the CPN bound on the N_l-graph, and
+3. **prunes** every group whose upper bound cannot exceed M,
+
+terminating early when exactly K groups remain.  The returned
+:class:`PrunedDedupResult` carries the surviving groups plus per-level
+statistics in the exact shape of the paper's Figures 2–4 tables
+(n, m, M, n' — with n and n' as percentages of the starting records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..predicates.base import PredicateLevel
+from .collapse import collapse
+from .lower_bound import LowerBoundEstimate, estimate_lower_bound
+from .prune import prune
+from .records import GroupSet, RecordStore
+
+
+@dataclass
+class LevelStats:
+    """Statistics for one predicate level, mirroring Figures 2–4.
+
+    Attributes:
+        level_name: Name of the predicate level.
+        n_groups_after_collapse: Group count after the S_l closure.
+        n_pct: That count as a percentage of the starting records (the
+            tables' ``n`` column).
+        m: Rank at which K distinct groups were certified.
+        bound: The weight lower bound M.
+        n_groups_after_prune: Group count after pruning.
+        n_prime_pct: That count as a percentage of the starting records
+            (the tables' ``n'`` column).
+        certified: Whether the CPN bound reached K at this level.
+    """
+
+    level_name: str
+    n_groups_after_collapse: int
+    n_pct: float
+    m: int
+    bound: float
+    n_groups_after_prune: int
+    n_prime_pct: float
+    certified: bool
+
+
+@dataclass
+class PrunedDedupResult:
+    """Output of :func:`pruned_dedup`.
+
+    Attributes:
+        groups: Surviving groups after the last executed level.
+        stats: One :class:`LevelStats` per executed level.
+        n_starting_records: Size of the input store.
+        terminated_early: True when a level left exactly K groups and the
+            pipeline returned without running later levels.
+    """
+
+    groups: GroupSet
+    stats: list[LevelStats] = field(default_factory=list)
+    n_starting_records: int = 0
+    terminated_early: bool = False
+
+    @property
+    def retained_fraction(self) -> float:
+        """Surviving groups / starting records."""
+        if self.n_starting_records == 0:
+            return 0.0
+        return len(self.groups) / self.n_starting_records
+
+
+def pruned_dedup(
+    store: RecordStore,
+    k: int,
+    levels: list[PredicateLevel],
+    prune_iterations: int = 2,
+    refine_bound: bool = True,
+) -> PrunedDedupResult:
+    """Run Algorithm 2 (minus the final clustering) on *store*.
+
+    Args:
+        store: The raw records.
+        k: The K of the Top-K query.
+        levels: Predicate levels in increasing cost/tightness order.
+        prune_iterations: Passes of upper-bound refinement (Section 4.3).
+        refine_bound: Re-run the full Min-fill CPN bound at checkpoints
+            during lower-bound estimation (tighter M, more work).
+
+    Returns:
+        The surviving :class:`GroupSet` plus per-level statistics.  Apply
+        the final pairwise criterion P to the survivors with
+        :mod:`repro.core.topk` to obtain actual answers.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not levels:
+        raise ValueError("need at least one predicate level")
+
+    d = len(store)
+    result = PrunedDedupResult(
+        groups=GroupSet.singletons(store), n_starting_records=d
+    )
+    current = result.groups
+    for level in levels:
+        current = collapse(current, level.sufficient)
+        n_after_collapse = len(current)
+
+        estimate: LowerBoundEstimate = estimate_lower_bound(
+            current, level.necessary, k, refine=refine_bound
+        )
+        pruned = prune(
+            current, level.necessary, estimate.bound, iterations=prune_iterations
+        )
+        current = pruned.retained
+
+        result.stats.append(
+            LevelStats(
+                level_name=level.name,
+                n_groups_after_collapse=n_after_collapse,
+                n_pct=100.0 * n_after_collapse / d if d else 0.0,
+                m=estimate.m,
+                bound=estimate.bound,
+                n_groups_after_prune=len(current),
+                n_prime_pct=100.0 * len(current) / d if d else 0.0,
+                certified=estimate.certified,
+            )
+        )
+        if len(current) == k:
+            result.groups = current
+            result.terminated_early = True
+            return result
+
+    result.groups = current
+    return result

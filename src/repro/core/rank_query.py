@@ -1,0 +1,284 @@
+"""Top-K rank and thresholded rank queries (Section 7).
+
+The **Top-K rank query** wants only the rank order of the K largest
+groups, each identified by a canonical member — not exact group sizes.
+That weaker contract allows pruning beyond the count query's: once a
+group's rank cannot conflict with anyone (it is *resolved*) and none of
+its neighbors needs it to cross the bound M, its neighbors become
+redundant (Section 7.1).
+
+The **thresholded rank query** replaces K with an explicit size
+threshold T: return every group of size >= T, ranked (Section 7.2).  It
+reuses the machinery with ``M = T`` fixed instead of estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..predicates.base import PredicateLevel
+from ..predicates.blocking import NeighborIndex
+from .collapse import collapse
+from .lower_bound import estimate_lower_bound
+from .prune import prune
+from .records import GroupSet, RecordStore
+
+
+@dataclass(frozen=True)
+class RankedGroup:
+    """One (c_i, u_i) pair of the rank-query answer.
+
+    Attributes:
+        representative_id: Canonical record identifying the group.
+        weight: Known (collapsed) weight — a lower bound on the final
+            group's weight.
+        upper_bound: Upper bound u_i on the weight of the answer group
+            containing this group.
+        resolved: True when the group's rank cannot conflict with any
+            other retained group.
+    """
+
+    representative_id: int
+    weight: float
+    upper_bound: float
+    resolved: bool
+
+
+@dataclass
+class RankQueryResult:
+    """Outcome of a rank query.
+
+    Attributes:
+        ranking: Retained groups in non-increasing weight order.
+        groups: The retained GroupSet (for downstream exact evaluation).
+        n_retained: Groups kept after both pruning passes.
+        n_extra_pruned: Groups removed by the rank-specific second pass
+            beyond the count query's pruning.
+        certain: For thresholded queries — True when the termination test
+            held and the ranking needs no exact evaluation.
+    """
+
+    ranking: list[RankedGroup]
+    groups: GroupSet
+    n_retained: int
+    n_extra_pruned: int
+    certain: bool = False
+
+
+def _resolved_flags(
+    weights: list[float],
+    upper: list[float],
+    neighbor_lists: dict[int, list[int]],
+    bound: float,
+) -> list[bool]:
+    """Apply Section 7.1's two resolution conditions to every group."""
+    n = len(weights)
+    neighbor_sets = {i: set(neighbors) for i, neighbors in neighbor_lists.items()}
+    flags = []
+    for j in range(n):
+        neighbors_j = neighbor_sets.get(j, set())
+        resolved = True
+        for g in range(n):
+            if g == j:
+                continue
+            if g in neighbors_j:
+                # A neighbor must not be able to reach M without c_j.
+                if upper[g] - weights[j] >= bound:
+                    resolved = False
+                    break
+            else:
+                # A non-neighbor must have no rank conflict with c_j.
+                if not (weights[j] >= upper[g] or upper[j] <= weights[g]):
+                    resolved = False
+                    break
+        flags.append(resolved)
+    return flags
+
+
+def _rank_prune(
+    group_set: GroupSet,
+    necessary,
+    upper: list[float],
+    bound: float,
+) -> tuple[list[int], list[bool]]:
+    """Section 7.1's extra pruning: drop groups only adjacent to resolved
+    groups (and themselves below M), returning kept ids + resolved flags.
+    """
+    n = len(group_set)
+    weights = group_set.weights()
+    representatives = group_set.representatives()
+    index = NeighborIndex(necessary, representatives)
+    neighbor_lists = {
+        i: index.neighbors(representatives[i], exclude_position=i)
+        for i in range(n)
+    }
+    resolved = _resolved_flags(weights, upper, neighbor_lists, bound)
+
+    # A group is prunable when it is below M on its own and disconnected
+    # from every *unresolved* group with u_i >= M.
+    unresolved_live = {
+        i for i in range(n) if not resolved[i] and upper[i] >= bound
+    }
+    kept: list[int] = []
+    flags: list[bool] = []
+    for g in range(n):
+        if resolved[g] or weights[g] >= bound:
+            kept.append(g)
+            flags.append(resolved[g])
+            continue
+        if any(neighbor in unresolved_live for neighbor in neighbor_lists[g]):
+            kept.append(g)
+            flags.append(resolved[g])
+    return kept, flags
+
+
+def topk_rank_query(
+    store: RecordStore,
+    k: int,
+    levels: list[PredicateLevel],
+    prune_iterations: int = 2,
+) -> RankQueryResult:
+    """Answer a Top-K *rank* query (Section 7.1).
+
+    Runs the count query's collapse/bound/prune per level, then the
+    rank-specific resolved-group pruning after the last level.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not levels:
+        raise ValueError("need at least one predicate level")
+
+    current = GroupSet.singletons(store)
+    bound = 0.0
+    upper: list[float] = []
+    for level in levels:
+        current = collapse(current, level.sufficient)
+        estimate = estimate_lower_bound(current, level.necessary, k)
+        bound = estimate.bound
+        result = prune(
+            current,
+            level.necessary,
+            bound,
+            iterations=prune_iterations,
+            compute_all_bounds=True,
+        )
+        current = result.retained
+        upper = [result.upper_bounds[i] for i in result.kept_group_ids]
+
+    n_before = len(current)
+    kept, flags = _rank_prune(current, levels[-1].necessary, upper, bound)
+    retained = current.subset(kept)
+    ranking = [
+        RankedGroup(
+            representative_id=retained[pos].representative_id,
+            weight=retained[pos].weight,
+            upper_bound=upper[original],
+            resolved=flags[pos],
+        )
+        for pos, original in enumerate(kept)
+    ]
+    return RankQueryResult(
+        ranking=ranking,
+        groups=retained,
+        n_retained=len(kept),
+        n_extra_pruned=n_before - len(kept),
+    )
+
+
+def thresholded_rank_query(
+    store: RecordStore,
+    threshold: float,
+    levels: list[PredicateLevel],
+    prune_iterations: int = 2,
+) -> RankQueryResult:
+    """Answer a thresholded rank query (Section 7.2): groups of size >= T.
+
+    Sets ``M = threshold`` directly (no estimation step).  The result is
+    ``certain`` when Section 7.2's termination test holds: some prefix of
+    the retained groups is each of weight >= T and rank-resolved, while
+    every later group is redundant given the prefix.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if not levels:
+        raise ValueError("need at least one predicate level")
+
+    current = GroupSet.singletons(store)
+    upper: list[float] = []
+    for level in levels:
+        current = collapse(current, level.sufficient)
+        result = prune(
+            current,
+            level.necessary,
+            threshold,
+            iterations=prune_iterations,
+            compute_all_bounds=True,
+        )
+        current = result.retained
+        upper = [result.upper_bounds[i] for i in result.kept_group_ids]
+
+    n_before = len(current)
+    kept, flags = _rank_prune(current, levels[-1].necessary, upper, threshold)
+    retained = current.subset(kept)
+    kept_upper = [upper[original] for original in kept]
+
+    certain = _threshold_termination(
+        retained.weights(), kept_upper, retained, levels[-1].necessary, threshold
+    )
+    ranking = [
+        RankedGroup(
+            representative_id=retained[pos].representative_id,
+            weight=retained[pos].weight,
+            upper_bound=kept_upper[pos],
+            resolved=flags[pos],
+        )
+        for pos in range(len(kept))
+    ]
+    if certain:
+        ranking = [r for r in ranking if r.weight >= threshold]
+    return RankQueryResult(
+        ranking=ranking,
+        groups=retained,
+        n_retained=len(kept),
+        n_extra_pruned=n_before - len(kept),
+        certain=certain,
+    )
+
+
+def _threshold_termination(
+    weights: list[float],
+    upper: list[float],
+    retained: GroupSet,
+    necessary,
+    threshold: float,
+) -> bool:
+    """Section 7.2's termination test for some prefix length k."""
+    n = len(weights)
+    if n == 0:
+        return True
+    representatives = retained.representatives()
+    index = NeighborIndex(necessary, representatives)
+    neighbor_lists = [
+        set(index.neighbors(representatives[i], exclude_position=i))
+        for i in range(n)
+    ]
+    for k in range(n + 1):
+        prefix_ok = all(
+            weights[i] >= threshold and weights[i] >= upper[j]
+            for i in range(k)
+            for j in range(i + 1, k)
+        )
+        if not prefix_ok:
+            continue
+        tail_ok = True
+        for j in range(k, n):
+            redundant = any(
+                i in neighbor_lists[j] and upper[j] - weights[i] <= threshold
+                for i in range(k)
+            )
+            if not redundant:
+                tail_ok = False
+                break
+        if tail_ok:
+            return True
+    return False

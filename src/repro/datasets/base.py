@@ -1,0 +1,75 @@
+"""Common container for synthetic datasets with gold labels."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.records import RecordStore
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated record store plus its ground truth.
+
+    Attributes:
+        store: The noisy mention records.
+        labels: Gold entity id per record (parallel to the store).
+        entity_names: Clean canonical name per entity id.
+    """
+
+    store: RecordStore
+    labels: list[int]
+    entity_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.store):
+            raise ValueError(
+                f"{len(self.store)} records but {len(self.labels)} labels"
+            )
+
+    @property
+    def n_records(self) -> int:
+        return len(self.store)
+
+    @property
+    def n_entities(self) -> int:
+        return len(set(self.labels))
+
+    def gold_partition(self) -> list[list[int]]:
+        """Gold grouping of record ids, largest first."""
+        by_entity: dict[int, list[int]] = defaultdict(list)
+        for record_id, label in enumerate(self.labels):
+            by_entity[label].append(record_id)
+        return sorted(by_entity.values(), key=len, reverse=True)
+
+    def entity_weights(self) -> dict[int, float]:
+        """Total record weight per gold entity."""
+        weights: dict[int, float] = defaultdict(float)
+        for record, label in zip(self.store, self.labels):
+            weights[label] += record.weight
+        return dict(weights)
+
+    def true_topk(self, k: int) -> list[tuple[int, float]]:
+        """Gold (entity id, total weight) of the K heaviest entities."""
+        ranked = sorted(self.entity_weights().items(), key=lambda p: -p[1])
+        return ranked[:k]
+
+    def subset(self, record_ids: Sequence[int]) -> "SyntheticDataset":
+        """Dataset restricted to *record_ids* (records renumbered)."""
+        from ..core.records import Record  # local import avoids cycle at load
+
+        records = []
+        labels = []
+        for new_id, old_id in enumerate(record_ids):
+            old = self.store[old_id]
+            records.append(
+                Record(record_id=new_id, fields=old.fields, weight=old.weight)
+            )
+            labels.append(self.labels[old_id])
+        return SyntheticDataset(
+            store=RecordStore(records),
+            labels=labels,
+            entity_names=self.entity_names,
+        )

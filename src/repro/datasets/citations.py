@@ -1,0 +1,257 @@
+"""Synthetic Citeseer-like citation data (substitute for Section 6.1.1).
+
+The paper's citation dataset is a proprietary Citeseer crawl: 150k
+citations / 240k author-mention records, each carrying a ``count`` field,
+with noisy author names (initials, dropped middle names, typos,
+reordering).  The generator reproduces the *shape* that matters to the
+algorithms:
+
+* Zipfian author popularity (few prolific authors, long tail) — the skew
+  that makes small-K pruning effective;
+* one record per (citation, author) pair with author/coauthors/title/
+  year fields, weighted by the citation count;
+* the documented noise channels on author mentions;
+* entity names constructed so the Section 6.1.1 predicates really are
+  necessary/sufficient: first names come from a common bank (never
+  "rare"), surnames are globally unique per entity (rare by
+  construction), and no two entities share a (first, last) pair.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.records import RecordStore
+from ..similarity.tfidf import IdfTable
+from ..similarity.tokenize import words
+from .base import SyntheticDataset
+from .names import FIRST_NAMES, LAST_NAMES, TITLE_WORDS, pick, synthetic_name
+from .noise import noisy_author_mention
+
+
+def _unique_author_names(
+    n_authors: int,
+    rng: np.random.Generator,
+    middle_probability: float = 0.25,
+    head_fraction: float = 0.1,
+) -> list[str]:
+    """Entity names with globally unique surnames and (first, last) pairs.
+
+    The *head* (the most popular ``head_fraction`` of entities — the
+    generator assigns popularity by index) gets fully rare names: unique
+    synthetic first names, no middles, and pairwise-distinct initials
+    keys.  These are the authors the S1 "initials + rare words" predicate
+    can and should collapse (the paper's prolific rare-named authors);
+    giving them colliding initials or common first names would either
+    break S1's sufficiency or starve the collapse stage.  Tail entities
+    use common bank first names, which the rarity test rejects, keeping
+    them invisible to S1.
+    """
+    used_last: set[str] = set()
+    used_head_keys: set[tuple[str, str]] = set()
+    names: list[str] = []
+    # The initials-key space for head entities is bounded (pairs of
+    # initial letters), so the fully-rare head is capped.
+    n_head = min(int(n_authors * head_fraction), 300)
+    for index in range(n_authors):
+        if index < len(LAST_NAMES) and LAST_NAMES[index] not in used_last:
+            last = LAST_NAMES[index]
+        else:
+            last = synthetic_name(rng, n_syllables=4)
+            while last in used_last:
+                last = synthetic_name(rng, n_syllables=4)
+        used_last.add(last)
+
+        if index < n_head:
+            first = synthetic_name(rng, n_syllables=3)
+            key = tuple(sorted((first[0], last[0])))
+            attempts = 0
+            while (first in used_last or key in used_head_keys) and attempts < 200:
+                first = synthetic_name(rng, n_syllables=3)
+                key = tuple(sorted((first[0], last[0])))
+                attempts += 1
+            used_head_keys.add(key)
+            names.append(f"{first} {last}")
+            continue
+
+        first = pick(rng, FIRST_NAMES)
+        if rng.random() < middle_probability:
+            middle = pick(rng, FIRST_NAMES)
+            names.append(f"{first} {middle} {last}")
+        else:
+            names.append(f"{first} {last}")
+    return names
+
+
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-s)
+    return weights / weights.sum()
+
+
+def generate_citations(
+    n_records: int = 5000,
+    n_authors: int | None = None,
+    seed: int = 0,
+    zipf_s: float = 0.9,
+    max_authors_per_citation: int = 4,
+    noise_level: float = 1.0,
+) -> SyntheticDataset:
+    """Generate author-mention records with gold entity labels.
+
+    Args:
+        n_records: Target number of author-mention records.
+        n_authors: Distinct author entities (default ``n_records // 15``).
+        seed: RNG seed (generation is fully deterministic).
+        zipf_s: Skew of author popularity.
+        max_authors_per_citation: Authors per citation are uniform in
+            ``1..max_authors_per_citation``.
+        noise_level: Scales the mention-noise mixture (1.0 = the paper's
+            documented channels; see :func:`repro.datasets.noise.noisy_author_mention`).
+    """
+    if n_records < 1:
+        raise ValueError(f"n_records must be >= 1, got {n_records}")
+    rng = np.random.default_rng(seed)
+    if n_authors is None:
+        n_authors = max(20, n_records // 2)
+    n_authors = min(n_authors, n_records)
+
+    entity_names = _unique_author_names(n_authors, rng)
+    popularity = _zipf_weights(n_authors, zipf_s)
+
+    rows: list[dict[str, str]] = []
+    weights: list[float] = []
+    labels: list[int] = []
+    while len(rows) < n_records:
+        n_in_citation = int(
+            rng.integers(1, max_authors_per_citation + 1)
+        )
+        n_in_citation = min(n_in_citation, n_authors)
+        members = rng.choice(
+            n_authors, size=n_in_citation, replace=False, p=popularity
+        )
+        title = " ".join(
+            pick(rng, TITLE_WORDS) for _ in range(int(rng.integers(4, 9)))
+        )
+        year = str(int(rng.integers(1985, 2009)))
+        count = 1.0 + float(rng.geometric(0.4))
+        pages = f"{int(rng.integers(1, 500))}-{int(rng.integers(500, 900))}"
+
+        mentions = {
+            int(a): noisy_author_mention(
+                entity_names[int(a)], rng, level=noise_level
+            )
+            for a in members
+        }
+        for author in members:
+            author = int(author)
+            coauthors = "; ".join(
+                mention for other, mention in mentions.items() if other != author
+            )
+            rows.append(
+                {
+                    "author": mentions[author],
+                    "coauthors": coauthors,
+                    "title": title,
+                    "year": year,
+                    "pages": pages,
+                }
+            )
+            weights.append(count)
+            labels.append(author)
+            if len(rows) >= n_records:
+                break
+
+    store = RecordStore.from_rows(rows, weights=weights)
+    return SyntheticDataset(store=store, labels=labels, entity_names=entity_names)
+
+
+def author_idf(store: RecordStore, field: str = "author") -> IdfTable:
+    """Blocked IDF over the author strings of the corpus.
+
+    Each *document* is the union of words over all distinct author
+    strings sharing a sorted-initials key.  Two layers of variant
+    collapsing keep the rarity signal meaningful:
+
+    * distinct strings (not raw mentions), so a prolific author's
+      popularity does not inflate the df of the author's own surname;
+    * initials-key blocking, so the author's *spelling variants* (typos,
+      initialisms — which share the key) count as one document while a
+      genuinely common word still spans many keys.
+
+    Under this table, "min IDF over name words >= threshold" separates
+    entity-specific surnames (df ~ 1 key) from shared first names
+    (df ~ number of entities using them) — the property the paper's S1
+    sufficient predicate relies on.
+    """
+    from ..similarity.tokenize import sorted_initials_key
+
+    by_key: dict[str, set[str]] = {}
+    for value in set(store.field_values(field)):
+        key = sorted_initials_key(value)
+        by_key.setdefault(key, set()).update(words(value))
+    return IdfTable(by_key.values())
+
+
+def author_string_idf(store: RecordStore, field: str = "author") -> IdfTable:
+    """IDF over *distinct* author strings (one document per string).
+
+    Used as the rarest-token *anchor* table for
+    :class:`~repro.predicates.library.CitationS1`: inside one
+    initials-key block the blocked table cannot tell a shared first name
+    from an entity-specific surname (everything collapses to one
+    document), whereas over distinct strings the shared first name spans
+    several documents and loses the argmax.
+    """
+    distinct = sorted(set(store.field_values(field)))
+    return IdfTable(words(value) for value in distinct)
+
+
+def suggest_min_idf(idf: IdfTable, df_cap: int = 3) -> float:
+    """Rarity threshold admitting words in at most *df_cap* key blocks.
+
+    Surnames are unique per entity (one or two key blocks after noise),
+    so they pass; bank first names span many entities' blocks and fail.
+    """
+    if df_cap < 1:
+        raise ValueError(f"df_cap must be >= 1, got {df_cap}")
+    if idf.n_documents <= df_cap:
+        return 0.0
+    return math.log(idf.n_documents / df_cap)
+
+
+def generate_author_sample(
+    n_records: int = 1800, seed: int = 7, n_authors: int | None = None
+) -> SyntheticDataset:
+    """Singleton author-name records (the Figure-7 "Authors" dataset).
+
+    Mirrors the paper's sample: a list of bare author names drawn from
+    the citation machinery, most entities appearing once or twice.
+    """
+    rng = np.random.default_rng(seed)
+    if n_authors is None:
+        n_authors = max(10, int(n_records * 0.8))
+    entity_names = _unique_author_names(n_authors, rng)
+    popularity = _zipf_weights(n_authors, 1.05)
+
+    rows = []
+    labels = []
+    for _ in range(n_records):
+        author = int(rng.choice(n_authors, p=popularity))
+        rows.append({"name": noisy_author_mention(entity_names[author], rng)})
+        labels.append(author)
+    store = RecordStore.from_rows(rows)
+    return SyntheticDataset(store=store, labels=labels, entity_names=entity_names)
+
+
+def generate_getoor_sample(n_records: int = 1700, seed: int = 11) -> SyntheticDataset:
+    """A citation-flavored sample akin to the Figure-7 "Getoor" dataset."""
+    return generate_citations(
+        n_records=n_records,
+        n_authors=max(10, int(n_records * 0.7)),
+        seed=seed,
+        zipf_s=1.05,
+        max_authors_per_citation=3,
+    )

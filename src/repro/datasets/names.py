@@ -1,0 +1,139 @@
+"""Name and word banks for the synthetic dataset generators.
+
+The banks mix Indian and western names (the paper's datasets are a
+Citeseer crawl, Pune school records and Pune utility addresses).  A
+syllable-based generator extends the fixed banks so large corpora do not
+exhaust distinct names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FIRST_NAMES = [
+    "sunita", "vinay", "sourabh", "rahul", "priya", "amit", "anjali",
+    "deepak", "kavita", "manish", "neha", "prakash", "rohit", "sanjay",
+    "sneha", "vikram", "anita", "arun", "divya", "ganesh", "harish",
+    "isha", "jayant", "kiran", "lata", "mohan", "nitin", "pooja",
+    "raj", "sachin", "tanvi", "uday", "varsha", "yogesh", "zara",
+    "aditya", "bhavna", "chetan", "dinesh", "esha", "farhan", "gaurav",
+    "hema", "indira", "jatin", "kunal", "leela", "mahesh", "nandini",
+    "om", "pallavi", "qasim", "ritu", "suresh", "tara", "umesh",
+    "vandana", "william", "xavier", "yash", "zoya", "john", "michael",
+    "david", "james", "robert", "mary", "jennifer", "linda", "susan",
+    "richard", "joseph", "thomas", "charles", "daniel", "matthew",
+    "anthony", "mark", "steven", "paul", "andrew", "joshua", "kevin",
+    "brian", "george", "edward", "ronald", "timothy", "jason", "jeffrey",
+    "peter", "walter", "henry", "carl", "arthur", "lawrence", "albert",
+    "alice", "barbara", "carol", "diane", "elizabeth", "frances",
+    "grace", "helen", "irene", "janet", "karen", "laura", "margaret",
+    "nancy", "olivia", "patricia", "rachel", "sarah", "teresa", "ursula",
+    "victoria", "wendy", "yvonne", "arnab", "debashish", "gopal",
+    "hemant", "jagdish", "kalpana", "madhuri", "narayan", "padma",
+]
+
+LAST_NAMES = [
+    "sarawagi", "deshpande", "kasliwal", "sharma", "verma", "gupta",
+    "patel", "shah", "mehta", "joshi", "kulkarni", "desai", "patil",
+    "reddy", "rao", "nair", "menon", "iyer", "iyengar", "pillai",
+    "banerjee", "chatterjee", "mukherjee", "bose", "ghosh", "das",
+    "dutta", "sen", "roy", "sinha", "mishra", "pandey", "tiwari",
+    "dubey", "shukla", "trivedi", "bhatt", "thakur", "chauhan", "yadav",
+    "singh", "kumar", "agarwal", "bansal", "goyal", "jain", "khanna",
+    "kapoor", "malhotra", "chopra", "arora", "bhatia", "sethi", "tandon",
+    "saxena", "srivastava", "chandra", "prasad", "naidu", "chowdhury",
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "taylor", "moore", "jackson", "martin", "lee",
+    "perez", "thompson", "white", "harris", "sanchez", "clark", "lewis",
+    "robinson", "walker", "young", "allen", "king", "wright", "scott",
+    "torres", "nguyen", "hill", "flores", "green", "adams", "nelson",
+    "baker", "hall", "rivera", "campbell", "mitchell", "carter",
+    "phillips", "evans", "turner", "parker", "collins", "edwards",
+    "stewart", "morris", "murphy", "cook", "rogers", "peterson",
+    "cooper", "reed", "bailey", "bell", "kelly", "howard", "ward",
+    "wagle", "gokhale", "ranade", "apte", "bhide", "sathe", "lele",
+]
+
+TITLE_WORDS = [
+    "efficient", "scalable", "distributed", "adaptive", "incremental",
+    "approximate", "robust", "optimal", "parallel", "probabilistic",
+    "query", "queries", "processing", "optimization", "indexing",
+    "clustering", "classification", "learning", "mining", "matching",
+    "deduplication", "integration", "extraction", "ranking", "retrieval",
+    "databases", "streams", "graphs", "networks", "records", "entities",
+    "duplicates", "similarity", "joins", "aggregation", "sampling",
+    "estimation", "selectivity", "cardinality", "skyline", "spatial",
+    "temporal", "uncertain", "noisy", "imprecise", "evolving", "massive",
+    "topk", "count", "answers", "framework", "system", "approach",
+    "method", "algorithm", "analysis", "evaluation", "model", "models",
+]
+
+STREET_WORDS = [
+    "mahatma", "gandhi", "nehru", "shivaji", "tilak", "laxmi", "ganesh",
+    "station", "market", "temple", "garden", "river", "hill", "lake",
+    "university", "college", "hospital", "railway", "airport", "fort",
+    "karve", "senapati", "bajirao", "sinhagad", "paud", "baner", "aundh",
+    "kothrud", "deccan", "shaniwar", "kasba", "vishrambaug", "sadashiv",
+    "narayan", "rasta", "peth", "camp", "khadki", "yerwada", "hadapsar",
+    "kondhwa", "katraj", "warje", "pashan", "bavdhan", "wakad",
+]
+
+LOCALITIES = [
+    "shivajinagar", "kothrud", "aundh", "baner", "hadapsar", "katraj",
+    "warje", "pashan", "bavdhan", "wakad", "hinjewadi", "kharadi",
+    "viman nagar", "kalyani nagar", "koregaon park", "camp", "swargate",
+    "deccan gymkhana", "erandwane", "karve nagar", "bibwewadi",
+    "dhankawadi", "sahakarnagar", "parvati", "gultekdi", "wanowrie",
+    "fatima nagar", "mundhwa", "magarpatta", "pimple saudagar",
+]
+
+RESTAURANT_WORDS = [
+    "spice", "garden", "royal", "golden", "blue", "green", "red",
+    "palace", "kitchen", "grill", "house", "corner", "express", "plaza",
+    "tandoor", "curry", "dosa", "biryani", "pavilion", "terrace",
+    "ocean", "mountain", "valley", "sunset", "sunrise", "lotus", "jade",
+    "pearl", "ruby", "saffron", "cinnamon", "olive", "basil", "mint",
+]
+
+CUISINES = [
+    "indian", "chinese", "italian", "mexican", "thai", "japanese",
+    "french", "american", "mediterranean", "continental", "seafood",
+    "vegetarian", "barbecue", "fusion", "korean",
+]
+
+_SYLLABLES = [
+    "ka", "ri", "sha", "na", "ve", "ta", "mo", "lu", "pra", "de",
+    "sa", "ni", "ra", "ja", "ba", "go", "che", "dha", "vi", "su",
+    "an", "el", "fa", "ho", "wu", "ya", "zo", "ir", "ul", "om",
+    "qi", "xa", "ke", "tu", "pe", "do", "ga", "hi", "wa", "yu",
+]
+
+
+def synthetic_name(rng: np.random.Generator, n_syllables: int = 3) -> str:
+    """Generate a pronounceable synthetic surname from syllables."""
+    count = int(rng.integers(2, n_syllables + 1))
+    picks = rng.integers(0, len(_SYLLABLES), size=count)
+    return "".join(_SYLLABLES[int(p)] for p in picks)
+
+
+def pick(rng: np.random.Generator, bank: list[str]) -> str:
+    """Uniformly pick one entry of *bank*."""
+    return bank[int(rng.integers(0, len(bank)))]
+
+
+def person_name(rng: np.random.Generator, with_middle: bool = False) -> str:
+    """Generate a full person name, optionally with a middle name.
+
+    Falls back to syllable surnames 10% of the time so very large
+    corpora keep producing fresh names.
+    """
+    first = pick(rng, FIRST_NAMES)
+    if rng.random() < 0.1:
+        last = synthetic_name(rng)
+    else:
+        last = pick(rng, LAST_NAMES)
+    if with_middle and rng.random() < 0.4:
+        middle = pick(rng, FIRST_NAMES)
+        return f"{first} {middle} {last}"
+    return f"{first} {last}"

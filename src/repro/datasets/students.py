@@ -1,0 +1,108 @@
+"""Synthetic student exam records (substitute for Section 6.1.2).
+
+The paper's student data is private: ~170k exam-paper records with
+name / birth date / class / school / paper fields, needing per-student
+score aggregation.  Documented error modes: missing spaces between name
+parts, the current date entered as the birth date, plus ordinary typos.
+Scores follow the paper's own synthetic protocol — a Gaussian
+proficiency per student drives the per-paper marks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.records import RecordStore
+from .base import SyntheticDataset
+from .names import FIRST_NAMES, LAST_NAMES, pick
+from .noise import noisy_student_name
+
+#: The "filled in today instead of my birth date" value.
+CURRENT_DATE = "2008-06-15"
+
+
+def generate_students(
+    n_records: int = 5000,
+    n_students: int | None = None,
+    n_schools: int | None = None,
+    seed: int = 0,
+    current_date_error_rate: float = 0.05,
+) -> SyntheticDataset:
+    """Generate exam-paper records with gold student labels.
+
+    Args:
+        n_records: Target number of paper records.
+        n_students: Distinct students (default ``n_records // 4``).
+        n_schools: Distinct school codes (default scaled to students).
+        seed: RNG seed.
+        current_date_error_rate: Fraction of records whose birth date is
+            replaced by :data:`CURRENT_DATE`.
+
+    Record weight is the paper's mark: ``50 + 15 * proficiency + noise``
+    clipped to [1, 100], with proficiency ~ N(0, 1) per student — the
+    Top-K query "identify the K highest scoring students" aggregates
+    these marks over each student's papers.
+    """
+    if n_records < 1:
+        raise ValueError(f"n_records must be >= 1, got {n_records}")
+    rng = np.random.default_rng(seed)
+    if n_students is None:
+        n_students = max(10, n_records // 4)
+    if n_schools is None:
+        n_schools = max(3, n_students // 40)
+
+    # Unique (first, last) per student so the sufficient predicates
+    # cannot merge distinct students.
+    seen_pairs: set[tuple[str, str]] = set()
+    entity_names: list[str] = []
+    schools: list[str] = []
+    classes: list[str] = []
+    dobs: list[str] = []
+    proficiency = rng.normal(0.0, 1.0, size=n_students)
+    for _ in range(n_students):
+        while True:
+            first = pick(rng, FIRST_NAMES)
+            last = pick(rng, LAST_NAMES)
+            if (first, last) not in seen_pairs:
+                seen_pairs.add((first, last))
+                break
+        entity_names.append(f"{first} {last}")
+        schools.append(f"SCH{int(rng.integers(0, n_schools)):04d}")
+        classes.append(str(int(rng.integers(1, 8))))
+        year = int(rng.integers(1994, 2002))
+        month = int(rng.integers(1, 13))
+        day = int(rng.integers(1, 29))
+        dobs.append(f"{year:04d}-{month:02d}-{day:02d}")
+
+    # Paper counts per student: at least one, skewed low.
+    papers_per_student = 1 + rng.geometric(0.45, size=n_students)
+
+    rows: list[dict[str, str]] = []
+    weights: list[float] = []
+    labels: list[int] = []
+    student_cycle = rng.permutation(n_students)
+    cursor = 0
+    while len(rows) < n_records:
+        student = int(student_cycle[cursor % n_students])
+        cursor += 1
+        for paper_index in range(int(papers_per_student[student])):
+            if len(rows) >= n_records:
+                break
+            dob = dobs[student]
+            if rng.random() < current_date_error_rate:
+                dob = CURRENT_DATE
+            mark = 50.0 + 15.0 * proficiency[student] + rng.normal(0.0, 5.0)
+            rows.append(
+                {
+                    "name": noisy_student_name(entity_names[student], rng),
+                    "class": classes[student],
+                    "school": schools[student],
+                    "dob": dob,
+                    "paper": f"P{paper_index + 1:02d}",
+                }
+            )
+            weights.append(float(np.clip(mark, 1.0, 100.0)))
+            labels.append(student)
+
+    store = RecordStore.from_rows(rows, weights=weights)
+    return SyntheticDataset(store=store, labels=labels, entity_names=entity_names)

@@ -1,0 +1,31 @@
+"""Linear embeddings and the R-best Top-K segmentation DP."""
+
+from .greedy import LinearEmbedding, greedy_embedding, random_embedding
+from .segmentation import (
+    Segmentation,
+    answer_log_mass,
+    auto_max_span,
+    SegmentScoreTable,
+    TopKAnswer,
+    best_partition,
+    candidate_thresholds,
+    top_k_answers,
+    top_r_segmentations,
+)
+from .spectral import spectral_embedding
+
+__all__ = [
+    "LinearEmbedding",
+    "SegmentScoreTable",
+    "Segmentation",
+    "TopKAnswer",
+    "answer_log_mass",
+    "auto_max_span",
+    "best_partition",
+    "candidate_thresholds",
+    "greedy_embedding",
+    "random_embedding",
+    "spectral_embedding",
+    "top_k_answers",
+    "top_r_segmentations",
+]

@@ -1,0 +1,131 @@
+"""Greedy linear embedding (Section 5.3.1, Eq. 3).
+
+Orders records so that likely duplicates sit close together: the next
+position is filled by the unplaced record maximizing the
+distance-decayed similarity to the already-placed prefix,
+
+    pi_i = argmax_k  sum_{j<i} P(pi_j, c_k) * alpha^(i-j-1),
+
+with decay ``alpha`` in (0, 1).  When no unplaced record has positive
+decayed similarity to the prefix, the embedding "restarts" at the best
+remaining seed and records a *break* — segments never straddle a break,
+which both speeds up and sharpens the downstream segmentation DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..clustering.correlation import ScoreMatrix
+
+
+@dataclass
+class LinearEmbedding:
+    """A linear arrangement of positions plus restart break points.
+
+    Attributes:
+        order: Permutation of 0..n-1 (original positions in embed order).
+        breaks: Indices *b* into ``order`` such that the arrangement
+            restarted at ``order[b]`` — no duplicate group should span a
+            break.
+    """
+
+    order: list[int]
+    breaks: set[int] = field(default_factory=set)
+
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    def position_of(self) -> dict[int, int]:
+        """Return original position → embedding index."""
+        return {original: idx for idx, original in enumerate(self.order)}
+
+    def cost(self, scores: ScoreMatrix) -> float:
+        """Linear-arrangement objective: sum |pi_i - pi_j| * max(P_ij, 0).
+
+        Lower is better — the quantity Section 5.3.1's embedding problem
+        minimizes (restricted to positive similarities).
+        """
+        position = self.position_of()
+        total = 0.0
+        for i, j, score in scores.scored_pairs():
+            if score > 0:
+                total += abs(position[i] - position[j]) * score
+        return total
+
+
+def greedy_embedding(
+    scores: ScoreMatrix,
+    alpha: float = 0.75,
+    seed_by: str = "degree",
+) -> LinearEmbedding:
+    """Compute the Eq. 3 greedy arrangement of positions 0..n-1.
+
+    Args:
+        scores: Sparse pairwise scores.
+        alpha: Decay factor in (0, 1); similarity of positions *d* steps
+            back is discounted by ``alpha ** d``.
+        seed_by: How to choose the first record of each run —
+            ``"degree"`` (largest total positive score, the default) or
+            ``"first"`` (lowest index; deterministic for tests).
+
+    Maintains, for every unplaced record, its decayed similarity to the
+    placed prefix; each placement decays all scores by ``alpha`` and adds
+    the new record's edges, so the whole embedding costs
+    O(n^2 + n * avg_degree) with NumPy vector updates.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if seed_by not in ("degree", "first"):
+        raise ValueError(f"seed_by must be 'degree' or 'first', got {seed_by!r}")
+    n = scores.n
+    if n == 0:
+        return LinearEmbedding(order=[])
+
+    positive_degree = np.zeros(n)
+    for i, j, score in scores.scored_pairs():
+        if score > 0:
+            positive_degree[i] += score
+            positive_degree[j] += score
+
+    decayed = np.zeros(n)
+    placed = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    breaks: set[int] = set()
+
+    def pick_seed() -> int:
+        candidates = np.flatnonzero(~placed)
+        if seed_by == "degree":
+            return int(candidates[np.argmax(positive_degree[candidates])])
+        return int(candidates[0])
+
+    def place(k: int) -> None:
+        placed[k] = True
+        order.append(k)
+        decayed[:] *= alpha
+        for j in scores.scored_neighbors(k):
+            if not placed[j]:
+                decayed[j] += scores.get(k, j)
+
+    seed_record = pick_seed()
+    place(seed_record)
+    breaks.add(0)
+
+    while len(order) < n:
+        masked = np.where(placed, -np.inf, decayed)
+        best = int(np.argmax(masked))
+        if masked[best] <= 0.0:
+            best = pick_seed()
+            breaks.add(len(order))
+            decayed[:] = 0.0
+        place(best)
+    return LinearEmbedding(order=order, breaks=breaks)
+
+
+def random_embedding(n: int, seed: int = 0) -> LinearEmbedding:
+    """A uniformly random arrangement — the embedding-quality baseline."""
+    rng = np.random.default_rng(seed)
+    return LinearEmbedding(order=[int(x) for x in rng.permutation(n)])

@@ -1,0 +1,88 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+One module per artifact family:
+
+* :mod:`~repro.experiments.pruning_tables` — Figures 2-4;
+* :mod:`~repro.experiments.timing` — Figure 6;
+* :mod:`~repro.experiments.accuracy` — Figure 7 and Table 1;
+* :mod:`~repro.experiments.ablations` — the DESIGN.md X1-X4 ablations;
+* :mod:`~repro.experiments.harness` — shared dataset/predicate/scorer setup;
+* :mod:`~repro.experiments.report` — plain-text table rendering.
+"""
+
+from .ablations import (
+    cpn_vs_naive_checks,
+    prune_iteration_checks,
+    rank_query_checks,
+    run_cpn_vs_naive,
+    run_cpn_vs_naive_constructed,
+    run_prune_iterations_ablation,
+    run_rank_query_ablation,
+    run_segmentation_vs_hierarchy,
+    segmentation_vs_hierarchy_checks,
+)
+from .accuracy import (
+    accuracy_shape_checks,
+    figure7_cases,
+    run_accuracy_case,
+    run_figure7,
+    table1,
+)
+from .fidelity import fidelity_checks, run_fidelity_sweep
+from .harness import (
+    DEFAULT_SCALE,
+    Pipeline,
+    address_pipeline,
+    benchmark_scale,
+    citation_pipeline,
+    student_pipeline,
+    train_scorer_for,
+)
+from .pruning_tables import PAPER_K_VALUES, run_pruning_table, shape_checks
+from .report import format_table
+from .robustness import robustness_checks, run_noise_sweep
+from .scaling import run_scaling_sweep, scaling_checks
+from .timing import (
+    PAPER_TIMING_K_VALUES,
+    run_pruning_only_timing,
+    run_timing_comparison,
+    timing_shape_checks,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "PAPER_K_VALUES",
+    "PAPER_TIMING_K_VALUES",
+    "Pipeline",
+    "accuracy_shape_checks",
+    "address_pipeline",
+    "benchmark_scale",
+    "citation_pipeline",
+    "cpn_vs_naive_checks",
+    "fidelity_checks",
+    "figure7_cases",
+    "format_table",
+    "prune_iteration_checks",
+    "rank_query_checks",
+    "run_accuracy_case",
+    "run_cpn_vs_naive",
+    "run_cpn_vs_naive_constructed",
+    "run_fidelity_sweep",
+    "run_figure7",
+    "run_prune_iterations_ablation",
+    "robustness_checks",
+    "run_noise_sweep",
+    "run_pruning_only_timing",
+    "run_pruning_table",
+    "run_scaling_sweep",
+    "run_rank_query_ablation",
+    "run_segmentation_vs_hierarchy",
+    "run_timing_comparison",
+    "scaling_checks",
+    "segmentation_vs_hierarchy_checks",
+    "shape_checks",
+    "student_pipeline",
+    "table1",
+    "timing_shape_checks",
+    "train_scorer_for",
+]

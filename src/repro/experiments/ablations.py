@@ -1,0 +1,218 @@
+"""Ablation experiments (DESIGN.md X1-X4).
+
+* X1 — prune-iteration depth: Section 6.2 reports the second upper-bound
+  pass roughly doubles pruning while a third adds little.
+* X2 — CPN bound vs the naive sequential bound for estimating (m, M).
+* X3 — segmentation over an embedding vs best hierarchy frontier
+  (Section 5.3's claim that segmentations strictly generalize frontiers),
+  plus greedy vs spectral embedding quality.
+* X4 — rank-query extra pruning over the count query's (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from ..clustering.correlation import ScoreMatrix, partition_score
+from ..clustering.hierarchical import agglomerate, divide_and_merge
+from ..core.collapse import collapse
+from ..core.lower_bound import estimate_lower_bound, estimate_lower_bound_naive
+from ..core.prune import prune
+from ..core.pruned_dedup import pruned_dedup
+from ..core.rank_query import topk_rank_query
+from ..core.records import GroupSet
+from ..embedding.greedy import LinearEmbedding, greedy_embedding
+from ..embedding.segmentation import auto_max_span, best_partition
+from ..embedding.spectral import spectral_embedding
+from .harness import Pipeline
+
+
+def run_prune_iterations_ablation(
+    pipeline: Pipeline,
+    k_values: tuple[int, ...] = (1, 10, 100),
+    iteration_counts: tuple[int, ...] = (1, 2, 3),
+) -> list[dict[str, object]]:
+    """X1: groups retained per K as prune iterations increase."""
+    rows = []
+    for k in k_values:
+        if k > len(pipeline.store):
+            continue
+        for iterations in iteration_counts:
+            result = pruned_dedup(
+                pipeline.store,
+                k,
+                pipeline.levels,
+                prune_iterations=iterations,
+            )
+            rows.append(
+                {
+                    "K": k,
+                    "iterations": iterations,
+                    "retained_groups": len(result.groups),
+                    "retained_pct": 100.0 * result.retained_fraction,
+                }
+            )
+    return rows
+
+
+def prune_iteration_checks(rows: list[dict[str, object]]) -> dict[str, bool]:
+    """Pass 2 must never retain more than pass 1; pass 3 adds little."""
+    by_key = {(r["K"], r["iterations"]): int(r["retained_groups"]) for r in rows}
+    ks = sorted({r["K"] for r in rows})
+    return {
+        "second_pass_tightens": all(
+            by_key[(k, 2)] <= by_key[(k, 1)] for k in ks
+        ),
+        "third_pass_marginal": all(
+            by_key[(k, 2)] - by_key[(k, 3)]
+            <= max(1, (by_key[(k, 1)] - by_key[(k, 2)]))
+            for k in ks
+        ),
+    }
+
+
+def run_cpn_vs_naive(
+    pipeline: Pipeline, k_values: tuple[int, ...] = (1, 5, 10, 50)
+) -> list[dict[str, object]]:
+    """X2: (m, M) from the CPN bound vs the naive sequential bound."""
+    group_set = GroupSet.singletons(pipeline.store)
+    for level in pipeline.levels:
+        group_set = collapse(group_set, level.sufficient)
+    necessary = pipeline.levels[-1].necessary
+
+    rows = []
+    for k in k_values:
+        if k > len(group_set):
+            continue
+        cpn = estimate_lower_bound(group_set, necessary, k)
+        naive = estimate_lower_bound_naive(group_set, necessary, k)
+        retained_cpn = len(prune(group_set, necessary, cpn.bound).retained)
+        retained_naive = len(prune(group_set, necessary, naive.bound).retained)
+        rows.append(
+            {
+                "K": k,
+                "m_cpn": cpn.m,
+                "M_cpn": cpn.bound,
+                "retained_cpn": retained_cpn,
+                "m_naive": naive.m,
+                "M_naive": naive.bound,
+                "retained_naive": retained_naive,
+            }
+        )
+    return rows
+
+
+def cpn_vs_naive_checks(rows: list[dict[str, object]]) -> dict[str, bool]:
+    """The CPN bound is never worse and certifies no later than naive."""
+    return {
+        "m_no_later": all(int(r["m_cpn"]) <= int(r["m_naive"]) for r in rows),
+        "bound_no_smaller": all(
+            float(r["M_cpn"]) >= float(r["M_naive"]) for r in rows
+        ),
+        "pruning_no_weaker": all(
+            int(r["retained_cpn"]) <= int(r["retained_naive"]) for r in rows
+        ),
+    }
+
+
+def run_segmentation_vs_hierarchy(
+    scores: ScoreMatrix,
+) -> dict[str, object]:
+    """X3: Eq. 2 score of the best hierarchy frontier vs segmentation DPs
+    over three orderings (hierarchy leaves, greedy, spectral)."""
+    hierarchy = agglomerate(scores, linkage="average")
+    _, frontier_score = hierarchy.best_frontier(scores)
+    _, divide_merge_score = divide_and_merge(scores).best_frontier(scores)
+    span = auto_max_span(scores)
+
+    leaf_embedding = LinearEmbedding(order=hierarchy.leaf_order(), breaks={0})
+    leaf_partition = best_partition(scores, leaf_embedding, max_span=span)
+    greedy_partition = best_partition(
+        scores, greedy_embedding(scores), max_span=span
+    )
+    spectral_partition = best_partition(
+        scores, spectral_embedding(scores), max_span=span
+    )
+    return {
+        "frontier_score": frontier_score,
+        "divide_and_merge_score": divide_merge_score,
+        "segmentation_on_leaves": partition_score(leaf_partition, scores),
+        "segmentation_on_greedy": partition_score(greedy_partition, scores),
+        "segmentation_on_spectral": partition_score(spectral_partition, scores),
+    }
+
+
+def segmentation_vs_hierarchy_checks(row: dict[str, object]) -> dict[str, bool]:
+    """Segmenting the hierarchy's own leaf order must dominate frontiers."""
+    return {
+        "leaves_dominate_frontier": float(row["segmentation_on_leaves"])
+        >= float(row["frontier_score"]) - 1e-9,
+    }
+
+
+def run_cpn_vs_naive_constructed() -> list[dict[str, object]]:
+    """X2 (constructed): the paper's Figure-1 graph, where the CPN bound
+    certifies K = 2 at rank 3 while the naive bound needs the whole list.
+
+    On clean pipelines both bounds often coincide (top groups are rarely
+    N-connected); this constructed instance exhibits the strict
+    separation the paper motivates.
+    """
+    from ..core.records import RecordStore
+    from ..predicates.base import FunctionPredicate
+
+    store = RecordStore.from_rows(
+        [{"name": f"c{i}"} for i in range(1, 6)],
+        weights=[50.0, 40.0, 30.0, 20.0, 10.0],
+    )
+    edges = {(0, 1), (0, 4), (1, 2), (1, 3), (2, 3)}
+
+    def connected(a, b):
+        pair = (min(a.record_id, b.record_id), max(a.record_id, b.record_id))
+        return pair in edges
+
+    predicate = FunctionPredicate(
+        evaluate_fn=connected, keys_fn=lambda r: ["all"], name="figure-1"
+    )
+    group_set = GroupSet.singletons(store)
+    cpn = estimate_lower_bound(group_set, predicate, 2)
+    naive = estimate_lower_bound_naive(group_set, predicate, 2)
+    return [
+        {
+            "K": 2,
+            "m_cpn": cpn.m,
+            "M_cpn": cpn.bound,
+            "m_naive": naive.m,
+            "M_naive": naive.bound,
+            "cpn_certified": cpn.certified,
+            "naive_certified": naive.certified,
+        }
+    ]
+
+
+def run_rank_query_ablation(
+    pipeline: Pipeline, k_values: tuple[int, ...] = (1, 10, 100)
+) -> list[dict[str, object]]:
+    """X4: records retained by the rank query vs the count query."""
+    rows = []
+    for k in k_values:
+        if k > len(pipeline.store):
+            continue
+        count = pruned_dedup(pipeline.store, k, pipeline.levels)
+        rank = topk_rank_query(pipeline.store, k, pipeline.levels)
+        rows.append(
+            {
+                "K": k,
+                "count_retained": len(count.groups),
+                "rank_retained": rank.n_retained,
+                "extra_pruned": rank.n_extra_pruned,
+            }
+        )
+    return rows
+
+
+def rank_query_checks(rows: list[dict[str, object]]) -> dict[str, bool]:
+    """The rank query never retains more than the count query."""
+    return {
+        "rank_no_bigger": all(
+            int(r["rank_retained"]) <= int(r["count_retained"]) for r in rows
+        ),
+    }

@@ -1,0 +1,185 @@
+"""Figure 7 and Table 1: accuracy of the segmentation method vs exact LP.
+
+For each of the four small labeled datasets the paper uses, we:
+
+1. train the final classifier on 50% of the gold groups;
+2. score candidate pairs (restricted by that dataset's cheap necessary
+   predicate, keeping the LP tractable — all methods see the same pairs);
+3. solve the correlation-clustering LP (the exact reference when it
+   returns integral solutions);
+4. cluster with Embedding+Segmentation and with TransitiveClosure;
+5. report pairwise F1 of each against the LP partition — the paper's
+   Figure 7 — plus record/group counts for Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clustering.correlation import ScoreMatrix, partition_score
+from ..clustering.lp import lp_cluster
+from ..clustering.metrics import pairwise_f1
+from ..clustering.transitive import transitive_closure_clusters
+from ..datasets import (
+    generate_address_sample,
+    generate_author_sample,
+    generate_getoor_sample,
+    generate_restaurants,
+)
+from ..datasets.base import SyntheticDataset
+from ..embedding.greedy import greedy_embedding
+from ..embedding.segmentation import auto_max_span, best_partition
+from ..embedding.spectral import spectral_embedding
+from ..predicates import address_levels, citation_n1
+from ..predicates.base import Predicate
+from ..predicates.library import NgramOverlapPredicate
+from .harness import train_scorer_for
+
+
+@dataclass
+class AccuracyCase:
+    """One Figure-7 dataset: generator + featurizer kind + canopy."""
+
+    name: str
+    dataset: SyntheticDataset
+    featurizer_kind: str
+    candidate_predicate: Predicate
+    levels: list
+
+
+def figure7_cases(scale: float = 1.0) -> list[AccuracyCase]:
+    """The four Table-1 datasets at *scale* times their paper sizes."""
+    authors = generate_author_sample(n_records=max(40, int(1822 * scale)))
+    restaurants = generate_restaurants(n_records=max(40, int(860 * scale)))
+    addresses = generate_address_sample(n_records=max(40, int(306 * scale)))
+    getoor = generate_getoor_sample(n_records=max(40, int(1716 * scale)))
+    return [
+        AccuracyCase(
+            name="Authors",
+            dataset=authors,
+            featurizer_kind="name",
+            candidate_predicate=NgramOverlapPredicate(
+                "name", 0.6, name="authors-canopy"
+            ),
+            levels=[],
+        ),
+        AccuracyCase(
+            name="Restaurant",
+            dataset=restaurants,
+            featurizer_kind="restaurant",
+            candidate_predicate=NgramOverlapPredicate(
+                "name", 0.4, name="restaurant-canopy"
+            ),
+            levels=[],
+        ),
+        AccuracyCase(
+            name="Address",
+            dataset=addresses,
+            featurizer_kind="address",
+            candidate_predicate=address_levels(addresses.store)[0].necessary,
+            levels=[],
+        ),
+        AccuracyCase(
+            name="Getoor",
+            dataset=getoor,
+            featurizer_kind="citation",
+            candidate_predicate=citation_n1(),
+            levels=[],
+        ),
+    ]
+
+
+def run_accuracy_case(
+    case: AccuracyCase,
+    max_span: int | None = None,
+    embedding: str = "greedy",
+    seed: int = 0,
+) -> dict[str, object]:
+    """Run one Figure-7 comparison; return the row of metrics."""
+    dataset = case.dataset
+    scorer = train_scorer_for(
+        dataset,
+        case.featurizer_kind,
+        levels=[_level_shim(case.candidate_predicate)],
+        seed=seed,
+    )
+    scores = ScoreMatrix.from_scorer(
+        list(dataset.store), scorer, case.candidate_predicate
+    )
+
+    lp = lp_cluster(scores)
+    if embedding == "greedy":
+        arrangement = greedy_embedding(scores)
+    elif embedding == "spectral":
+        arrangement = spectral_embedding(scores)
+    else:
+        raise ValueError(f"unknown embedding {embedding!r}")
+    span = auto_max_span(scores) if max_span is None else max_span
+    segmented = best_partition(scores, arrangement, max_span=span)
+    transitive = transitive_closure_clusters(scores)
+
+    return {
+        "dataset": case.name,
+        "records": dataset.n_records,
+        "lp_groups": len(lp.partition),
+        "lp_integral": lp.integral,
+        "seg_f1": 100.0 * pairwise_f1(segmented, lp.partition),
+        "transitive_f1": 100.0 * pairwise_f1(transitive, lp.partition),
+        "seg_vs_gold_f1": 100.0 * pairwise_f1(segmented, dataset.gold_partition()),
+        "lp_vs_gold_f1": 100.0
+        * pairwise_f1(lp.partition, dataset.gold_partition()),
+        "seg_score": partition_score(segmented, scores),
+        "lp_score": partition_score(lp.partition, scores),
+    }
+
+
+def run_figure7(
+    scale: float = 1.0, max_span: int | None = None, embedding: str = "greedy"
+) -> list[dict[str, object]]:
+    """Regenerate Figure 7 (one row per dataset)."""
+    return [
+        run_accuracy_case(case, max_span=max_span, embedding=embedding)
+        for case in figure7_cases(scale)
+    ]
+
+
+def table1(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    """Project the Figure-7 rows down to Table 1 (records, LP groups)."""
+    return [
+        {
+            "Name": r["dataset"],
+            "# Records": r["records"],
+            "# Groups in LP": r["lp_groups"],
+        }
+        for r in rows
+    ]
+
+
+def accuracy_shape_checks(rows: list[dict[str, object]]) -> dict[str, bool]:
+    """Figure 7's qualitative claims.
+
+    Embedding+Segmentation tracks the exact LP very closely (paper: >=99%
+    on all four datasets; we require >=95% because remaining disagreement
+    comes from the LP's hard-non-link restriction on unscored pairs, see
+    :mod:`repro.clustering.lp`), never loses to TransitiveClosure
+    (paper: 92-96%), and its partition never scores below the LP's under
+    Eq. 1 — when the two differ, the segmentation found an equally good
+    or better grouping.
+    """
+    return {
+        "segmentation_high_f1": all(float(r["seg_f1"]) >= 95.0 for r in rows),
+        "segmentation_ge_transitive": all(
+            float(r["seg_f1"]) >= float(r["transitive_f1"]) - 1e-9 for r in rows
+        ),
+        "segmentation_score_ge_lp": all(
+            float(r["seg_score"]) >= float(r["lp_score"]) - 1e-6 for r in rows
+        ),
+    }
+
+
+def _level_shim(predicate: Predicate):
+    """Wrap a bare candidate predicate as a PredicateLevel-alike for
+    training-pair sampling (which only reads ``.necessary``)."""
+    from ..predicates.base import PredicateLevel
+
+    return PredicateLevel(sufficient=predicate, necessary=predicate)

@@ -1,0 +1,148 @@
+"""Shared experiment plumbing: datasets, predicate suites, trained scorers.
+
+The benchmark drivers and example scripts all need the same setup —
+generate a dataset, assemble its predicate levels, train the final
+classifier on half the gold groups — so it lives here once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.records import RecordStore
+from ..datasets import (
+    author_idf,
+    author_string_idf,
+    generate_addresses,
+    generate_citations,
+    generate_students,
+    sample_labeled_pairs,
+    split_groups,
+    suggest_min_idf,
+)
+from ..datasets.base import SyntheticDataset
+from ..predicates import address_levels, citation_levels, student_levels
+from ..predicates.base import PredicateLevel
+from ..scoring.pairwise import CachedScorer, PairwiseScorer, train_scorer
+from ..similarity.vectorize import (
+    PairFeaturizer,
+    address_featurizer,
+    citation_featurizer,
+    name_only_featurizer,
+    restaurant_featurizer,
+)
+
+#: Benchmarks read the dataset scale from this environment variable so a
+#: paper-scale run is one `REPRO_SCALE=240000 pytest benchmarks/` away.
+SCALE_ENV_VAR = "REPRO_SCALE"
+DEFAULT_SCALE = 6000
+
+
+def benchmark_scale(default: int = DEFAULT_SCALE) -> int:
+    """Return the record count benchmarks should generate."""
+    value = os.environ.get(SCALE_ENV_VAR, "")
+    return int(value) if value else default
+
+
+@dataclass
+class Pipeline:
+    """Everything needed to answer queries over one dataset."""
+
+    dataset: SyntheticDataset
+    levels: list[PredicateLevel]
+    scorer: PairwiseScorer | None = None
+    featurizer: PairFeaturizer | None = None
+
+    @property
+    def store(self) -> RecordStore:
+        return self.dataset.store
+
+
+def citation_pipeline(
+    n_records: int = DEFAULT_SCALE,
+    seed: int = 0,
+    with_scorer: bool = True,
+) -> Pipeline:
+    """Citation dataset + Section 6.1.1 predicates + trained P."""
+    dataset = generate_citations(n_records=n_records, seed=seed)
+    idf = author_idf(dataset.store)
+    levels = citation_levels(
+        idf, suggest_min_idf(idf), anchor_idf=author_string_idf(dataset.store)
+    )
+    scorer = None
+    featurizer = citation_featurizer(idf)
+    if with_scorer:
+        scorer = _train(dataset, featurizer, levels, seed)
+    return Pipeline(
+        dataset=dataset, levels=levels, scorer=scorer, featurizer=featurizer
+    )
+
+
+def student_pipeline(n_records: int = DEFAULT_SCALE, seed: int = 0) -> Pipeline:
+    """Student dataset + Section 6.1.2 predicates.
+
+    The paper had no labeled training data here and "skip[s] the final
+    clustering step"; the pipeline accordingly carries no scorer.
+    """
+    dataset = generate_students(n_records=n_records, seed=seed)
+    return Pipeline(dataset=dataset, levels=student_levels())
+
+
+def address_pipeline(
+    n_records: int = DEFAULT_SCALE,
+    seed: int = 0,
+    with_scorer: bool = False,
+) -> Pipeline:
+    """Address dataset + Section 6.1.3 predicates (scorer optional)."""
+    dataset = generate_addresses(n_records=n_records, seed=seed)
+    levels = address_levels(dataset.store)
+    scorer = None
+    featurizer = address_featurizer()
+    if with_scorer:
+        scorer = _train(dataset, featurizer, levels, seed)
+    return Pipeline(
+        dataset=dataset, levels=levels, scorer=scorer, featurizer=featurizer
+    )
+
+
+def _train(
+    dataset: SyntheticDataset,
+    featurizer: PairFeaturizer,
+    levels: list[PredicateLevel],
+    seed: int,
+    train_fraction: float = 0.5,
+) -> PairwiseScorer:
+    """Train the final classifier on *train_fraction* of the gold groups."""
+    train_ids, _ = split_groups(dataset, train_fraction=train_fraction, seed=seed)
+    pairs, labels = sample_labeled_pairs(
+        dataset,
+        record_ids=train_ids,
+        candidate_predicate=levels[-1].necessary,
+        seed=seed,
+    )
+    return CachedScorer(train_scorer(featurizer, pairs, labels))
+
+
+def train_scorer_for(
+    dataset: SyntheticDataset,
+    kind: str,
+    levels: list[PredicateLevel],
+    seed: int = 0,
+) -> PairwiseScorer:
+    """Train a final-predicate scorer for a Figure-7 style sample.
+
+    *kind* selects the feature set: ``"name"`` (Authors sample),
+    ``"citation"``, ``"address"`` or ``"restaurant"``.
+    """
+    if kind == "name":
+        featurizer = name_only_featurizer()
+    elif kind == "citation":
+        featurizer = citation_featurizer(author_idf(dataset.store))
+    elif kind == "address":
+        featurizer = address_featurizer()
+    elif kind == "restaurant":
+        featurizer = restaurant_featurizer()
+    else:
+        raise ValueError(f"unknown featurizer kind {kind!r}")
+    return _train(dataset, featurizer, levels, seed)

@@ -1,0 +1,46 @@
+"""Fixed-width table rendering for experiment outputs.
+
+Every experiment driver returns rows of plain dicts; this module turns
+them into the aligned text tables printed by the benchmark harness and
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render *rows* as a fixed-width text table.
+
+    Floats are shown with two decimals; column order follows *columns*
+    (default: keys of the first row).
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    rendered = [[cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(r[i]) for r in rendered))
+        for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

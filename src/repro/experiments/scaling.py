@@ -1,0 +1,83 @@
+"""Scaling behaviour of the pruning pipeline.
+
+Not a paper figure, but the paper's central economic claim — "an order
+of magnitude reduction in running time compared to deduplicating the
+entire data first" — rests on how the retained fraction and runtime
+scale with corpus size.  This driver sweeps the record count and
+reports, per size: collapse %, retained % and wall-clock seconds for a
+fixed small K.  Expected shape: retained % *falls* with scale (the
+prunable tail grows faster than the Top-K head) while runtime grows
+near-linearly (all stages are index-based).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from ..core.pruned_dedup import pruned_dedup
+from .harness import Pipeline, address_pipeline, citation_pipeline, student_pipeline
+
+PIPELINE_MAKERS: dict[str, Callable[..., Pipeline]] = {
+    "citations": lambda n, seed: citation_pipeline(
+        n_records=n, seed=seed, with_scorer=False
+    ),
+    "students": lambda n, seed: student_pipeline(n_records=n, seed=seed),
+    "addresses": lambda n, seed: address_pipeline(n_records=n, seed=seed),
+}
+
+
+def run_scaling_sweep(
+    dataset: str = "students",
+    sizes: tuple[int, ...] = (1000, 2000, 4000, 8000),
+    k: int = 10,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Run the pruning pipeline at each size; return per-size rows."""
+    maker = PIPELINE_MAKERS.get(dataset)
+    if maker is None:
+        raise ValueError(
+            f"unknown dataset {dataset!r}; choose from {sorted(PIPELINE_MAKERS)}"
+        )
+    rows: list[dict[str, object]] = []
+    for n in sizes:
+        pipeline = maker(n, seed)
+        start = time.perf_counter()
+        result = pruned_dedup(pipeline.store, k, pipeline.levels)
+        seconds = time.perf_counter() - start
+        last = result.stats[-1]
+        rows.append(
+            {
+                "n_records": n,
+                "K": k,
+                "collapse_pct": result.stats[0].n_pct,
+                "retained_pct": last.n_prime_pct,
+                "retained_groups": last.n_groups_after_prune,
+                "seconds": seconds,
+            }
+        )
+    return rows
+
+
+def scaling_checks(rows: list[dict[str, object]]) -> dict[str, bool]:
+    """Shape checks for the scaling sweep.
+
+    * the retained *fraction* must not grow with corpus size (modulo a
+      small tolerance for the discrete Top-K head);
+    * the runtime growth exponent between the two largest sizes stays
+      below 2 (gram-key blocking has a superlinear postings component,
+      but it must not be worse than quadratic).
+    """
+    import math
+
+    ordered = sorted(rows, key=lambda r: int(r["n_records"]))
+    first, last = ordered[0], ordered[-1]
+    mid = ordered[-2]
+    size_ratio = int(last["n_records"]) / int(mid["n_records"])
+    time_ratio = float(last["seconds"]) / max(float(mid["seconds"]), 1e-9)
+    exponent = math.log(max(time_ratio, 1e-9)) / math.log(size_ratio)
+    return {
+        "retained_fraction_not_growing": float(last["retained_pct"])
+        <= float(first["retained_pct"]) * 1.25 + 1.0,
+        "subquadratic_runtime": exponent < 2.0,
+    }

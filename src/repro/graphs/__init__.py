@@ -1,0 +1,20 @@
+"""Graph substrate: union-find, adjacency graphs, triangulation, CPN bounds."""
+
+from .adjacency import Graph
+from .clique_partition import (
+    IncrementalCliquePartition,
+    clique_partition_lower_bound,
+    naive_distinct_bound,
+)
+from .triangulation import is_perfect_elimination_ordering, min_fill_ordering
+from .union_find import UnionFind
+
+__all__ = [
+    "Graph",
+    "IncrementalCliquePartition",
+    "UnionFind",
+    "clique_partition_lower_bound",
+    "is_perfect_elimination_ordering",
+    "min_fill_ordering",
+    "naive_distinct_bound",
+]

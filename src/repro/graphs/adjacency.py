@@ -1,0 +1,97 @@
+"""A small undirected graph over dense integer vertices.
+
+The lower-bound estimator (Section 4.2) builds the "N-graph" over the
+first ``m`` collapsed groups, where edges connect group pairs whose
+necessary predicate holds.  ``m`` is typically close to K, so this graph
+stays tiny; a plain adjacency-set representation is the right tool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class Graph:
+    """Undirected graph on vertices ``0..n-1`` with set adjacency."""
+
+    def __init__(self, n: int = 0):
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self._adj: list[set[int]] = [set() for _ in range(n)]
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Build a graph on *n* vertices from an edge iterable."""
+        graph = cls(n)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(a) for a in self._adj) // 2
+
+    def add_vertex(self) -> int:
+        """Append a new isolated vertex; return its id."""
+        self._adj.append(set())
+        return len(self._adj) - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge (u, v).  Self-loops are rejected."""
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u}")
+        n = len(self._adj)
+        if not (0 <= u < n and 0 <= v < n):
+            raise IndexError(f"edge ({u}, {v}) outside vertex range 0..{n - 1}")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True when the edge (u, v) exists."""
+        return v in self._adj[u]
+
+    def neighbors(self, u: int) -> set[int]:
+        """Return a copy of *u*'s neighbor set."""
+        return set(self._adj[u])
+
+    def degree(self, u: int) -> int:
+        """Return the degree of *u*."""
+        return len(self._adj[u])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield each undirected edge once, as (min, max)."""
+        for u, adj in enumerate(self._adj):
+            for v in adj:
+                if u < v:
+                    yield (u, v)
+
+    def subgraph(self, vertices: Iterable[int]) -> "Graph":
+        """Return the induced subgraph on *vertices* (renumbered densely)."""
+        vertex_list = list(vertices)
+        remap = {old: new for new, old in enumerate(vertex_list)}
+        sub = Graph(len(vertex_list))
+        for old_u in vertex_list:
+            new_u = remap[old_u]
+            for old_v in self._adj[old_u]:
+                new_v = remap.get(old_v)
+                if new_v is not None and new_u < new_v:
+                    sub.add_edge(new_u, new_v)
+        return sub
+
+    def remove_incident_edges(self, u: int) -> None:
+        """Remove every edge incident to *u*, leaving *u* isolated."""
+        for v in self._adj[u]:
+            self._adj[v].discard(u)
+        self._adj[u].clear()
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of the graph."""
+        clone = Graph(len(self._adj))
+        clone._adj = [set(a) for a in self._adj]
+        return clone

@@ -1,0 +1,78 @@
+"""Min-fill triangulation (the first loop of the paper's Algorithm 1).
+
+The Min-fill heuristic [23] repeatedly eliminates the vertex whose
+not-yet-eliminated neighbors need the fewest extra edges to become a
+clique, adding those *fill* edges as it goes.  The elimination order is a
+perfect elimination ordering of the resulting *filled* (triangulated)
+graph: every vertex's later neighbors form a clique.
+"""
+
+from __future__ import annotations
+
+from .adjacency import Graph
+
+
+def min_fill_ordering(graph: Graph) -> tuple[list[int], Graph]:
+    """Return ``(ordering, filled_graph)`` for *graph* via Min-fill.
+
+    ``ordering`` is the elimination order pi (a permutation of the
+    vertices); ``filled_graph`` is *graph* plus all fill edges, and is
+    triangulated with pi as a perfect elimination ordering.
+    """
+    n = graph.n_vertices
+    filled = graph.copy()
+    # Work adjacency restricted to not-yet-eliminated vertices.
+    work = graph.copy()
+    remaining: set[int] = set(range(n))
+    ordering: list[int] = []
+
+    for _ in range(n):
+        best_vertex = -1
+        best_cost = -1
+        for v in remaining:
+            cost = _fill_cost(work, v)
+            if best_cost < 0 or cost < best_cost or (cost == best_cost and v < best_vertex):
+                best_vertex = v
+                best_cost = cost
+        v = best_vertex
+        neighbors = [u for u in work.neighbors(v) if u in remaining]
+        # Connect the neighbors of v into a clique (in both the filled
+        # output graph and the working graph).
+        for i, u in enumerate(neighbors):
+            for w in neighbors[i + 1 :]:
+                if not filled.has_edge(u, w):
+                    filled.add_edge(u, w)
+                if not work.has_edge(u, w):
+                    work.add_edge(u, w)
+        ordering.append(v)
+        remaining.remove(v)
+        work.remove_incident_edges(v)
+    return ordering, filled
+
+
+def _fill_cost(work: Graph, v: int) -> int:
+    """Number of missing edges among *v*'s neighbors in the working graph."""
+    neighbors = list(work.neighbors(v))
+    missing = 0
+    for i, u in enumerate(neighbors):
+        for w in neighbors[i + 1 :]:
+            if not work.has_edge(u, w):
+                missing += 1
+    return missing
+
+
+def is_perfect_elimination_ordering(graph: Graph, ordering: list[int]) -> bool:
+    """Check whether *ordering* is a perfect elimination ordering of *graph*.
+
+    True iff for every vertex v, the neighbors of v occurring later in the
+    ordering form a clique.  A graph is chordal iff it admits such an
+    ordering.
+    """
+    position = {v: i for i, v in enumerate(ordering)}
+    for v in ordering:
+        later = [u for u in graph.neighbors(v) if position[u] > position[v]]
+        for i, u in enumerate(later):
+            for w in later[i + 1 :]:
+                if not graph.has_edge(u, w):
+                    return False
+    return True

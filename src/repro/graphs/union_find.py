@@ -1,0 +1,81 @@
+"""Disjoint-set (union-find) structure with path compression.
+
+Used by the collapse stage (Section 4.1): the transitive closure of pairs
+satisfying a sufficient predicate is exactly the set of union-find
+components after union-ing every satisfying pair.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class UnionFind:
+    """Union-find over the integers ``0..n-1``.
+
+    Implements union by size with full path compression, giving effectively
+    constant amortized operations.
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self._n_components = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def n_components(self) -> int:
+        """Current number of disjoint components."""
+        return self._n_components
+
+    def add(self) -> int:
+        """Append a new singleton element; return its id.
+
+        Supports incrementally growing structures (evolving sources).
+        """
+        new_id = len(self._parent)
+        self._parent.append(new_id)
+        self._size.append(1)
+        self._n_components += 1
+        return new_id
+
+    def find(self, x: int) -> int:
+        """Return the canonical root of *x*'s component."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of *a* and *b*; return True if they differed."""
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        self._n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """Return True when *a* and *b* are in the same component."""
+        return self.find(a) == self.find(b)
+
+    def component_size(self, x: int) -> int:
+        """Return the size of *x*'s component."""
+        return self._size[self.find(x)]
+
+    def components(self) -> list[list[int]]:
+        """Return all components as lists of members, largest first."""
+        by_root: dict[int, list[int]] = defaultdict(list)
+        for x in range(len(self._parent)):
+            by_root[self.find(x)].append(x)
+        return sorted(by_root.values(), key=len, reverse=True)

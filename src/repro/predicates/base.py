@@ -1,0 +1,173 @@
+"""Predicate framework: necessary and sufficient predicates over record pairs.
+
+Section 4 of the paper builds everything on two kinds of cheap binary
+predicates:
+
+* a **necessary** predicate N: ``N(t1, t2) = false  =>  not duplicate``
+  (every duplicate pair satisfies N — the classic canopy/blocking role);
+* a **sufficient** predicate S: ``S(t1, t2) = true  =>  duplicate``
+  (a stringent condition that only fires on sure duplicates).
+
+Both roles share one mechanical interface, :class:`Predicate`.  Besides
+pairwise evaluation, every predicate exposes *blocking keys* with the
+contract::
+
+    evaluate(a, b) is True  =>  blocking_keys(a) & blocking_keys(b) != {}
+
+which is what lets the collapse and prune stages run off inverted indexes
+instead of enumerating O(n^2) pairs.  Predicates whose keys fully encode
+the condition set ``key_implies_match`` and skip pairwise verification
+entirely inside a block.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterable
+
+from ..core.records import Record
+
+
+class Predicate(ABC):
+    """A binary predicate on record pairs with inverted-index support.
+
+    Attributes:
+        name: Human-readable identifier used in reports.
+        cost: Relative evaluation cost; pipelines order predicate levels
+            by increasing cost (Section 4.4's "series of ... predicates of
+            increasing cost").
+        key_implies_match: When True, two records sharing any blocking key
+            are guaranteed to satisfy the predicate, so blocks can be
+            unioned without pairwise verification.
+    """
+
+    name: str = "predicate"
+    cost: float = 1.0
+    key_implies_match: bool = False
+
+    @abstractmethod
+    def evaluate(self, a: Record, b: Record) -> bool:
+        """Return the truth value of the predicate on the pair (a, b)."""
+
+    @abstractmethod
+    def blocking_keys(self, record: Record) -> Iterable[Hashable]:
+        """Yield keys such that matching pairs always share at least one.
+
+        A record yielding *no* keys is asserted to satisfy the predicate
+        with no other record.
+        """
+
+    def signature(self, record: Record):
+        """Optional fast path: a precomputed per-record signature.
+
+        Predicates evaluated millions of times inside neighbor queries
+        can return a signature object here and implement
+        :meth:`evaluate_signatures`; bulk evaluators (NeighborIndex)
+        then skip the Record-level indirection entirely.  The default
+        (returning None) means "no fast path".
+        """
+        return None
+
+    def evaluate_signatures(self, sig_a, sig_b) -> bool:
+        """Evaluate the predicate on two :meth:`signature` results."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the signature fast path"
+        )
+
+    @property
+    def supports_signatures(self) -> bool:
+        """True when this predicate overrides the signature fast path."""
+        return type(self).signature is not Predicate.signature
+
+    #: Count-filtering fast path: set True when the record's blocking
+    #: keys form a set such that the predicate holds iff the pair's
+    #: shared-key count passes :meth:`count_accepts` and the (cheap)
+    #: :meth:`count_post_check` agrees.  Bulk evaluators can then verify
+    #: all candidates in one postings pass with no set intersections.
+    count_verifiable: bool = False
+
+    def count_accepts(self, shared: int, n_keys_a: int, n_keys_b: int) -> bool:
+        """Decide the predicate from the shared-key count and key counts."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement count filtering"
+        )
+
+    def count_post_signature(self, record: Record):
+        """Minimal extra per-record data for :meth:`count_post_check`."""
+        return None
+
+    def count_post_check(self, post_a, post_b) -> bool:
+        """Residual condition not captured by the shared-key count."""
+        return True
+
+    def __call__(self, a: Record, b: Record) -> bool:
+        return self.evaluate(a, b)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ConjunctionPredicate(Predicate):
+    """AND of several predicates.
+
+    Blocking keys come from the *most selective* conjunct (the one
+    declared first); the guarantee holds because a pair satisfying the
+    conjunction satisfies every conjunct, in particular the first.
+    """
+
+    def __init__(self, predicates: list[Predicate], name: str | None = None):
+        if not predicates:
+            raise ValueError("ConjunctionPredicate needs at least one conjunct")
+        self._predicates = list(predicates)
+        self.name = name or " & ".join(p.name for p in self._predicates)
+        self.cost = sum(p.cost for p in self._predicates)
+        self.key_implies_match = False
+
+    def evaluate(self, a: Record, b: Record) -> bool:
+        return all(p.evaluate(a, b) for p in self._predicates)
+
+    def blocking_keys(self, record: Record) -> Iterable[Hashable]:
+        return self._predicates[0].blocking_keys(record)
+
+
+class FunctionPredicate(Predicate):
+    """Adapt a plain pair function + key function into a Predicate.
+
+    Handy in tests and for user-supplied criteria that already have a
+    blocking scheme.
+    """
+
+    def __init__(
+        self,
+        evaluate_fn,
+        keys_fn,
+        name: str = "function-predicate",
+        cost: float = 1.0,
+        key_implies_match: bool = False,
+    ):
+        self._evaluate_fn = evaluate_fn
+        self._keys_fn = keys_fn
+        self.name = name
+        self.cost = cost
+        self.key_implies_match = key_implies_match
+
+    def evaluate(self, a: Record, b: Record) -> bool:
+        return bool(self._evaluate_fn(a, b))
+
+    def blocking_keys(self, record: Record) -> Iterable[Hashable]:
+        return self._keys_fn(record)
+
+
+class PredicateLevel:
+    """One (sufficient, necessary) predicate pair of Algorithm 2.
+
+    ``PrunedDedup`` takes a list of these, ordered cheapest/loosest first.
+    """
+
+    def __init__(self, sufficient: Predicate, necessary: Predicate, name: str = ""):
+        self.sufficient = sufficient
+        self.necessary = necessary
+        self.name = name or f"S[{sufficient.name}] / N[{necessary.name}]"
+
+    def __repr__(self) -> str:
+        return f"<PredicateLevel {self.name!r}>"

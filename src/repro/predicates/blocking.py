@@ -1,0 +1,238 @@
+"""Inverted-index blocking: evaluate predicates without O(n^2) pair scans.
+
+Three operations power the whole pipeline:
+
+* :func:`build_key_index` — key → ids posting lists for a predicate;
+* :func:`closure` — union-find transitive closure of all pairs satisfying
+  a (sufficient) predicate, verifying pairs only inside shared-key blocks;
+* :class:`NeighborIndex` — for a fixed set of groups, answer "which groups
+  can satisfy N with this one?", the primitive behind both the
+  lower-bound estimator and the prune stage.
+
+Oversized blocks (a key shared by a large fraction of all records — e.g.
+a stop-gram) are handled by capping pairwise verification per block and
+falling back to sorted-neighborhood verification within the block, which
+preserves sub-quadratic behaviour at a small recall cost that only makes
+the sufficient-collapse *less* aggressive (never incorrect).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable, Iterator, Sequence
+
+from ..core.records import Record
+from ..graphs.union_find import UnionFind
+from .base import Predicate
+
+
+def build_key_index(
+    predicate: Predicate, records: Sequence[Record]
+) -> dict[Hashable, list[int]]:
+    """Return key → list of positions (into *records*) for *predicate*."""
+    index: dict[Hashable, list[int]] = defaultdict(list)
+    for position, record in enumerate(records):
+        for key in set(predicate.blocking_keys(record)):
+            index[key].append(position)
+    return dict(index)
+
+
+def closure(
+    predicate: Predicate,
+    records: Sequence[Record],
+    max_block_pairs: int = 2_000_000,
+) -> UnionFind:
+    """Return the union-find closure of pairs satisfying *predicate*.
+
+    Within each key block, pairs are verified with ``predicate.evaluate``
+    unless ``predicate.key_implies_match`` (then the whole block is
+    unioned directly).  Pairs already connected are skipped, so repeated
+    keys cost nothing extra.
+
+    Blocks whose pair count exceeds *max_block_pairs* are verified in
+    sorted-neighborhood mode (adjacent-pair chains after sorting by a
+    cheap canonical string), bounding worst-case work.
+    """
+    uf = UnionFind(len(records))
+    index = build_key_index(predicate, records)
+    for positions in index.values():
+        if len(positions) < 2:
+            continue
+        if predicate.key_implies_match:
+            first = positions[0]
+            for other in positions[1:]:
+                uf.union(first, other)
+            continue
+        n_pairs = len(positions) * (len(positions) - 1) // 2
+        if n_pairs > max_block_pairs:
+            _verify_sorted_neighborhood(predicate, records, positions, uf)
+        else:
+            _verify_all_pairs(predicate, records, positions, uf)
+    return uf
+
+
+def _verify_all_pairs(
+    predicate: Predicate,
+    records: Sequence[Record],
+    positions: list[int],
+    uf: UnionFind,
+) -> None:
+    if predicate.supports_signatures:
+        signatures = [predicate.signature(records[p]) for p in positions]
+        verify = predicate.evaluate_signatures
+        for i, pos_a in enumerate(positions):
+            sig_a = signatures[i]
+            for offset, pos_b in enumerate(positions[i + 1 :], start=i + 1):
+                if uf.connected(pos_a, pos_b):
+                    continue
+                if verify(sig_a, signatures[offset]):
+                    uf.union(pos_a, pos_b)
+        return
+    for i, pos_a in enumerate(positions):
+        record_a = records[pos_a]
+        for pos_b in positions[i + 1 :]:
+            if uf.connected(pos_a, pos_b):
+                continue
+            if predicate.evaluate(record_a, records[pos_b]):
+                uf.union(pos_a, pos_b)
+
+
+def _verify_sorted_neighborhood(
+    predicate: Predicate,
+    records: Sequence[Record],
+    positions: list[int],
+    uf: UnionFind,
+    window: int = 8,
+) -> None:
+    """Fallback for huge blocks: verify only nearby pairs after sorting."""
+    def sort_key(pos: int) -> str:
+        record = records[pos]
+        return "|".join(str(v) for v in sorted(record.fields.values()))
+
+    ordered = sorted(positions, key=sort_key)
+    for i, pos_a in enumerate(ordered):
+        record_a = records[pos_a]
+        for pos_b in ordered[i + 1 : i + 1 + window]:
+            if uf.connected(pos_a, pos_b):
+                continue
+            if predicate.evaluate(record_a, records[pos_b]):
+                uf.union(pos_a, pos_b)
+
+
+def candidate_pairs(
+    predicate: Predicate,
+    records: Sequence[Record],
+    verify: bool = True,
+) -> Iterator[tuple[int, int]]:
+    """Yield each position pair sharing a key (optionally N-verified) once.
+
+    This is the canopy-style pair enumeration used by the baseline
+    pipelines and by the final stage of Algorithm 2 ("apply criteria P on
+    pairs in D_{L+1} for which N_L is true").
+    """
+    index = build_key_index(predicate, records)
+    seen: set[tuple[int, int]] = set()
+    for positions in index.values():
+        if len(positions) < 2:
+            continue
+        for i, pos_a in enumerate(positions):
+            record_a = records[pos_a]
+            for pos_b in positions[i + 1 :]:
+                pair = (pos_a, pos_b) if pos_a < pos_b else (pos_b, pos_a)
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                if not verify or predicate.evaluate(record_a, records[pos_b]):
+                    yield pair
+
+
+class NeighborIndex:
+    """Answer "which members of this set can match *probe* under N?".
+
+    Built once over a fixed sequence of records (group representatives);
+    queries return candidate positions that share a blocking key with the
+    probe, optionally verified with the predicate.  Probes can be records
+    outside the indexed set or members of it (the member itself is then
+    excluded from its own neighbor list).
+    """
+
+    def __init__(self, predicate: Predicate, records: Sequence[Record]):
+        self._predicate = predicate
+        self._records = records
+        self._index = build_key_index(predicate, records)
+        # Count-filtering fast path: verification happens inside the
+        # postings pass itself (no per-pair set intersections).
+        self._count_mode = (
+            predicate.count_verifiable and not predicate.key_implies_match
+        )
+        self._key_counts: list[int] = []
+        self._post_signatures: list = []
+        if self._count_mode:
+            for record in records:
+                self._key_counts.append(len(set(predicate.blocking_keys(record))))
+                self._post_signatures.append(
+                    predicate.count_post_signature(record)
+                )
+        # Signature fast path: precompute per-record signatures once so
+        # the (potentially millions of) verifications skip Record-level
+        # field access.
+        self._signatures: list | None = None
+        if (
+            not self._count_mode
+            and predicate.supports_signatures
+            and not predicate.key_implies_match
+        ):
+            self._signatures = [predicate.signature(r) for r in records]
+
+    def candidate_positions(self, probe: Record) -> set[int]:
+        """Return positions sharing at least one key with *probe*."""
+        result: set[int] = set()
+        for key in set(self._predicate.blocking_keys(probe)):
+            result.update(self._index.get(key, ()))
+        return result
+
+    def neighbors(self, probe: Record, exclude_position: int = -1) -> list[int]:
+        """Return verified neighbor positions of *probe* under N."""
+        if self._count_mode:
+            return self._neighbors_by_count(probe, exclude_position)
+        candidates = self.candidate_positions(probe)
+        candidates.discard(exclude_position)
+        if self._predicate.key_implies_match:
+            return sorted(candidates)
+        if self._signatures is not None:
+            probe_signature = self._predicate.signature(probe)
+            verify = self._predicate.evaluate_signatures
+            signatures = self._signatures
+            return sorted(
+                position
+                for position in candidates
+                if verify(probe_signature, signatures[position])
+            )
+        return sorted(
+            position
+            for position in candidates
+            if self._predicate.evaluate(probe, self._records[position])
+        )
+
+    def _neighbors_by_count(self, probe: Record, exclude_position: int) -> list[int]:
+        """Count-filtering verification: one pass over the probe's
+        postings accumulates shared-key counts for every candidate; the
+        predicate is decided from the counts directly."""
+        probe_keys = set(self._predicate.blocking_keys(probe))
+        counts: dict[int, int] = defaultdict(int)
+        for key in probe_keys:
+            for position in self._index.get(key, ()):
+                counts[position] += 1
+        n_probe = len(probe_keys)
+        probe_post = self._predicate.count_post_signature(probe)
+        accepts = self._predicate.count_accepts
+        post_check = self._predicate.count_post_check
+        out = []
+        for position, shared in counts.items():
+            if position == exclude_position:
+                continue
+            if not accepts(shared, n_probe, self._key_counts[position]):
+                continue
+            if post_check(probe_post, self._post_signatures[position]):
+                out.append(position)
+        return sorted(out)

@@ -1,0 +1,152 @@
+"""Predicate selection and ordering (the paper's stated future work).
+
+Section 8: "Future work includes methods for automatically choosing the
+necessary and sufficient predicates, designing a query optimization
+framework for selecting the best subset of predicates based on
+selectivity and running time."
+
+This module implements that framework at its natural granularity:
+
+* :func:`profile_level` measures, on a sample of the data, what one
+  (sufficient, necessary) level actually buys — collapse factor, prune
+  factor for a reference K, and wall-clock cost;
+* :func:`order_levels` greedily sequences candidate levels by marginal
+  group-reduction per second, re-profiling on the sample state each
+  pick (a later level is only worth running on what earlier levels left
+  behind), and drops levels whose marginal gain is negligible.
+
+The result plugs straight into :func:`repro.core.pruned_dedup`.
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import PredicateLevel
+
+if typing.TYPE_CHECKING:  # imported lazily at runtime (core imports us)
+    from ..core.records import GroupSet, RecordStore
+
+
+@dataclass(frozen=True)
+class LevelProfile:
+    """Measured behaviour of one predicate level on a sample.
+
+    Attributes:
+        level_name: The profiled level.
+        groups_before: Groups entering the level.
+        groups_after_collapse: Groups after the sufficient closure.
+        groups_after_prune: Groups after bound + prune.
+        seconds: Wall-clock cost of running the level on the sample.
+        reduction: Fractional group reduction achieved (0..1).
+    """
+
+    level_name: str
+    groups_before: int
+    groups_after_collapse: int
+    groups_after_prune: int
+    seconds: float
+
+    @property
+    def reduction(self) -> float:
+        if self.groups_before == 0:
+            return 0.0
+        return 1.0 - self.groups_after_prune / self.groups_before
+
+    @property
+    def gain_per_second(self) -> float:
+        """Groups eliminated per second — the greedy ordering key."""
+        eliminated = self.groups_before - self.groups_after_prune
+        return eliminated / max(self.seconds, 1e-6)
+
+
+def sample_store(store: "RecordStore", n: int, seed: int = 0) -> "RecordStore":
+    """A uniform sample of *store* as a standalone RecordStore."""
+    from ..core.records import Record, RecordStore
+
+    if n >= len(store):
+        return store
+    rng = np.random.default_rng(seed)
+    chosen = sorted(int(i) for i in rng.choice(len(store), size=n, replace=False))
+    return RecordStore(
+        Record(record_id=new_id, fields=store[old].fields, weight=store[old].weight)
+        for new_id, old in enumerate(chosen)
+    )
+
+
+def profile_level(
+    group_set: "GroupSet", level: PredicateLevel, k: int
+) -> tuple[LevelProfile, "GroupSet"]:
+    """Run *level* on *group_set*; return its profile and the result."""
+    from ..core.collapse import collapse
+    from ..core.lower_bound import estimate_lower_bound
+    from ..core.prune import prune
+
+    start = time.perf_counter()
+    collapsed = collapse(group_set, level.sufficient)
+    estimate = estimate_lower_bound(collapsed, level.necessary, k)
+    pruned = prune(collapsed, level.necessary, estimate.bound)
+    seconds = time.perf_counter() - start
+    profile = LevelProfile(
+        level_name=level.name,
+        groups_before=len(group_set),
+        groups_after_collapse=len(collapsed),
+        groups_after_prune=len(pruned.retained),
+        seconds=seconds,
+    )
+    return profile, pruned.retained
+
+
+def order_levels(
+    candidates: list[PredicateLevel],
+    store: "RecordStore",
+    k: int,
+    sample_size: int = 2000,
+    min_marginal_reduction: float = 0.02,
+    seed: int = 0,
+) -> tuple[list[PredicateLevel], list[LevelProfile]]:
+    """Greedily order (and subset) candidate levels by measured value.
+
+    Each round profiles every remaining candidate on the current sample
+    state and commits the one eliminating the most groups per second;
+    candidates whose best marginal reduction falls below
+    *min_marginal_reduction* are dropped.  Returns the chosen ordering
+    and the profile of each chosen level (as measured when picked).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not candidates:
+        raise ValueError("need at least one candidate level")
+
+    from ..core.records import GroupSet
+
+    sample = sample_store(store, sample_size, seed=seed)
+    state = GroupSet.singletons(sample)
+    remaining = list(candidates)
+    chosen: list[PredicateLevel] = []
+    profiles: list[LevelProfile] = []
+
+    while remaining:
+        measured: list[tuple[LevelProfile, "GroupSet", PredicateLevel]] = []
+        for level in remaining:
+            profile, result = profile_level(state, level, k)
+            measured.append((profile, result, level))
+        measured.sort(key=lambda entry: -entry[0].gain_per_second)
+        best_profile, best_state, best_level = measured[0]
+        if best_profile.reduction < min_marginal_reduction:
+            break
+        chosen.append(best_level)
+        profiles.append(best_profile)
+        state = best_state
+        remaining.remove(best_level)
+    if not chosen:
+        # Never return an empty plan: keep the single most effective
+        # candidate even if its measured reduction was small.
+        profile, _, level = measured[0]
+        chosen.append(level)
+        profiles.append(profile)
+    return chosen, profiles

@@ -1,0 +1,112 @@
+"""Validate necessary/sufficient predicates against labeled data.
+
+Section 6.1: "We used hand-labeled dataset to validate that the chosen
+predicates indeed satisfy their respective conditions of being necessary
+and sufficient."  Given gold entity labels:
+
+* a **necessary** predicate is violated by any same-entity pair on which
+  it is false (checked by enumerating pairs *within* gold groups);
+* a **sufficient** predicate is violated by any cross-entity pair on
+  which it is true (checked via the predicate's own blocking index, so no
+  O(n^2) scan).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.records import Record
+from .base import Predicate
+from .blocking import candidate_pairs
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one predicate against gold labels.
+
+    ``violations`` holds up to ``max_examples`` offending record-id pairs.
+    """
+
+    predicate_name: str
+    role: str
+    n_pairs_checked: int
+    n_violations: int
+    violations: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the predicate satisfies its role on this data."""
+        return self.n_violations == 0
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of checked pairs that violate the role."""
+        if self.n_pairs_checked == 0:
+            return 0.0
+        return self.n_violations / self.n_pairs_checked
+
+
+def validate_necessary(
+    predicate: Predicate,
+    records: Sequence[Record],
+    labels: Sequence[int],
+    max_examples: int = 10,
+) -> ValidationReport:
+    """Check that *predicate* is true on every same-entity pair."""
+    if len(records) != len(labels):
+        raise ValueError(f"{len(records)} records but {len(labels)} labels")
+    by_entity: dict[int, list[int]] = defaultdict(list)
+    for position, label in enumerate(labels):
+        by_entity[label].append(position)
+
+    checked = 0
+    violations: list[tuple[int, int]] = []
+    n_violations = 0
+    for members in by_entity.values():
+        for i, pos_a in enumerate(members):
+            for pos_b in members[i + 1 :]:
+                checked += 1
+                if not predicate.evaluate(records[pos_a], records[pos_b]):
+                    n_violations += 1
+                    if len(violations) < max_examples:
+                        violations.append((pos_a, pos_b))
+    return ValidationReport(
+        predicate_name=predicate.name,
+        role="necessary",
+        n_pairs_checked=checked,
+        n_violations=n_violations,
+        violations=violations,
+    )
+
+
+def validate_sufficient(
+    predicate: Predicate,
+    records: Sequence[Record],
+    labels: Sequence[int],
+    max_examples: int = 10,
+) -> ValidationReport:
+    """Check that *predicate* is false on every cross-entity pair.
+
+    Only pairs sharing a blocking key can be predicate-true, so those are
+    the only pairs that need checking.
+    """
+    if len(records) != len(labels):
+        raise ValueError(f"{len(records)} records but {len(labels)} labels")
+    checked = 0
+    violations: list[tuple[int, int]] = []
+    n_violations = 0
+    for pos_a, pos_b in candidate_pairs(predicate, records, verify=True):
+        checked += 1
+        if labels[pos_a] != labels[pos_b]:
+            n_violations += 1
+            if len(violations) < max_examples:
+                violations.append((pos_a, pos_b))
+    return ValidationReport(
+        predicate_name=predicate.name,
+        role="sufficient",
+        n_pairs_checked=checked,
+        n_violations=n_violations,
+        violations=violations,
+    )

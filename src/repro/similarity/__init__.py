@@ -1,0 +1,82 @@
+"""Similarity substrate: tokenization, string/set measures, TF-IDF, features."""
+
+from .custom import custom_author_similarity, custom_coauthor_similarity
+from .measures import (
+    containment,
+    cosine_set,
+    dice,
+    jaccard,
+    overlap_coefficient,
+    overlap_count,
+)
+from .strings import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    monge_elkan,
+    soundex,
+    soundex_equal,
+)
+from .setjoin import brute_force_jaccard_join, canonical_token_order, jaccard_self_join
+from .tfidf import IdfTable, TfIdfIndex, tfidf_cosine
+from .tokenize import (
+    ADDRESS_STOP_WORDS,
+    content_word_set,
+    content_words,
+    initial_set,
+    initials,
+    ngram_set,
+    ngrams,
+    normalize,
+    sorted_initials_key,
+    word_set,
+    words,
+)
+from .vectorize import (
+    PairFeaturizer,
+    address_featurizer,
+    citation_featurizer,
+    name_only_featurizer,
+    restaurant_featurizer,
+)
+
+__all__ = [
+    "ADDRESS_STOP_WORDS",
+    "IdfTable",
+    "PairFeaturizer",
+    "TfIdfIndex",
+    "address_featurizer",
+    "brute_force_jaccard_join",
+    "canonical_token_order",
+    "citation_featurizer",
+    "containment",
+    "content_word_set",
+    "content_words",
+    "cosine_set",
+    "custom_author_similarity",
+    "custom_coauthor_similarity",
+    "dice",
+    "initial_set",
+    "initials",
+    "jaccard",
+    "jaccard_self_join",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_similarity",
+    "monge_elkan",
+    "name_only_featurizer",
+    "ngram_set",
+    "ngrams",
+    "normalize",
+    "soundex",
+    "soundex_equal",
+    "overlap_coefficient",
+    "overlap_count",
+    "restaurant_featurizer",
+    "sorted_initials_key",
+    "tfidf_cosine",
+    "word_set",
+    "words",
+]

@@ -1,0 +1,63 @@
+"""The paper's custom similarity functions (Section 6.1.1).
+
+Two bespoke features feed the final classifier on the citation data:
+
+* **Custom author similarity** — 1.0 when full author names (no initials)
+  match exactly; otherwise the maximum IDF of any matching word, scaled
+  into [0, 1].
+* **Custom co-author similarity** — the author similarity when it is at an
+  extreme (0 or 1); otherwise the fraction of matching co-author words.
+"""
+
+from __future__ import annotations
+
+from .tfidf import IdfTable
+from .tokenize import words
+
+
+def _is_full_name(tokens: list[str]) -> bool:
+    """A "full" name has no single-letter (initial) tokens."""
+    return bool(tokens) and all(len(t) > 1 for t in tokens)
+
+
+def custom_author_similarity(name_a: str, name_b: str, idf: IdfTable) -> float:
+    """Return the paper's custom author-field similarity in [0, 1].
+
+    Exact match of two *full* names (names containing no initials) scores
+    1.0.  Otherwise the score is the maximum IDF among the words the two
+    names share, scaled by the corpus' maximum IDF so the result stays in
+    [0, 1]; names sharing no words score 0.0.
+    """
+    tokens_a = words(name_a)
+    tokens_b = words(name_b)
+    if tokens_a == tokens_b and _is_full_name(tokens_a):
+        return 1.0
+    common = set(tokens_a) & set(tokens_b)
+    if not common:
+        return 0.0
+    max_possible = idf.max_idf_bound()
+    if max_possible <= 0:
+        return 0.0
+    score = max(idf.idf(t) for t in common) / max_possible
+    # Scaled IDF of a shared-but-not-identical name must stay below the
+    # exact-full-match score.
+    return min(score, 0.999)
+
+
+def custom_coauthor_similarity(
+    coauthors_a: str, coauthors_b: str, idf: IdfTable
+) -> float:
+    """Return the paper's custom co-author-field similarity in [0, 1].
+
+    Applies :func:`custom_author_similarity`; when that lands at an extreme
+    (0 or 1) the extreme is returned, otherwise the score is the fraction
+    of matching co-author words (overlap over the smaller word set).
+    """
+    base = custom_author_similarity(coauthors_a, coauthors_b, idf)
+    if base == 0.0 or base == 1.0:
+        return base
+    set_a = set(words(coauthors_a))
+    set_b = set(words(coauthors_b))
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))

@@ -1,0 +1,70 @@
+"""Set-overlap similarity measures.
+
+These operate on the signature sets produced by
+:mod:`repro.similarity.tokenize` (word sets, n-gram sets, initial sets) and
+are the building blocks for both the cheap necessary/sufficient predicates
+and the final-predicate feature vector.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Set
+
+
+def jaccard(a: Set, b: Set) -> float:
+    """Return |a ∩ b| / |a ∪ b|; 1.0 when both sets are empty."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    inter = len(a & b)
+    return inter / (len(a) + len(b) - inter)
+
+
+def overlap_count(a: Set, b: Set) -> int:
+    """Return |a ∩ b|."""
+    return len(a & b)
+
+
+def overlap_coefficient(a: Set, b: Set) -> float:
+    """Return |a ∩ b| / min(|a|, |b|); 1.0 when both sets are empty.
+
+    This is the "common items as a fraction of the smaller set" measure
+    the paper's necessary predicates use ("common 3-Grams ... more than
+    60% of the size of the smaller field").
+    """
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def dice(a: Set, b: Set) -> float:
+    """Return 2|a ∩ b| / (|a| + |b|); 1.0 when both sets are empty."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return 2.0 * len(a & b) / (len(a) + len(b))
+
+
+def cosine_set(a: Set, b: Set) -> float:
+    """Return |a ∩ b| / sqrt(|a| * |b|); the unweighted cosine of sets."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    return len(a & b) / (len(a) * len(b)) ** 0.5
+
+
+def containment(a: Set, b: Set) -> float:
+    """Return |a ∩ b| / |a|: how much of *a* is covered by *b*."""
+    if not a:
+        return 1.0
+    return len(a & b) / len(a)
+
+
+def common_fraction_of_smaller(a: Collection, b: Collection) -> float:
+    """Alias of :func:`overlap_coefficient` accepting any collections."""
+    return overlap_coefficient(frozenset(a), frozenset(b))

@@ -1,0 +1,58 @@
+"""Shared fixtures: tiny hand-built datasets and predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import Record, RecordStore
+from repro.predicates.base import FunctionPredicate, PredicateLevel
+
+
+def make_store(names: list[str], weights: list[float] | None = None) -> RecordStore:
+    """RecordStore with a single 'name' field per record."""
+    return RecordStore.from_rows([{"name": n} for n in names], weights=weights)
+
+
+def exact_name_predicate() -> FunctionPredicate:
+    """Sufficient-style predicate: names equal."""
+    return FunctionPredicate(
+        evaluate_fn=lambda a, b: a["name"] == b["name"],
+        keys_fn=lambda r: [r["name"]],
+        name="exact-name",
+        key_implies_match=True,
+    )
+
+
+def shared_word_predicate() -> FunctionPredicate:
+    """Necessary-style predicate: names share a word."""
+    return FunctionPredicate(
+        evaluate_fn=lambda a, b: bool(
+            set(a["name"].split()) & set(b["name"].split())
+        ),
+        keys_fn=lambda r: r["name"].split(),
+        name="shared-word",
+    )
+
+
+@pytest.fixture
+def name_level() -> PredicateLevel:
+    """A (sufficient=exact name, necessary=shared word) level."""
+    return PredicateLevel(exact_name_predicate(), shared_word_predicate())
+
+
+@pytest.fixture
+def tiny_store() -> RecordStore:
+    """Nine records over three entities: ann smith, bob jones, cara lee."""
+    return make_store(
+        [
+            "ann smith",
+            "ann smith",
+            "a smith",
+            "bob jones",
+            "bob jones",
+            "bob jones",
+            "cara lee",
+            "c lee",
+            "ann smith",
+        ]
+    )

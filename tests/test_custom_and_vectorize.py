@@ -1,0 +1,134 @@
+"""Tests for the paper's custom similarities and the pair featurizers."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import RecordStore
+from repro.similarity.custom import (
+    custom_author_similarity,
+    custom_coauthor_similarity,
+)
+from repro.similarity.tfidf import IdfTable
+from repro.similarity.vectorize import (
+    PairFeaturizer,
+    address_featurizer,
+    citation_featurizer,
+    name_only_featurizer,
+    restaurant_featurizer,
+)
+
+
+@pytest.fixture
+def idf() -> IdfTable:
+    docs = [
+        ["sunita", "sarawagi"],
+        ["vinay", "deshpande"],
+        ["sunita", "kumar"],
+        ["amit", "kumar"],
+        ["amit", "shah"],
+        ["raj", "mehta"],
+    ]
+    return IdfTable(docs)
+
+
+class TestCustomAuthorSimilarity:
+    def test_exact_full_names(self, idf):
+        assert custom_author_similarity("sunita sarawagi", "sunita sarawagi", idf) == 1.0
+
+    def test_initials_are_not_full_names(self, idf):
+        # Identical but containing an initial: not a "full name" match.
+        score = custom_author_similarity("s sarawagi", "s sarawagi", idf)
+        assert score < 1.0
+
+    def test_rare_shared_word_beats_common(self, idf):
+        rare = custom_author_similarity("x sarawagi", "y sarawagi", idf)
+        common = custom_author_similarity("sunita x", "sunita y", idf)
+        assert rare > common > 0.0
+
+    def test_no_common_words(self, idf):
+        assert custom_author_similarity("a b", "c d", idf) == 0.0
+
+    def test_bounded_below_exact(self, idf):
+        score = custom_author_similarity("zzz unique", "zzz other", idf)
+        assert 0.0 < score < 1.0
+
+
+class TestCustomCoauthorSimilarity:
+    def test_extremes_pass_through(self, idf):
+        assert custom_coauthor_similarity("a b", "c d", idf) == 0.0
+        assert (
+            custom_coauthor_similarity(
+                "sunita sarawagi", "sunita sarawagi", idf
+            )
+            == 1.0
+        )
+
+    def test_intermediate_uses_word_fraction(self, idf):
+        score = custom_coauthor_similarity(
+            "sunita kumar mehta", "sunita kumar shah", idf
+        )
+        assert score == pytest.approx(2 / 3)
+
+
+def record_pair(fields_a, fields_b):
+    store = RecordStore.from_rows([fields_a, fields_b])
+    return store[0], store[1]
+
+
+class TestFeaturizers:
+    def test_vector_shape_and_names(self):
+        f = name_only_featurizer()
+        a, b = record_pair({"name": "ann smith"}, {"name": "a smith"})
+        vector = f.vector(a, b)
+        assert vector.shape == (f.n_features,)
+        assert len(f.names) == f.n_features
+
+    def test_matrix(self):
+        f = name_only_featurizer()
+        a, b = record_pair({"name": "x"}, {"name": "y"})
+        matrix = f.matrix([(a, b), (b, a)])
+        assert matrix.shape == (2, f.n_features)
+
+    def test_identical_records_score_high(self):
+        f = name_only_featurizer()
+        a, b = record_pair({"name": "ann smith"}, {"name": "ann smith"})
+        assert np.all(f.vector(a, b) >= 0.99)
+
+    def test_disjoint_records_score_low(self):
+        f = name_only_featurizer()
+        a, b = record_pair({"name": "qqq"}, {"name": "zzz"})
+        assert np.all(f.vector(a, b) <= 0.5)
+
+    def test_citation_featurizer_fields(self, idf):
+        f = citation_featurizer(idf)
+        a, b = record_pair(
+            {"author": "sunita sarawagi", "coauthors": "vinay deshpande"},
+            {"author": "s sarawagi", "coauthors": "v deshpande"},
+        )
+        vector = f.vector(a, b)
+        assert vector.shape == (f.n_features,)
+        assert "custom_author" in f.names
+
+    def test_address_featurizer_with_and_without_idf(self, idf):
+        with_idf = address_featurizer(idf)
+        without = address_featurizer()
+        assert with_idf.n_features == without.n_features + 1
+        a, b = record_pair(
+            {"name": "ann smith", "address": "12 gandhi road", "pin": "411001"},
+            {"name": "ann smith", "address": "12 gandhi rd", "pin": "411001"},
+        )
+        assert with_idf.vector(a, b).shape == (with_idf.n_features,)
+
+    def test_restaurant_decoration_stripping(self):
+        f = restaurant_featurizer()
+        a, b = record_pair(
+            {"name": "spice garden", "address": "1 x st", "city": "c"},
+            {"name": "the spice garden restaurant", "address": "1 x st", "city": "c"},
+        )
+        values = dict(zip(f.names, f.vector(a, b)))
+        assert values["name_stripped_overlap"] == 1.0
+        assert values["name_word_jaccard"] < 1.0
+
+    def test_empty_featurizer_rejected(self):
+        with pytest.raises(ValueError):
+            PairFeaturizer([])

@@ -1,0 +1,200 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CURRENT_DATE,
+    author_idf,
+    generate_address_sample,
+    generate_addresses,
+    generate_author_sample,
+    generate_citations,
+    generate_getoor_sample,
+    generate_restaurants,
+    generate_students,
+    suggest_min_idf,
+)
+from repro.datasets.base import SyntheticDataset
+
+
+class TestCitations:
+    def test_record_count_and_fields(self):
+        ds = generate_citations(n_records=300, seed=0)
+        assert ds.n_records == 300
+        record = ds.store[0]
+        for field in ("author", "coauthors", "title", "year", "pages"):
+            assert field in record.fields
+
+    def test_deterministic(self):
+        a = generate_citations(n_records=200, seed=42)
+        b = generate_citations(n_records=200, seed=42)
+        assert a.store.field_values("author") == b.store.field_values("author")
+        assert a.labels == b.labels
+
+    def test_different_seeds_differ(self):
+        a = generate_citations(n_records=200, seed=1)
+        b = generate_citations(n_records=200, seed=2)
+        assert a.store.field_values("author") != b.store.field_values("author")
+
+    def test_skewed_popularity(self):
+        ds = generate_citations(n_records=2000, seed=0)
+        weights = sorted(ds.entity_weights().values(), reverse=True)
+        # Head entity well above the median entity.
+        assert weights[0] > 20 * weights[len(weights) // 2]
+
+    def test_weights_are_citation_counts(self):
+        ds = generate_citations(n_records=100, seed=0)
+        assert all(r.weight >= 2.0 for r in ds.store)
+
+    def test_gold_partition_covers_store(self):
+        ds = generate_citations(n_records=150, seed=0)
+        covered = sorted(i for g in ds.gold_partition() for i in g)
+        assert covered == list(range(150))
+
+    def test_true_topk(self):
+        ds = generate_citations(n_records=500, seed=0)
+        top = ds.true_topk(3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            generate_citations(n_records=0)
+
+
+class TestAuthorIdf:
+    def test_prolific_surname_passes_rarity_threshold(self):
+        # S1 must be able to collapse the head entities: their (unique)
+        # surnames have to clear the suggested rarity threshold.
+        ds = generate_citations(n_records=2000, seed=0)
+        idf = author_idf(ds.store)
+        threshold = suggest_min_idf(idf)
+        top_entity = ds.true_topk(1)[0][0]
+        surname = ds.entity_names[top_entity].split()[-1]
+        assert idf.idf(surname) >= threshold
+
+    def test_first_names_more_frequent_than_surnames(self):
+        ds = generate_citations(n_records=2000, seed=0)
+        idf = author_idf(ds.store)
+        top_entity = ds.true_topk(1)[0][0]
+        first, *_, last = ds.entity_names[top_entity].split()
+        common_first_df = max(
+            idf.document_frequency(w) for w in ("john", "amit", "sunita")
+        )
+        assert common_first_df >= idf.document_frequency(last)
+
+    def test_suggest_min_idf_monotone_in_cap(self):
+        ds = generate_citations(n_records=500, seed=0)
+        idf = author_idf(ds.store)
+        assert suggest_min_idf(idf, df_cap=2) >= suggest_min_idf(idf, df_cap=10)
+
+    def test_invalid_cap(self):
+        ds = generate_citations(n_records=100, seed=0)
+        with pytest.raises(ValueError):
+            suggest_min_idf(author_idf(ds.store), df_cap=0)
+
+
+class TestStudents:
+    def test_fields(self):
+        ds = generate_students(n_records=200, seed=0)
+        record = ds.store[0]
+        for field in ("name", "class", "school", "dob", "paper"):
+            assert field in record.fields
+
+    def test_marks_positive_bounded(self):
+        ds = generate_students(n_records=300, seed=0)
+        assert all(1.0 <= r.weight <= 100.0 for r in ds.store)
+
+    def test_current_date_errors_present(self):
+        ds = generate_students(
+            n_records=2000, seed=0, current_date_error_rate=0.2
+        )
+        dobs = ds.store.field_values("dob")
+        assert CURRENT_DATE in dobs
+
+    def test_deterministic(self):
+        a = generate_students(n_records=200, seed=9)
+        b = generate_students(n_records=200, seed=9)
+        assert a.store.field_values("name") == b.store.field_values("name")
+
+    def test_entity_school_consistent(self):
+        ds = generate_students(n_records=500, seed=1)
+        by_entity: dict[int, set[str]] = {}
+        for record, label in zip(ds.store, ds.labels):
+            by_entity.setdefault(label, set()).add(record["school"])
+        assert all(len(schools) == 1 for schools in by_entity.values())
+
+
+class TestAddresses:
+    def test_fields(self):
+        ds = generate_addresses(n_records=200, seed=0)
+        for field in ("name", "address", "pin"):
+            assert field in ds.store[0].fields
+
+    def test_positive_worth(self):
+        ds = generate_addresses(n_records=200, seed=0)
+        assert all(r.weight > 0 for r in ds.store)
+
+    def test_address_content_words_sufficient(self):
+        # The N1 predicate needs >= 4 common content words to survive.
+        from repro.similarity.tokenize import ADDRESS_STOP_WORDS, content_word_set
+
+        ds = generate_addresses(n_records=200, seed=0)
+        for record in ds.store:
+            text = f"{record['name']} {record['address']}"
+            assert len(content_word_set(text, ADDRESS_STOP_WORDS)) >= 5
+
+    def test_sample_size(self):
+        ds = generate_address_sample(n_records=306)
+        assert ds.n_records == 306
+
+
+class TestRestaurants:
+    def test_table1_shape(self):
+        ds = generate_restaurants(n_records=860, duplicate_rate=0.17, seed=5)
+        assert ds.n_records == 860
+        # Table 1: 860 records over 734 groups -> roughly 120 duplicated.
+        assert 650 <= ds.n_entities <= 820
+
+    def test_duplicates_share_city(self):
+        ds = generate_restaurants(n_records=400, seed=2)
+        by_entity: dict[int, set[str]] = {}
+        for record, label in zip(ds.store, ds.labels):
+            by_entity.setdefault(label, set()).add(record["city"])
+        assert all(len(cities) == 1 for cities in by_entity.values())
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            generate_restaurants(n_records=10, duplicate_rate=2.0)
+
+
+class TestSamples:
+    def test_author_sample(self):
+        ds = generate_author_sample(n_records=500)
+        assert ds.n_records == 500
+        assert "name" in ds.store[0].fields
+
+    def test_getoor_sample(self):
+        ds = generate_getoor_sample(n_records=400)
+        assert ds.n_records == 400
+
+
+class TestSyntheticDatasetContainer:
+    def test_label_length_checked(self):
+        ds = generate_citations(n_records=50, seed=0)
+        with pytest.raises(ValueError):
+            SyntheticDataset(store=ds.store, labels=[0])
+
+    def test_subset(self):
+        ds = generate_citations(n_records=50, seed=0)
+        sub = ds.subset([5, 10, 15])
+        assert sub.n_records == 3
+        assert sub.labels == [ds.labels[5], ds.labels[10], ds.labels[15]]
+        assert sub.store[0]["author"] == ds.store[5]["author"]
+
+    def test_entity_weights_sum(self):
+        ds = generate_citations(n_records=80, seed=0)
+        assert sum(ds.entity_weights().values()) == pytest.approx(
+            ds.store.total_weight()
+        )

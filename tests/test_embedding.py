@@ -1,0 +1,119 @@
+"""Tests for greedy and spectral linear embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.correlation import ScoreMatrix
+from repro.embedding.greedy import (
+    LinearEmbedding,
+    greedy_embedding,
+    random_embedding,
+)
+from repro.embedding.spectral import spectral_embedding
+
+
+def clustered_instance() -> ScoreMatrix:
+    """Two clear clusters {0,1,2} and {3,4,5} plus cross negatives."""
+    m = ScoreMatrix(6)
+    for i, j in [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]:
+        m.set(i, j, 2.0)
+    for i in (0, 1, 2):
+        for j in (3, 4, 5):
+            m.set(i, j, -1.0)
+    return m
+
+
+def positions_of(embedding: LinearEmbedding) -> dict[int, int]:
+    return embedding.position_of()
+
+
+class TestGreedyEmbedding:
+    def test_order_is_permutation(self):
+        emb = greedy_embedding(clustered_instance())
+        assert sorted(emb.order) == list(range(6))
+
+    def test_clusters_contiguous(self):
+        emb = greedy_embedding(clustered_instance())
+        pos = positions_of(emb)
+        cluster_a = sorted(pos[i] for i in (0, 1, 2))
+        cluster_b = sorted(pos[i] for i in (3, 4, 5))
+        assert cluster_a == list(range(cluster_a[0], cluster_a[0] + 3))
+        assert cluster_b == list(range(cluster_b[0], cluster_b[0] + 3))
+
+    def test_break_between_unrelated_components(self):
+        m = ScoreMatrix(4)
+        m.set(0, 1, 1.0)
+        m.set(2, 3, 1.0)
+        emb = greedy_embedding(m)
+        assert len(emb.breaks) >= 2  # initial break + component switch
+
+    def test_better_cost_than_random(self):
+        m = clustered_instance()
+        greedy_cost = greedy_embedding(m).cost(m)
+        random_costs = [random_embedding(6, seed=s).cost(m) for s in range(10)]
+        assert greedy_cost <= min(random_costs) + 1e-9
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            greedy_embedding(clustered_instance(), alpha=1.0)
+
+    def test_empty(self):
+        assert greedy_embedding(ScoreMatrix(0)).order == []
+
+    def test_deterministic(self):
+        m = clustered_instance()
+        assert greedy_embedding(m).order == greedy_embedding(m).order
+
+    def test_seed_by_first(self):
+        emb = greedy_embedding(clustered_instance(), seed_by="first")
+        assert emb.order[0] == 0
+
+
+class TestSpectralEmbedding:
+    def test_order_is_permutation(self):
+        emb = spectral_embedding(clustered_instance())
+        assert sorted(emb.order) == list(range(6))
+
+    def test_components_kept_apart(self):
+        m = ScoreMatrix(4)
+        m.set(0, 1, 1.0)
+        m.set(2, 3, 1.0)
+        emb = spectral_embedding(m)
+        pos = positions_of(emb)
+        # Each component occupies a contiguous range.
+        assert abs(pos[0] - pos[1]) == 1
+        assert abs(pos[2] - pos[3]) == 1
+
+    def test_path_graph_recovers_path_order(self):
+        # A path 0-1-2-3-4 with strong adjacent similarities: the Fiedler
+        # vector orders the path monotonically.
+        m = ScoreMatrix(5)
+        for i in range(4):
+            m.set(i, i + 1, 1.0)
+        emb = spectral_embedding(m)
+        order = emb.order
+        assert order == sorted(order, key=lambda x: order.index(x))
+        assert order in ([0, 1, 2, 3, 4], [4, 3, 2, 1, 0])
+
+    def test_empty(self):
+        assert spectral_embedding(ScoreMatrix(0)).order == []
+
+    def test_singletons_are_fine(self):
+        m = ScoreMatrix(3)
+        emb = spectral_embedding(m)
+        assert sorted(emb.order) == [0, 1, 2]
+
+
+class TestEmbeddingCost:
+    def test_cost_counts_positive_pairs_by_distance(self):
+        m = ScoreMatrix(3)
+        m.set(0, 2, 1.0)
+        adjacent = LinearEmbedding(order=[0, 2, 1])
+        separated = LinearEmbedding(order=[0, 1, 2])
+        assert adjacent.cost(m) == 1.0
+        assert separated.cost(m) == 2.0
+
+    def test_negative_scores_ignored(self):
+        m = ScoreMatrix(2)
+        m.set(0, 1, -5.0)
+        assert LinearEmbedding(order=[0, 1]).cost(m) == 0.0

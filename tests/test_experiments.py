@@ -1,0 +1,172 @@
+"""Tests for the experiment drivers (small scales)."""
+
+import pytest
+
+from repro.experiments import (
+    accuracy_shape_checks,
+    citation_pipeline,
+    cpn_vs_naive_checks,
+    format_table,
+    prune_iteration_checks,
+    rank_query_checks,
+    run_cpn_vs_naive,
+    run_prune_iterations_ablation,
+    run_pruning_table,
+    run_rank_query_ablation,
+    run_timing_comparison,
+    shape_checks,
+    student_pipeline,
+    table1,
+    timing_shape_checks,
+)
+from repro.experiments.accuracy import figure7_cases, run_accuracy_case
+
+
+@pytest.fixture(scope="module")
+def citation():
+    return citation_pipeline(n_records=1200, with_scorer=True)
+
+
+@pytest.fixture(scope="module")
+def students():
+    return student_pipeline(n_records=1200)
+
+
+class TestPruningTables:
+    def test_rows_per_level(self, citation):
+        rows = run_pruning_table(citation, k_values=(1, 10))
+        # Two levels per K.
+        assert len(rows) in (3, 4)  # early termination may skip level 2
+        assert {r["K"] for r in rows} == {1, 10}
+
+    def test_shape_checks_pass(self, citation):
+        rows = run_pruning_table(citation, k_values=(1, 10, 50))
+        checks = shape_checks(rows)
+        assert checks["small_k_prunes_hard"]
+        assert checks["bound_shrinks_with_k"]
+
+    def test_k_beyond_data_skipped(self, students):
+        rows = run_pruning_table(students, k_values=(1, 10**9))
+        assert {r["K"] for r in rows} == {1}
+
+
+class TestTiming:
+    def test_rows_and_checks(self, citation):
+        rows = run_timing_comparison(citation, k_values=(1,), include_none=False)
+        methods = {r["method"] for r in rows}
+        assert methods == {"canopy", "canopy+collapse", "pruned-dedup"}
+        checks = timing_shape_checks(rows)
+        assert "pruned_beats_canopy_collapse" in checks
+
+    def test_requires_scorer(self, students):
+        with pytest.raises(ValueError):
+            run_timing_comparison(students, k_values=(1,))
+
+
+class TestAccuracy:
+    def test_single_case_metrics(self):
+        case = figure7_cases(scale=0.08)[2]  # Address, smallest
+        row = run_accuracy_case(case)
+        assert 0.0 <= float(row["seg_f1"]) <= 100.0
+        assert 0.0 <= float(row["transitive_f1"]) <= 100.0
+        assert int(row["lp_groups"]) <= int(row["records"])
+
+    def test_table1_projection(self):
+        rows = [
+            {
+                "dataset": "X",
+                "records": 10,
+                "lp_groups": 7,
+                "lp_integral": True,
+                "seg_f1": 99.0,
+                "transitive_f1": 95.0,
+            }
+        ]
+        t = table1(rows)
+        assert t[0]["# Records"] == 10
+        assert t[0]["# Groups in LP"] == 7
+
+    def test_shape_checks(self):
+        rows = [
+            {"seg_f1": 99.5, "transitive_f1": 95.0, "seg_score": 10.0,
+             "lp_score": 10.0},
+            {"seg_f1": 100.0, "transitive_f1": 100.0, "seg_score": 5.0,
+             "lp_score": 4.0},
+        ]
+        checks = accuracy_shape_checks(rows)
+        assert checks["segmentation_high_f1"]
+        assert checks["segmentation_ge_transitive"]
+        assert checks["segmentation_score_ge_lp"]
+
+
+class TestAblations:
+    def test_prune_iterations(self, students):
+        rows = run_prune_iterations_ablation(students, k_values=(1, 10))
+        checks = prune_iteration_checks(rows)
+        assert checks["second_pass_tightens"]
+
+    def test_cpn_vs_naive(self, citation):
+        rows = run_cpn_vs_naive(citation, k_values=(1, 5))
+        checks = cpn_vs_naive_checks(rows)
+        assert checks["m_no_later"]
+        assert checks["bound_no_smaller"]
+
+    def test_rank_query(self, students):
+        rows = run_rank_query_ablation(students, k_values=(1, 10))
+        checks = rank_query_checks(rows)
+        assert checks["rank_no_bigger"]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 100, "b": 0.25}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "100" in lines[-1]
+        assert "0.25" in lines[-1]
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestScaling:
+    def test_sweep_rows(self):
+        from repro.experiments import run_scaling_sweep, scaling_checks
+
+        rows = run_scaling_sweep("students", sizes=(400, 800), k=5)
+        assert [r["n_records"] for r in rows] == [400, 800]
+        assert all(float(r["seconds"]) >= 0 for r in rows)
+        checks = scaling_checks(rows)
+        assert set(checks) == {
+            "retained_fraction_not_growing",
+            "subquadratic_runtime",
+        }
+
+    def test_unknown_dataset(self):
+        import pytest as _pytest
+
+        from repro.experiments import run_scaling_sweep
+
+        with _pytest.raises(ValueError):
+            run_scaling_sweep("bogus")
+
+
+class TestFidelity:
+    def test_sweep_shape(self):
+        from repro.experiments import fidelity_checks, run_fidelity_sweep
+
+        row = run_fidelity_sweep(n_instances=8, n_items=6, k=1, r=2)
+        assert row["instances"] > 0
+        assert 0.0 <= float(row["top1_match_pct"]) <= 100.0
+        checks = fidelity_checks(row)
+        assert set(checks) == {
+            "mostly_exact_top1",
+            "almost_always_exact_top3",
+            "score_close",
+        }

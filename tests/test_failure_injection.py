@@ -1,0 +1,144 @@
+"""Failure-injection tests: misbehaving predicates and hostile inputs.
+
+The pruning guarantees assume predicates honour their roles; these tests
+document what happens when they do not (degraded answers, never crashes)
+and that odd-but-legal inputs flow through every stage.
+"""
+
+import pytest
+
+from repro.core.pruned_dedup import pruned_dedup
+from repro.core.records import RecordStore
+from repro.core.topk import topk_count_query
+from repro.predicates.base import FunctionPredicate, PredicateLevel
+from repro.predicates.validate import validate_necessary, validate_sufficient
+from repro.scoring.pairwise import WeightedScorer
+from repro.similarity.vectorize import name_only_featurizer
+from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+
+
+def lying_sufficient() -> FunctionPredicate:
+    """Fires on records sharing any word — NOT actually sufficient."""
+    return FunctionPredicate(
+        evaluate_fn=lambda a, b: bool(
+            set(a["name"].split()) & set(b["name"].split())
+        ),
+        keys_fn=lambda r: r["name"].split(),
+        name="lying-sufficient",
+    )
+
+
+def lying_necessary() -> FunctionPredicate:
+    """Requires exact equality — NOT necessary for real duplicates."""
+    return FunctionPredicate(
+        evaluate_fn=lambda a, b: a["name"] == b["name"],
+        keys_fn=lambda r: [r["name"]],
+        name="lying-necessary",
+    )
+
+
+class TestLyingPredicates:
+    def test_over_merging_sufficient_runs_but_pollutes(self):
+        # 'ann smith' and 'bob smith' are different entities but share a
+        # word: the pipeline completes, with an over-merged top group.
+        store = make_store(["ann smith"] * 3 + ["bob smith"] * 2 + ["cara lee"])
+        levels = [PredicateLevel(lying_sufficient(), shared_word_predicate())]
+        result = pruned_dedup(store, 1, levels)
+        assert len(result.groups) >= 1
+        assert result.groups.weights()[0] == 5.0  # wrong but well-formed
+
+    def test_validator_catches_the_lie(self):
+        store = make_store(["ann smith", "bob smith"])
+        labels = [0, 1]
+        report = validate_sufficient(lying_sufficient(), list(store), labels)
+        assert not report.ok
+
+    def test_too_tight_necessary_loses_duplicates_quietly(self):
+        # Real duplicates 'ann smith'/'a smith' fail the lying N, so the
+        # bound is computed over split groups — still no crash, and the
+        # retained set is well-formed.
+        store = make_store(["ann smith"] * 3 + ["a smith"] * 2 + ["bob j"])
+        levels = [PredicateLevel(exact_name_predicate(), lying_necessary())]
+        result = pruned_dedup(store, 1, levels)
+        covered = result.groups.covered_record_ids()
+        assert len(covered) == len(set(covered))
+
+    def test_validator_catches_too_tight_necessary(self):
+        store = make_store(["ann smith", "a smith"])
+        labels = [0, 0]
+        report = validate_necessary(lying_necessary(), list(store), labels)
+        assert not report.ok
+
+
+class TestHostileInputs:
+    def scorer(self):
+        featurizer = name_only_featurizer()
+        return WeightedScorer(
+            featurizer, [2.0, 2.0, 1.0, 1.0, 2.0], bias=-3.5
+        )
+
+    def levels(self):
+        return [PredicateLevel(exact_name_predicate(), shared_word_predicate())]
+
+    def test_empty_field_values(self):
+        store = make_store(["", "", "ann smith", "ann smith", "x"])
+        result = pruned_dedup(store, 2, self.levels())
+        assert len(result.groups) >= 1
+
+    def test_unicode_and_punctuation(self):
+        from repro.predicates.library import ExactFieldsPredicate
+
+        store = make_store(
+            ["josé garcía-márquez"] * 3 + ["José García-Márquez"] * 2 + ["李雷"]
+        )
+        levels = [
+            PredicateLevel(
+                ExactFieldsPredicate(["name"]), shared_word_predicate()
+            )
+        ]
+        result = pruned_dedup(store, 1, levels)
+        # The normalized exact match collapses the case variants.
+        assert result.groups.weights()[0] == 5.0
+
+    def test_single_record(self):
+        store = make_store(["only one"])
+        result = topk_count_query(
+            store, 1, self.levels(), self.scorer(), label_field="name"
+        )
+        assert result.exact
+        assert result.best.entities[0].weight == 1.0
+
+    def test_all_identical_records(self):
+        store = make_store(["same"] * 50)
+        result = topk_count_query(
+            store, 1, self.levels(), self.scorer(), label_field="name"
+        )
+        assert result.best.entities[0].weight == 50.0
+
+    def test_all_distinct_records_all_tied(self):
+        # Every record is a distinct entity of weight 1: the K-th group
+        # bound ties every group's weight, so nothing can be pruned —
+        # the safe (and correct) outcome.
+        store = make_store([f"n{i} x{i}" for i in range(30)])
+        result = pruned_dedup(store, 3, self.levels())
+        assert len(result.groups) == 30
+
+    def test_all_records_share_a_token(self):
+        # A token shared by everyone makes the N-graph one clique: fewer
+        # than K distinct groups can be certified, so pruning must stand
+        # down rather than guess.
+        store = make_store([f"name {i} x{i}" for i in range(30)])
+        result = pruned_dedup(store, 3, self.levels())
+        assert not result.stats[0].certified
+        assert len(result.groups) == 30
+
+    def test_zero_weight_records(self):
+        store = make_store(["a", "a", "b"], weights=[0.0, 0.0, 1.0])
+        result = pruned_dedup(store, 1, self.levels())
+        assert result.groups.weights()[0] == 1.0
+
+    def test_very_long_field(self):
+        long_name = " ".join(f"tok{i}" for i in range(500))
+        store = make_store([long_name] * 2 + ["short"])
+        result = pruned_dedup(store, 1, self.levels())
+        assert result.groups.weights()[0] == 2.0

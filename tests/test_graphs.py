@@ -1,0 +1,153 @@
+"""Unit tests for the graph substrate (union-find, Graph, triangulation)."""
+
+import pytest
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.triangulation import (
+    is_perfect_elimination_ordering,
+    min_fill_ordering,
+)
+from repro.graphs.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.n_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.n_components == 4
+        assert uf.connected(0, 1)
+
+    def test_union_same_component_returns_false(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert not uf.union(0, 2)
+
+    def test_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+
+    def test_component_size(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(0, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(3) == 1
+
+    def test_components_largest_first(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        comps = uf.components()
+        assert sorted(comps[0]) == [0, 1, 2]
+        assert sorted(comps[1]) == [3, 4]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_empty(self):
+        assert UnionFind(0).components() == []
+
+
+class TestGraph:
+    def test_add_edge_and_neighbors(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.neighbors(0) == {1}
+        assert g.degree(1) == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = Graph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 5)
+
+    def test_edges_iterates_once(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+        assert g.n_edges == 2
+
+    def test_add_vertex(self):
+        g = Graph(1)
+        v = g.add_vertex()
+        assert v == 1
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+
+    def test_subgraph_renumbers(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.n_vertices == 3
+        assert sub.has_edge(0, 1)  # old (1, 2)
+        assert sub.has_edge(1, 2)  # old (2, 3)
+        assert not sub.has_edge(0, 2)
+
+    def test_copy_independent(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        clone = g.copy()
+        clone.add_edge(1, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_remove_incident_edges(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        g.remove_incident_edges(1)
+        assert g.n_edges == 0
+        assert g.neighbors(0) == set()
+
+
+class TestMinFill:
+    def test_ordering_is_permutation(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        ordering, filled = min_fill_ordering(g)
+        assert sorted(ordering) == list(range(5))
+
+    def test_filled_graph_is_chordal(self):
+        # A 5-cycle needs fill edges; the result must admit a PEO.
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        ordering, filled = min_fill_ordering(g)
+        assert is_perfect_elimination_ordering(filled, ordering)
+
+    def test_filled_contains_original_edges(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        _, filled = min_fill_ordering(g)
+        for u, v in g.edges():
+            assert filled.has_edge(u, v)
+
+    def test_tree_needs_no_fill(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        _, filled = min_fill_ordering(g)
+        assert filled.n_edges == g.n_edges
+
+    def test_chordal_input_unchanged(self):
+        # A triangle with a pendant: already chordal.
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        ordering, filled = min_fill_ordering(g)
+        assert filled.n_edges == g.n_edges
+        assert is_perfect_elimination_ordering(filled, ordering)
+
+    def test_empty_graph(self):
+        ordering, filled = min_fill_ordering(Graph(0))
+        assert ordering == []
+        assert filled.n_vertices == 0
+
+    def test_peo_checker_rejects_bad_order(self):
+        # On a path 0-1-2, eliminating the middle vertex first requires
+        # its two neighbors to be adjacent (they are not).
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert not is_perfect_elimination_ordering(g, [1, 0, 2])
+        assert is_perfect_elimination_ordering(g, [0, 1, 2])

@@ -1,0 +1,237 @@
+"""Tests for agglomerative hierarchical grouping (Section 5.2)."""
+
+import pytest
+
+from repro.clustering.correlation import ScoreMatrix, partition_score
+from repro.clustering.hierarchical import agglomerate
+from repro.embedding.greedy import greedy_embedding
+from repro.embedding.segmentation import best_partition
+
+
+def two_cluster_matrix() -> ScoreMatrix:
+    m = ScoreMatrix(5)
+    for i, j in [(0, 1), (0, 2), (1, 2), (3, 4)]:
+        m.set(i, j, 2.0)
+    for i in (0, 1, 2):
+        for j in (3, 4):
+            m.set(i, j, -2.0)
+    return m
+
+
+def canonical(partition):
+    return sorted(tuple(sorted(g)) for g in partition)
+
+
+class TestAgglomerate:
+    def test_two_clusters_average_link(self):
+        h = agglomerate(two_cluster_matrix(), linkage="average")
+        partition, _ = h.best_frontier(two_cluster_matrix())
+        assert canonical(partition) == [(0, 1, 2), (3, 4)]
+
+    def test_single_link(self):
+        h = agglomerate(two_cluster_matrix(), linkage="single")
+        partition, _ = h.best_frontier(two_cluster_matrix())
+        assert canonical(partition) == [(0, 1, 2), (3, 4)]
+
+    def test_leaf_order_covers_everything(self):
+        h = agglomerate(two_cluster_matrix())
+        assert sorted(h.leaf_order()) == list(range(5))
+
+    def test_negative_links_never_merged(self):
+        m = ScoreMatrix(2)
+        m.set(0, 1, -1.0)
+        h = agglomerate(m)
+        assert len(h.roots) == 2
+
+    def test_invalid_linkage(self):
+        with pytest.raises(ValueError):
+            agglomerate(ScoreMatrix(2), linkage="complete")
+
+    def test_frontier_score_consistent(self):
+        m = two_cluster_matrix()
+        h = agglomerate(m)
+        partition, score = h.best_frontier(m)
+        assert score == pytest.approx(partition_score(partition, m))
+
+    def test_chain_merges_in_similarity_order(self):
+        m = ScoreMatrix(3)
+        m.set(0, 1, 5.0)
+        m.set(1, 2, 1.0)
+        h = agglomerate(m)
+        # First merge must be the strongest pair (0, 1).
+        first_internal = next(n for n in h.nodes if n.children is not None)
+        assert sorted(first_internal.members) == [0, 1]
+
+
+class TestSegmentationSubsumesHierarchy:
+    """Section 5.3: segmentations of the hierarchy's leaf order form a
+    strict superset of frontier groupings, so the DP never scores worse.
+    """
+
+    def test_segmentation_at_least_frontier(self):
+        for matrix in (two_cluster_matrix(),):
+            h = agglomerate(matrix)
+            _, frontier_score = h.best_frontier(matrix)
+            from repro.embedding.greedy import LinearEmbedding
+
+            embedding = LinearEmbedding(order=h.leaf_order(), breaks={0})
+            partition = best_partition(matrix, embedding, max_span=5)
+            seg_score = partition_score(partition, matrix)
+            assert seg_score >= frontier_score - 1e-9
+
+    def test_segmentation_beats_frontier_on_interleaved_case(self):
+        # A case where the best grouping is not a frontier of the greedy
+        # merge tree: chain a-b-c with a strong a-c link that average
+        # linkage dilutes.
+        m = ScoreMatrix(4)
+        m.set(0, 1, 3.0)
+        m.set(2, 3, 3.0)
+        m.set(1, 2, 2.9)
+        m.set(0, 3, -4.0)
+        h = agglomerate(m)
+        _, frontier_score = h.best_frontier(m)
+        from repro.embedding.greedy import LinearEmbedding
+
+        embedding = LinearEmbedding(order=h.leaf_order(), breaks={0})
+        partition = best_partition(m, embedding, max_span=4)
+        assert partition_score(partition, m) >= frontier_score
+
+
+class TestTopRFrontiers:
+    def test_best_matches_best_frontier(self):
+        from repro.clustering.hierarchical import top_r_frontiers
+
+        m = two_cluster_matrix()
+        h = agglomerate(m)
+        _, frontier_score = h.best_frontier(m)
+        ranked = top_r_frontiers(h, m, r=3)
+        assert ranked[0][1] == pytest.approx(frontier_score)
+
+    def test_sorted_and_distinct(self):
+        from repro.clustering.hierarchical import top_r_frontiers
+
+        m = two_cluster_matrix()
+        h = agglomerate(m)
+        ranked = top_r_frontiers(h, m, r=5)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        keys = {
+            tuple(sorted(tuple(sorted(g)) for g in p)) for p, _ in ranked
+        }
+        assert len(keys) == len(ranked)
+
+    def test_partitions_valid(self):
+        from repro.clustering.hierarchical import top_r_frontiers
+
+        m = two_cluster_matrix()
+        h = agglomerate(m)
+        for partition, _ in top_r_frontiers(h, m, r=4):
+            flat = sorted(i for g in partition for i in g)
+            assert flat == list(range(5))
+
+    def test_r_one(self):
+        from repro.clustering.hierarchical import top_r_frontiers
+
+        m = two_cluster_matrix()
+        h = agglomerate(m)
+        assert len(top_r_frontiers(h, m, r=1)) == 1
+
+    def test_invalid_r(self):
+        from repro.clustering.hierarchical import top_r_frontiers
+
+        m = two_cluster_matrix()
+        h = agglomerate(m)
+        with pytest.raises(ValueError):
+            top_r_frontiers(h, m, r=0)
+
+    def test_every_frontier_is_a_segmentation(self):
+        # Section 5.3's subsumption claim: every frontier partition is a
+        # segmentation of the hierarchy's leaf order (contiguous groups).
+        from repro.clustering.hierarchical import top_r_frontiers
+
+        m = two_cluster_matrix()
+        h = agglomerate(m)
+        position = {item: idx for idx, item in enumerate(h.leaf_order())}
+        for partition, _ in top_r_frontiers(h, m, r=5):
+            for group in partition:
+                positions = sorted(position[i] for i in group)
+                assert positions == list(
+                    range(positions[0], positions[0] + len(positions))
+                ), "frontier group not contiguous in leaf order"
+
+    def test_unconstrained_segmentation_dominates_frontier_best(self):
+        from repro.clustering.hierarchical import top_r_frontiers
+        from repro.embedding.greedy import LinearEmbedding
+        from repro.embedding.segmentation import best_partition
+
+        m = two_cluster_matrix()
+        h = agglomerate(m)
+        frontier = top_r_frontiers(h, m, r=1)
+        embedding = LinearEmbedding(order=h.leaf_order(), breaks={0})
+        partition = best_partition(m, embedding, max_span=5)
+        assert partition_score(partition, m) >= frontier[0][1] - 1e-9
+
+
+class TestDivideAndMerge:
+    def test_recovers_two_clusters(self):
+        from repro.clustering.hierarchical import divide_and_merge
+
+        m = two_cluster_matrix()
+        h = divide_and_merge(m)
+        partition, _ = h.best_frontier(m)
+        assert canonical(partition) == [(0, 1, 2), (3, 4)]
+
+    def test_leaf_order_covers_everything(self):
+        from repro.clustering.hierarchical import divide_and_merge
+
+        m = two_cluster_matrix()
+        h = divide_and_merge(m)
+        assert sorted(h.leaf_order()) == list(range(5))
+
+    def test_children_precede_parents(self):
+        from repro.clustering.hierarchical import divide_and_merge
+
+        m = two_cluster_matrix()
+        h = divide_and_merge(m)
+        for node in h.nodes:
+            if node.children is not None:
+                assert node.children[0] < node.node_id
+                assert node.children[1] < node.node_id
+
+    def test_singletons(self):
+        from repro.clustering.correlation import ScoreMatrix
+        from repro.clustering.hierarchical import divide_and_merge
+
+        m = ScoreMatrix(3)
+        h = divide_and_merge(m)
+        partition, _ = h.best_frontier(m)
+        assert canonical(partition) == [(0,), (1,), (2,)]
+
+    def test_top_r_frontiers_compose(self):
+        from repro.clustering.hierarchical import divide_and_merge, top_r_frontiers
+
+        m = two_cluster_matrix()
+        h = divide_and_merge(m)
+        ranked = top_r_frontiers(h, m, r=3)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_comparable_to_agglomerative(self):
+        import numpy as np
+
+        from repro.clustering.correlation import ScoreMatrix, partition_score
+        from repro.clustering.hierarchical import divide_and_merge
+
+        rng = np.random.default_rng(3)
+        m = ScoreMatrix(12)
+        labels = [i // 4 for i in range(12)]
+        for i in range(12):
+            for j in range(i + 1, 12):
+                mean = 2.0 if labels[i] == labels[j] else -2.0
+                m.set(i, j, mean + float(rng.normal(0, 0.3)))
+        dm = divide_and_merge(m)
+        ag = agglomerate(m)
+        dm_partition, dm_score = dm.best_frontier(m)
+        ag_partition, ag_score = ag.best_frontier(m)
+        # On clean planted data both hybrids find the planted clustering.
+        assert canonical(dm_partition) == canonical(ag_partition)

@@ -1,0 +1,70 @@
+"""Unit tests for repro.similarity.measures."""
+
+import pytest
+
+from repro.similarity.measures import (
+    common_fraction_of_smaller,
+    containment,
+    cosine_set,
+    dice,
+    jaccard,
+    overlap_coefficient,
+    overlap_count,
+)
+
+A = frozenset({"a", "b", "c"})
+B = frozenset({"b", "c", "d", "e"})
+EMPTY = frozenset()
+
+
+class TestJaccard:
+    def test_known_value(self):
+        assert jaccard(A, B) == pytest.approx(2 / 5)
+
+    def test_identical(self):
+        assert jaccard(A, A) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(A, frozenset({"x"})) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(EMPTY, EMPTY) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard(A, EMPTY) == 0.0
+
+    def test_symmetric(self):
+        assert jaccard(A, B) == jaccard(B, A)
+
+
+class TestOverlap:
+    def test_count(self):
+        assert overlap_count(A, B) == 2
+
+    def test_coefficient_uses_smaller(self):
+        assert overlap_coefficient(A, B) == pytest.approx(2 / 3)
+
+    def test_coefficient_subset_is_one(self):
+        assert overlap_coefficient(frozenset({"b", "c"}), B) == 1.0
+
+    def test_coefficient_empty(self):
+        assert overlap_coefficient(EMPTY, EMPTY) == 1.0
+        assert overlap_coefficient(A, EMPTY) == 0.0
+
+    def test_common_fraction_accepts_lists(self):
+        assert common_fraction_of_smaller(["a", "b"], ["b", "c"]) == 0.5
+
+
+class TestDiceCosineContainment:
+    def test_dice(self):
+        assert dice(A, B) == pytest.approx(4 / 7)
+
+    def test_cosine(self):
+        assert cosine_set(A, B) == pytest.approx(2 / (12 ** 0.5))
+
+    def test_containment_directional(self):
+        assert containment(A, B) == pytest.approx(2 / 3)
+        assert containment(B, A) == pytest.approx(2 / 4)
+
+    def test_containment_empty_base(self):
+        assert containment(EMPTY, A) == 1.0

@@ -1,0 +1,122 @@
+"""Tests for pairwise partition metrics."""
+
+import pytest
+
+from repro.clustering.metrics import (
+    groups_from_labels,
+    pairwise_f1,
+    pairwise_scores,
+)
+
+
+class TestPairwiseScores:
+    def test_identical_partitions(self):
+        p = [[0, 1, 2], [3, 4]]
+        s = pairwise_scores(p, p)
+        assert s.precision == 1.0
+        assert s.recall == 1.0
+        assert s.f1 == 1.0
+
+    def test_all_singletons_vs_grouped(self):
+        predicted = [[0], [1], [2]]
+        reference = [[0, 1, 2]]
+        s = pairwise_scores(predicted, reference)
+        assert s.precision == 1.0  # no predicted pairs -> vacuous
+        assert s.recall == 0.0
+        assert s.f1 == 0.0
+
+    def test_known_counts(self):
+        predicted = [[0, 1], [2, 3]]
+        reference = [[0, 1, 2], [3]]
+        s = pairwise_scores(predicted, reference)
+        assert s.true_positives == 1  # only (0,1)
+        assert s.predicted_pairs == 2
+        assert s.reference_pairs == 3
+        assert s.precision == pytest.approx(0.5)
+        assert s.recall == pytest.approx(1 / 3)
+
+    def test_oversplit_vs_overmerge(self):
+        reference = [[0, 1, 2, 3]]
+        oversplit = [[0, 1], [2, 3]]
+        overmerged = [[0, 1, 2, 3, 4]]
+        s_split = pairwise_scores(oversplit, reference)
+        s_merge = pairwise_scores(overmerged, reference + [[4]])
+        assert s_split.precision == 1.0 and s_split.recall < 1.0
+        assert s_merge.recall == 1.0 and s_merge.precision < 1.0
+
+    def test_duplicate_item_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_scores([[0, 1], [1]], [[0], [1]])
+
+    def test_items_missing_from_reference_ignored(self):
+        predicted = [[0, 1], [5, 6]]
+        reference = [[0, 1]]
+        s = pairwise_scores(predicted, reference)
+        assert s.true_positives == 1
+        assert s.recall == 1.0
+
+    def test_f1_shorthand(self):
+        assert pairwise_f1([[0, 1]], [[0, 1]]) == 1.0
+
+
+class TestGroupsFromLabels:
+    def test_basic(self):
+        groups = groups_from_labels([0, 1, 0, 1, 1])
+        assert sorted(tuple(sorted(g)) for g in groups) == [(0, 2), (1, 3, 4)]
+
+    def test_largest_first(self):
+        groups = groups_from_labels([0, 1, 1, 1])
+        assert len(groups[0]) == 3
+
+
+class TestBCubed:
+    def test_identical_partitions(self):
+        from repro.clustering.metrics import bcubed_scores
+
+        p = [[0, 1, 2], [3, 4]]
+        s = bcubed_scores(p, p)
+        assert s.precision == 1.0
+        assert s.recall == 1.0
+        assert s.f1 == 1.0
+
+    def test_known_value(self):
+        from repro.clustering.metrics import bcubed_scores
+
+        predicted = [[0, 1], [2, 3]]
+        reference = [[0, 1, 2], [3]]
+        s = bcubed_scores(predicted, reference)
+        # precision per item: 0,1 -> 1; 2 -> 1/2; 3 -> 1/2 => 3/4
+        assert s.precision == pytest.approx(0.75)
+        # recall per item: 0 -> 2/3; 1 -> 2/3; 2 -> 1/3; 3 -> 1 => 2/3
+        assert s.recall == pytest.approx((2 / 3 + 2 / 3 + 1 / 3 + 1) / 4)
+
+    def test_oversplit_perfect_precision(self):
+        from repro.clustering.metrics import bcubed_scores
+
+        s = bcubed_scores([[0], [1], [2]], [[0, 1, 2]])
+        assert s.precision == 1.0
+        assert s.recall == pytest.approx(1 / 3)
+
+    def test_overmerge_perfect_recall(self):
+        from repro.clustering.metrics import bcubed_scores
+
+        s = bcubed_scores([[0, 1, 2]], [[0], [1], [2]])
+        assert s.recall == 1.0
+        assert s.precision == pytest.approx(1 / 3)
+
+    def test_disjoint_item_sets(self):
+        from repro.clustering.metrics import bcubed_scores
+
+        s = bcubed_scores([[0, 1]], [[5, 6]])
+        assert s.f1 == 1.0  # vacuous
+
+    def test_less_sensitive_to_large_cluster_than_pairwise(self):
+        from repro.clustering.metrics import bcubed_scores, pairwise_scores
+
+        # One big correct cluster plus several split small ones: the big
+        # cluster dominates pairwise counts; B3 weights items equally.
+        reference = [list(range(20)), [20, 21], [22, 23]]
+        predicted = [list(range(20)), [20], [21], [22], [23]]
+        pw = pairwise_scores(predicted, reference)
+        b3 = bcubed_scores(predicted, reference)
+        assert b3.recall < pw.recall  # B3 punishes the lost small pairs more

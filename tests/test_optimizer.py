@@ -1,0 +1,124 @@
+"""Tests for the predicate-selection optimizer (future-work feature)."""
+
+import pytest
+
+from repro.core.records import GroupSet
+from repro.datasets import author_idf, generate_citations, suggest_min_idf
+from repro.predicates import citation_levels
+from repro.predicates.base import FunctionPredicate, PredicateLevel
+from repro.predicates.optimizer import (
+    order_levels,
+    profile_level,
+    sample_store,
+)
+from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+
+
+def useless_level() -> PredicateLevel:
+    """A level that never collapses and never prunes (N always true)."""
+    never = FunctionPredicate(
+        evaluate_fn=lambda a, b: False,
+        keys_fn=lambda r: [],
+        name="never-sufficient",
+    )
+    always = FunctionPredicate(
+        evaluate_fn=lambda a, b: True,
+        keys_fn=lambda r: ["all"],
+        name="always-necessary",
+    )
+    return PredicateLevel(never, always, name="useless")
+
+
+def good_level() -> PredicateLevel:
+    return PredicateLevel(
+        exact_name_predicate(), shared_word_predicate(), name="good"
+    )
+
+
+class TestSampleStore:
+    def test_smaller_sample(self):
+        store = make_store([f"name {i}" for i in range(100)])
+        sample = sample_store(store, 10, seed=0)
+        assert len(sample) == 10
+        assert sample[0].record_id == 0  # renumbered
+
+    def test_full_when_n_large(self):
+        store = make_store(["a", "b"])
+        assert sample_store(store, 10) is store
+
+    def test_deterministic(self):
+        store = make_store([f"name {i}" for i in range(100)])
+        a = sample_store(store, 10, seed=3)
+        b = sample_store(store, 10, seed=3)
+        assert [r["name"] for r in a] == [r["name"] for r in b]
+
+
+class TestProfileLevel:
+    def test_profile_counts(self):
+        store = make_store(["a"] * 5 + ["b"] * 3 + ["c"])
+        profile, result = profile_level(
+            GroupSet.singletons(store), good_level(), k=1
+        )
+        assert profile.groups_before == 9
+        assert profile.groups_after_collapse == 3
+        assert profile.groups_after_prune <= 3
+        assert profile.seconds >= 0.0
+        assert 0.0 <= profile.reduction <= 1.0
+        assert len(result) == profile.groups_after_prune
+
+    def test_useless_level_profile(self):
+        store = make_store(["a", "b", "c"])
+        profile, result = profile_level(
+            GroupSet.singletons(store), useless_level(), k=1
+        )
+        assert profile.reduction <= 0.5  # nothing collapses
+
+
+class TestOrderLevels:
+    def test_good_level_chosen_over_useless(self):
+        store = make_store(["a"] * 20 + ["b"] * 10 + [f"x{i}" for i in range(30)])
+        chosen, profiles = order_levels(
+            [useless_level(), good_level()], store, k=1, sample_size=60
+        )
+        assert chosen[0].name == "good"
+        assert all(p.level_name for p in profiles)
+
+    def test_useless_level_dropped(self):
+        store = make_store(["a"] * 20 + ["b"] * 10 + [f"x{i}" for i in range(30)])
+        chosen, _ = order_levels(
+            [useless_level(), good_level()],
+            store,
+            k=1,
+            sample_size=60,
+            min_marginal_reduction=0.05,
+        )
+        assert all(level.name != "useless" for level in chosen)
+
+    def test_never_empty_plan(self):
+        store = make_store(["a", "b", "c"])
+        chosen, profiles = order_levels(
+            [useless_level()], store, k=1, sample_size=3
+        )
+        assert len(chosen) == 1
+        assert len(profiles) == 1
+
+    def test_validation(self):
+        store = make_store(["a"])
+        with pytest.raises(ValueError):
+            order_levels([], store, k=1)
+        with pytest.raises(ValueError):
+            order_levels([good_level()], store, k=0)
+
+    def test_on_citation_suite(self):
+        ds = generate_citations(n_records=800, seed=2)
+        idf = author_idf(ds.store)
+        levels = citation_levels(idf, suggest_min_idf(idf))
+        chosen, profiles = order_levels(
+            levels, ds.store, k=5, sample_size=400
+        )
+        assert 1 <= len(chosen) <= 2
+        # The plan must work end-to-end.
+        from repro.core import pruned_dedup
+
+        result = pruned_dedup(ds.store, 5, chosen)
+        assert len(result.groups) >= 5

@@ -1,0 +1,360 @@
+"""Unit tests for the concrete Section 6.1 predicate suites."""
+
+import pytest
+
+from repro.core.records import RecordStore
+from repro.predicates.base import ConjunctionPredicate, PredicateLevel
+from repro.predicates.library import (
+    AddressS1,
+    CitationS1,
+    CitationS2,
+    CommonWordsPredicate,
+    ExactFieldsPredicate,
+    InitialsWordOverlapPredicate,
+    JaccardPredicate,
+    NgramOverlapPredicate,
+    address_levels,
+    citation_levels,
+    citation_n1,
+    citation_n2,
+    student_levels,
+    student_n1,
+    student_s1,
+    student_s2,
+)
+from repro.similarity.tfidf import IdfTable
+
+
+def record(**fields):
+    return RecordStore.from_rows([fields])[0]
+
+
+def records(*rows):
+    return list(RecordStore.from_rows(list(rows)))
+
+
+class TestExactFields:
+    def test_match_is_normalized(self):
+        a, b = records({"name": "Ann  Smith"}, {"name": "ann smith"})
+        p = ExactFieldsPredicate(["name"])
+        assert p.evaluate(a, b)
+        assert list(p.blocking_keys(a)) == list(p.blocking_keys(b))
+
+    def test_mismatch(self):
+        a, b = records({"name": "ann"}, {"name": "bob"})
+        assert not ExactFieldsPredicate(["name"]).evaluate(a, b)
+
+    def test_multi_field(self):
+        a, b = records(
+            {"name": "ann", "dob": "2000"}, {"name": "ann", "dob": "2001"}
+        )
+        assert not ExactFieldsPredicate(["name", "dob"]).evaluate(a, b)
+
+    def test_requires_fields(self):
+        with pytest.raises(ValueError):
+            ExactFieldsPredicate([])
+
+
+class TestNgramOverlap:
+    def test_identical_names(self):
+        a, b = records({"name": "sarawagi"}, {"name": "sarawagi"})
+        assert NgramOverlapPredicate("name", 0.9).evaluate(a, b)
+
+    def test_typo_passes_moderate_threshold(self):
+        a, b = records({"name": "sarawagi"}, {"name": "sarawagl"})
+        assert NgramOverlapPredicate("name", 0.6).evaluate(a, b)
+
+    def test_different_names_fail(self):
+        a, b = records({"name": "sarawagi"}, {"name": "kasliwal"})
+        assert not NgramOverlapPredicate("name", 0.6).evaluate(a, b)
+
+    def test_exact_fields_gate(self):
+        a, b = records(
+            {"name": "ann", "school": "s1"}, {"name": "ann", "school": "s2"}
+        )
+        p = NgramOverlapPredicate("name", 0.5, exact_fields=("school",))
+        assert not p.evaluate(a, b)
+        keys_a = set(p.blocking_keys(a))
+        keys_b = set(p.blocking_keys(b))
+        assert not keys_a & keys_b
+
+    def test_common_initial_gate(self):
+        # High gram overlap but different initials ('a...' vs 'b...').
+        a, b = records({"name": "asarawagi"}, {"name": "bsarawagi"})
+        relaxed = NgramOverlapPredicate("name", 0.5)
+        gated = NgramOverlapPredicate("name", 0.5, require_common_initial=True)
+        assert relaxed.evaluate(a, b)
+        assert not gated.evaluate(a, b)
+
+    def test_blocking_guarantee(self):
+        # Any matching pair must share a key.
+        p = NgramOverlapPredicate("name", 0.6)
+        a, b = records({"name": "sarawagi"}, {"name": "sarawagl"})
+        assert p.evaluate(a, b)
+        assert set(p.blocking_keys(a)) & set(p.blocking_keys(b))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            NgramOverlapPredicate("name", 0.0)
+
+
+class TestCommonWords:
+    def test_threshold(self):
+        a, b = records(
+            {"name": "a b", "address": "c d e"},
+            {"name": "a b", "address": "c d x"},
+        )
+        assert CommonWordsPredicate(("name", "address"), 4).evaluate(a, b)
+        assert not CommonWordsPredicate(("name", "address"), 5).evaluate(a, b)
+
+    def test_stop_words_ignored(self):
+        a, b = records(
+            {"name": "ann", "address": "road street lane x"},
+            {"name": "ann", "address": "road street lane y"},
+        )
+        stops = frozenset({"road", "street", "lane"})
+        p = CommonWordsPredicate(("name", "address"), 2, stop_words=stops)
+        assert not p.evaluate(a, b)
+
+    def test_short_records_emit_no_keys(self):
+        a = record(name="ann", address="x")
+        p = CommonWordsPredicate(("name", "address"), 4)
+        assert list(p.blocking_keys(a)) == []
+
+    def test_prefix_filter_guarantee(self):
+        # Matching pairs must share at least one emitted key.
+        p = CommonWordsPredicate(("name", "address"), 3)
+        a, b = records(
+            {"name": "ann lee", "address": "gandhi road pune"},
+            {"name": "ann lee", "address": "gandhi street pune"},
+        )
+        assert p.evaluate(a, b)
+        assert set(p.blocking_keys(a)) & set(p.blocking_keys(b))
+
+    def test_frequency_ordering_changes_keys_not_semantics(self):
+        freq = {"common": 100, "rare": 1, "ann": 50, "lee": 2}
+        p_freq = CommonWordsPredicate(
+            ("name",), 2, word_frequency=freq
+        )
+        a = record(name="common rare ann lee")
+        keys = list(p_freq.blocking_keys(a))
+        assert "rare" in keys
+        assert "common" not in keys  # most frequent dropped by prefix filter
+
+
+class TestJaccardPredicate:
+    def test_high_overlap(self):
+        a, b = records({"title": "a b c d e"}, {"title": "a b c d x"})
+        assert JaccardPredicate("title", 0.6).evaluate(a, b)
+        assert not JaccardPredicate("title", 0.9).evaluate(a, b)
+
+    def test_empty_fields_match(self):
+        a, b = records({"title": ""}, {"title": ""})
+        assert JaccardPredicate("title", 0.5).evaluate(a, b)
+
+
+def citation_idf_fixture() -> IdfTable:
+    # Names corpus: "anqi"/"sarawagi"/"arvo"/"subano" rare (1 doc each);
+    # "john" and the initial "a" common (4+ docs of 10).
+    docs = [
+        {"anqi", "sarawagi"},
+        {"arvo", "subano"},
+        {"john", "smith"},
+        {"john", "jones"},
+        {"john", "miller"},
+        {"john", "brown"},
+        {"a", "wilson"},
+        {"a", "taylor"},
+        {"a", "moore"},
+        {"a", "clark"},
+    ]
+    return IdfTable(docs)
+
+
+class TestCitationS1:
+    def setup_method(self):
+        self.idf = citation_idf_fixture()
+        self.p = CitationS1(self.idf, min_idf=1.0)
+
+    def test_rare_full_names_merge(self):
+        a, b = records({"author": "anqi sarawagi"}, {"author": "sarawagi anqi"})
+        assert self.p.evaluate(a, b)
+
+    def test_common_first_name_blocks(self):
+        a, b = records({"author": "john smith"}, {"author": "john smith"})
+        assert not self.p.evaluate(a, b)
+        assert list(self.p.blocking_keys(a)) == []
+
+    def test_initialized_mention_fails_rarity(self):
+        # The single-letter token is common corpus-wide.
+        a = record(author="a sarawagi")
+        b = record(author="anqi sarawagi")
+        assert not self.p.evaluate(a, b)
+
+    def test_different_rare_names_same_initials_blocked(self):
+        # Rarest tokens differ, so no merge despite matching initials.
+        a, b = records({"author": "anqi sarawagi"}, {"author": "arvo subano"})
+        assert not self.p.evaluate(a, b)
+
+    def test_key_implies_match(self):
+        assert self.p.key_implies_match
+        a, b = records({"author": "anqi sarawagi"}, {"author": "anqi sarawagi"})
+        keys_a = set(self.p.blocking_keys(a))
+        keys_b = set(self.p.blocking_keys(b))
+        assert keys_a and keys_a == keys_b
+
+
+class TestCitationS2:
+    def setup_method(self):
+        self.p = CitationS2()
+
+    def test_merges_with_shared_coauthors(self):
+        a, b = records(
+            {"author": "s sarawagi", "coauthors": "vinay deshpande sourabh kasliwal"},
+            {"author": "s sarawagi", "coauthors": "vinay deshpande sourabh mehta"},
+        )
+        assert self.p.evaluate(a, b)
+
+    def test_too_few_common_coauthors(self):
+        a, b = records(
+            {"author": "s sarawagi", "coauthors": "vinay deshpande"},
+            {"author": "s sarawagi", "coauthors": "vinay mehta"},
+        )
+        assert not self.p.evaluate(a, b)
+
+    def test_last_name_must_match(self):
+        a, b = records(
+            {"author": "s sarawagi", "coauthors": "a b c"},
+            {"author": "s iyengar", "coauthors": "a b c"},
+        )
+        assert not self.p.evaluate(a, b)
+
+    def test_initials_must_match(self):
+        a, b = records(
+            {"author": "sunita k sarawagi", "coauthors": "a b c"},
+            {"author": "sunita sarawagi", "coauthors": "a b c"},
+        )
+        assert not self.p.evaluate(a, b)
+
+
+class TestCitationNecessary:
+    def test_n1_initials_form_matches_full(self):
+        a, b = records({"author": "s sarawagi"}, {"author": "sunita sarawagi"})
+        assert citation_n1().evaluate(a, b)
+
+    def test_n1_rejects_unrelated(self):
+        a, b = records({"author": "s sarawagi"}, {"author": "bob jones"})
+        assert not citation_n1().evaluate(a, b)
+
+    def test_n2_tighter_than_n1(self):
+        # High author-gram overlap, but no initials in common.
+        a, b = records({"author": "asarawagi"}, {"author": "bsarawagi"})
+        assert citation_n1().evaluate(a, b)
+        assert not citation_n2().evaluate(a, b)
+
+    def test_levels_factory(self):
+        levels = citation_levels(citation_idf_fixture(), 1.0)
+        assert len(levels) == 2
+        assert all(isinstance(lv, PredicateLevel) for lv in levels)
+
+
+class TestStudentPredicates:
+    def test_s1_exact(self):
+        a, b = records(
+            {"name": "ann lee", "class": "3", "school": "S1", "dob": "d"},
+            {"name": "ann lee", "class": "3", "school": "S1", "dob": "d"},
+        )
+        assert student_s1().evaluate(a, b)
+
+    def test_s2_tolerates_small_name_noise(self):
+        a, b = records(
+            {"name": "annabella lee", "class": "3", "school": "S1", "dob": "d"},
+            {"name": "annabela lee", "class": "3", "school": "S1", "dob": "d"},
+        )
+        assert student_s2().evaluate(a, b)
+
+    def test_s2_requires_same_dob(self):
+        a, b = records(
+            {"name": "ann lee", "class": "3", "school": "S1", "dob": "d1"},
+            {"name": "ann lee", "class": "3", "school": "S1", "dob": "d2"},
+        )
+        assert not student_s2().evaluate(a, b)
+
+    def test_n1_missing_space_still_matches(self):
+        a, b = records(
+            {"name": "sunita sharma", "class": "3", "school": "S1"},
+            {"name": "sunitasharma", "class": "3", "school": "S1"},
+        )
+        assert student_n1().evaluate(a, b)
+
+    def test_n1_school_gate(self):
+        a, b = records(
+            {"name": "sunita sharma", "class": "3", "school": "S1"},
+            {"name": "sunita sharma", "class": "3", "school": "S2"},
+        )
+        assert not student_n1().evaluate(a, b)
+
+    def test_levels_factory(self):
+        assert len(student_levels()) == 2
+
+
+class TestAddressPredicates:
+    def test_s1_same_person_same_address(self):
+        a, b = records(
+            {"name": "sunita sharma", "address": "12 gandhi nagar pune karve"},
+            {"name": "sunita sharma", "address": "12 gandhi ngr pune karve"},
+        )
+        assert AddressS1().evaluate(a, b)
+
+    def test_s1_different_initials_rejected(self):
+        a, b = records(
+            {"name": "sunita sharma", "address": "12 gandhi karve"},
+            {"name": "ravi sharma", "address": "12 gandhi karve"},
+        )
+        assert not AddressS1().evaluate(a, b)
+
+    def test_s1_different_address_rejected(self):
+        a, b = records(
+            {"name": "sunita sharma", "address": "12 gandhi karve baner"},
+            {"name": "sunita sharma", "address": "99 tilak lake aundh"},
+        )
+        assert not AddressS1().evaluate(a, b)
+
+    def test_levels_factory_with_store(self):
+        store = RecordStore.from_rows(
+            [{"name": "a b", "address": "c d e f"}] * 3
+        )
+        levels = address_levels(store)
+        assert len(levels) == 1
+
+
+class TestConjunction:
+    def test_and_semantics(self):
+        p = ConjunctionPredicate(
+            [ExactFieldsPredicate(["name"]), ExactFieldsPredicate(["dob"])]
+        )
+        a, b = records(
+            {"name": "ann", "dob": "1"}, {"name": "ann", "dob": "2"}
+        )
+        assert not p.evaluate(a, b)
+
+    def test_keys_from_first_conjunct(self):
+        first = ExactFieldsPredicate(["name"])
+        p = ConjunctionPredicate([first, ExactFieldsPredicate(["dob"])])
+        a = record(name="ann", dob="1")
+        assert list(p.blocking_keys(a)) == list(first.blocking_keys(a))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctionPredicate([])
+
+
+class TestInitialsWordOverlap:
+    def test_blocking_guarantee(self):
+        p = InitialsWordOverlapPredicate("name", exact_fields=("school",))
+        a, b = records(
+            {"name": "sunita sharma", "school": "S"},
+            {"name": "s k verma", "school": "S"},
+        )
+        assert p.evaluate(a, b)
+        assert set(p.blocking_keys(a)) & set(p.blocking_keys(b))

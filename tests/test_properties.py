@@ -1,0 +1,323 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.correlation import ScoreMatrix, correlation_score, partition_score
+from repro.clustering.exact import all_partitions, exact_best_partition
+from repro.clustering.metrics import pairwise_scores
+from repro.clustering.transitive import transitive_closure_clusters
+from repro.embedding.greedy import LinearEmbedding, greedy_embedding
+from repro.embedding.segmentation import best_partition
+from repro.graphs.adjacency import Graph
+from repro.graphs.clique_partition import (
+    clique_partition_lower_bound,
+    naive_distinct_bound,
+)
+from repro.graphs.triangulation import (
+    is_perfect_elimination_ordering,
+    min_fill_ordering,
+)
+from repro.graphs.union_find import UnionFind
+from repro.similarity.measures import jaccard, overlap_coefficient
+from repro.similarity.strings import jaro, jaro_winkler, levenshtein
+from repro.similarity.tokenize import ngram_set, sorted_initials_key, words
+
+names = st.text(
+    alphabet=st.sampled_from("abcdefghij "), min_size=0, max_size=20
+)
+small_graphs = st.integers(min_value=0, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(
+                st.integers(0, max(0, n - 1)), st.integers(0, max(0, n - 1))
+            ),
+            max_size=12,
+        ),
+    )
+)
+
+
+def build_graph(spec) -> Graph:
+    n, edges = spec
+    g = Graph(n)
+    for u, v in edges:
+        if u != v and n > 0:
+            g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def score_matrices(draw, max_n=7):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = ScoreMatrix(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                m.set(
+                    i,
+                    j,
+                    draw(
+                        st.floats(
+                            min_value=-5,
+                            max_value=5,
+                            allow_nan=False,
+                            allow_infinity=False,
+                        )
+                    ),
+                )
+    return m
+
+
+class TestStringProperties:
+    @given(names, names)
+    def test_levenshtein_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(names, names)
+    def test_levenshtein_triangle_with_empty(self, a, b):
+        # d(a,b) <= d(a,"") + d("",b) = len(a) + len(b)
+        assert levenshtein(a, b) <= len(a) + len(b)
+
+    @given(names)
+    def test_levenshtein_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(names, names)
+    def test_jaro_bounds(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+
+    @given(names, names)
+    def test_jaro_winkler_dominates_jaro(self, a, b):
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+    @given(names, names)
+    def test_jaro_symmetric(self, a, b):
+        assert jaro(a, b) == jaro(b, a)
+
+
+class TestTokenizeProperties:
+    @given(names)
+    def test_ngram_set_normalization_idempotent(self, text):
+        assert ngram_set(text) == ngram_set(text.upper())
+
+    @given(names)
+    def test_initials_key_order_invariant(self, text):
+        tokens = words(text)
+        reversed_text = " ".join(reversed(tokens))
+        assert sorted_initials_key(text) == sorted_initials_key(reversed_text)
+
+
+class TestMeasureProperties:
+    sets = st.frozensets(st.sampled_from("abcdefgh"), max_size=6)
+
+    @given(sets, sets)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        assert 0.0 <= jaccard(a, b) <= 1.0
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @given(sets, sets)
+    def test_overlap_dominates_jaccard(self, a, b):
+        assert overlap_coefficient(a, b) >= jaccard(a, b) - 1e-12
+
+
+class TestUnionFindProperties:
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.lists(st.tuples(st.integers(0, 29), st.integers(0, 29)), max_size=40),
+    )
+    def test_components_partition(self, n, unions):
+        uf = UnionFind(n)
+        for a, b in unions:
+            if a < n and b < n:
+                uf.union(a, b)
+        components = uf.components()
+        flat = sorted(x for c in components for x in c)
+        assert flat == list(range(n))
+        assert len(components) == uf.n_components
+
+
+class TestGraphProperties:
+    @given(small_graphs)
+    @settings(max_examples=60)
+    def test_min_fill_produces_peo(self, spec):
+        g = build_graph(spec)
+        ordering, filled = min_fill_ordering(g)
+        assert sorted(ordering) == list(range(g.n_vertices))
+        assert is_perfect_elimination_ordering(filled, ordering)
+
+    @given(small_graphs)
+    @settings(max_examples=60)
+    def test_cpn_bound_is_independent_set(self, spec):
+        g = build_graph(spec)
+        cpn, selected = clique_partition_lower_bound(g)
+        assert cpn == len(selected)
+        for i, u in enumerate(selected):
+            for v in selected[i + 1 :]:
+                assert not g.has_edge(u, v)
+
+    @given(small_graphs)
+    @settings(max_examples=60)
+    def test_cpn_bound_sound_vs_exhaustive(self, spec):
+        # The bound must never exceed the true clique partition number,
+        # computed here by exhaustive partition search.
+        g = build_graph(spec)
+        n = g.n_vertices
+        if n == 0 or n > 6:
+            return
+        cpn_bound, _ = clique_partition_lower_bound(g)
+
+        def is_clique(group):
+            return all(
+                g.has_edge(u, v)
+                for i, u in enumerate(group)
+                for v in group[i + 1 :]
+            )
+
+        true_cpn = min(
+            len(p)
+            for p in all_partitions(n)
+            if all(is_clique(group) for group in p)
+        )
+        assert cpn_bound <= true_cpn
+        assert naive_distinct_bound(g) <= true_cpn
+
+
+class TestScoreProperties:
+    @given(score_matrices())
+    @settings(max_examples=40)
+    def test_partition_score_equals_correlation_score(self, m):
+        for partition in ([[i] for i in range(m.n)], [list(range(m.n))]):
+            assert math.isclose(
+                partition_score(partition, m),
+                correlation_score(partition, m),
+                rel_tol=1e-9,
+                abs_tol=1e-9,
+            )
+
+    @given(score_matrices(max_n=6))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_dominates_heuristics(self, m):
+        _, exact_score = exact_best_partition(m)
+        transitive = transitive_closure_clusters(m)
+        assert partition_score(transitive, m) <= exact_score + 1e-9
+
+    @given(score_matrices(max_n=6))
+    @settings(max_examples=25, deadline=None)
+    def test_segmentation_never_beats_exact(self, m):
+        _, exact_score = exact_best_partition(m)
+        embedding = greedy_embedding(m)
+        partition = best_partition(m, embedding, max_span=m.n)
+        assert partition_score(partition, m) <= exact_score + 1e-9
+
+    @given(score_matrices(max_n=6))
+    @settings(max_examples=25, deadline=None)
+    def test_segmentation_partition_valid(self, m):
+        embedding = greedy_embedding(m)
+        partition = best_partition(m, embedding, max_span=m.n)
+        flat = sorted(i for g in partition for i in g)
+        assert flat == list(range(m.n))
+
+
+class TestMetricsProperties:
+    partitions = st.lists(
+        st.lists(st.integers(0, 15), min_size=1, max_size=4),
+        min_size=1,
+        max_size=5,
+    )
+
+    @staticmethod
+    def dedupe(partition):
+        seen = set()
+        out = []
+        for group in partition:
+            cleaned = []
+            for item in group:
+                if item not in seen:
+                    seen.add(item)
+                    cleaned.append(item)
+            if cleaned:
+                out.append(cleaned)
+        return out
+
+    @given(partitions, partitions)
+    def test_f1_bounds_and_self_identity(self, p1, p2):
+        p1 = self.dedupe(p1)
+        p2 = self.dedupe(p2)
+        if not p1 or not p2:
+            return
+        s = pairwise_scores(p1, p2)
+        assert 0.0 <= s.f1 <= 1.0
+        assert pairwise_scores(p1, p1).f1 == 1.0
+
+    @given(partitions, partitions)
+    def test_precision_recall_swap(self, p1, p2):
+        p1 = self.dedupe(p1)
+        p2 = self.dedupe(p2)
+        if not p1 or not p2:
+            return
+        forward = pairwise_scores(p1, p2)
+        backward = pairwise_scores(p2, p1)
+        # Swapping roles swaps precision and recall only when both
+        # partitions cover the same items; restrict to that case.
+        items1 = {i for g in p1 for i in g}
+        items2 = {i for g in p2 for i in g}
+        if items1 == items2:
+            assert forward.precision == backward.recall
+            assert forward.recall == backward.precision
+
+
+class TestEmbeddingProperties:
+    @given(score_matrices())
+    @settings(max_examples=40)
+    def test_greedy_embedding_is_permutation(self, m):
+        emb = greedy_embedding(m)
+        assert sorted(emb.order) == list(range(m.n))
+        assert 0 in emb.breaks
+
+
+class TestSoundexProperties:
+    from hypothesis import strategies as _st
+
+    words_strategy = _st.text(
+        alphabet=_st.sampled_from("abcdefghijklmnopqrstuvwxyz"),
+        min_size=1,
+        max_size=12,
+    )
+
+    @given(words_strategy)
+    def test_code_format(self, word):
+        from repro.similarity.strings import soundex
+
+        code = soundex(word)
+        assert len(code) == 4
+        assert code[0] == word[0].upper()
+        assert all(c.isdigit() for c in code[1:])
+
+    @given(words_strategy)
+    def test_case_invariant(self, word):
+        from repro.similarity.strings import soundex
+
+        assert soundex(word) == soundex(word.upper())
+
+
+class TestSetJoinVsPredicateConsistency:
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcdefg"), min_size=1, max_size=5),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_join_results_satisfy_threshold(self, sets):
+        from repro.similarity.measures import jaccard
+        from repro.similarity.setjoin import jaccard_self_join
+
+        for i, j, reported in jaccard_self_join(sets, 0.5):
+            actual = jaccard(sets[i], sets[j])
+            assert actual == reported
+            assert actual >= 0.5

@@ -1,0 +1,106 @@
+"""Unit and integration tests for PrunedDedup (Algorithm 2)."""
+
+import pytest
+
+from repro.core.pruned_dedup import pruned_dedup
+from repro.predicates.base import PredicateLevel
+from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+
+
+def one_level() -> list[PredicateLevel]:
+    return [PredicateLevel(exact_name_predicate(), shared_word_predicate())]
+
+
+class TestPrunedDedup:
+    def test_three_entities_k2(self):
+        store = make_store(
+            ["ann smith"] * 5 + ["bob jones"] * 3 + ["cara lee"] * 1
+        )
+        result = pruned_dedup(store, 2, one_level())
+        assert len(result.groups) == 2
+        assert result.terminated_early
+        assert result.groups.weights() == [5.0, 3.0]
+
+    def test_stats_shape(self):
+        store = make_store(["a"] * 4 + ["b"] * 2 + ["c"])
+        result = pruned_dedup(store, 1, one_level())
+        assert len(result.stats) == 1
+        stats = result.stats[0]
+        assert stats.n_groups_after_collapse == 3
+        assert stats.m == 1
+        assert stats.bound == 4.0
+        assert stats.n_pct == pytest.approx(100 * 3 / 7)
+
+    def test_ambiguous_variants_retained(self):
+        # 'a smith' may be a duplicate of 'ann smith' (shares 'smith'):
+        # it must survive pruning when it could lift a top group.
+        store = make_store(["ann smith"] * 3 + ["a smith"] + ["bob jones"] * 2)
+        result = pruned_dedup(store, 1, one_level())
+        names = {
+            result.groups.store[g.representative_id]["name"]
+            for g in result.groups
+        }
+        assert "ann smith" in names
+        assert "a smith" in names
+        assert "bob jones" not in names  # 2 + nothing < bound 3
+
+    def test_k_larger_than_entities(self):
+        store = make_store(["a", "b"])
+        result = pruned_dedup(store, 5, one_level())
+        assert len(result.groups) == 2
+        assert not result.stats[0].certified
+
+    def test_multi_level_runs_all(self):
+        store = make_store(["a"] * 3 + ["b"] * 2 + ["c d", "d e"])
+        levels = one_level() + one_level()
+        result = pruned_dedup(store, 2, levels)
+        assert len(result.stats) in (1, 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            pruned_dedup(make_store(["a"]), 0, one_level())
+
+    def test_no_levels(self):
+        with pytest.raises(ValueError):
+            pruned_dedup(make_store(["a"]), 1, [])
+
+    def test_retained_fraction(self):
+        store = make_store(["a"] * 9 + ["b"])
+        result = pruned_dedup(store, 1, one_level())
+        assert result.retained_fraction == pytest.approx(
+            len(result.groups) / 10
+        )
+
+    def test_prune_iterations_parameter(self):
+        store = make_store(["a"] * 5 + ["x b", "x c"])
+        r1 = pruned_dedup(store, 1, one_level(), prune_iterations=1)
+        r2 = pruned_dedup(store, 1, one_level(), prune_iterations=3)
+        assert len(r2.groups) <= len(r1.groups)
+
+
+class TestPrunedDedupCorrectness:
+    """The retained set must always contain the true Top-K groups."""
+
+    def test_true_topk_survives(self):
+        names = (
+            ["alpha one"] * 6
+            + ["beta two"] * 5
+            + ["gamma three"] * 4
+            + ["delta four"] * 2
+            + ["eps five", "zeta six", "eta seven"]
+        )
+        store = make_store(names)
+        for k in (1, 2, 3):
+            result = pruned_dedup(store, k, one_level())
+            kept_names = {
+                result.groups.store[g.representative_id]["name"]
+                for g in result.groups
+            }
+            expected = ["alpha one", "beta two", "gamma three"][:k]
+            for name in expected:
+                assert name in kept_names, f"K={k} lost {name}"
+
+    def test_weights_preserved_through_pipeline(self):
+        store = make_store(["a"] * 3 + ["b"] * 2, weights=[2, 2, 2, 5, 5])
+        result = pruned_dedup(store, 2, one_level())
+        assert sorted(result.groups.weights(), reverse=True) == [10.0, 6.0]

@@ -1,0 +1,118 @@
+"""Unit tests for pairwise scorers and Gibbs normalization."""
+
+import math
+
+import pytest
+
+from repro.core.records import RecordStore
+from repro.scoring.gibbs import gibbs_probabilities, log_odds_to_probability
+from repro.scoring.pairwise import CachedScorer, WeightedScorer, train_scorer
+from repro.similarity.vectorize import name_only_featurizer
+
+
+def records(*names):
+    return list(RecordStore.from_rows([{"name": n} for n in names]))
+
+
+@pytest.fixture
+def featurizer():
+    return name_only_featurizer()
+
+
+class TestWeightedScorer:
+    def test_similar_pair_scores_higher(self, featurizer):
+        scorer = WeightedScorer(
+            featurizer, weights=[1.0] * featurizer.n_features, bias=-2.0
+        )
+        a, b, c = records("sunita sarawagi", "s sarawagi", "vinay deshpande")
+        assert scorer.score(a, b) > scorer.score(a, c)
+
+    def test_bias_shifts_sign(self, featurizer):
+        a, b = records("x y", "p q")
+        positive = WeightedScorer(featurizer, [0.0] * featurizer.n_features, 1.0)
+        negative = WeightedScorer(featurizer, [0.0] * featurizer.n_features, -1.0)
+        assert positive.score(a, b) == 1.0
+        assert negative.score(a, b) == -1.0
+
+    def test_weight_length_checked(self, featurizer):
+        with pytest.raises(ValueError):
+            WeightedScorer(featurizer, [1.0], 0.0)
+
+
+class TestTrainedScorer:
+    def test_learns_duplicate_signal(self, featurizer):
+        positives = [
+            ("sunita sarawagi", "s sarawagi"),
+            ("vinay deshpande", "vinay deshpnde"),
+            ("sourabh kasliwal", "s kasliwal"),
+            ("amit sharma", "amit sharma"),
+            ("priya gupta", "priya gupt"),
+            ("rahul verma", "r verma"),
+        ]
+        negatives = [
+            ("sunita sarawagi", "vinay deshpande"),
+            ("amit sharma", "priya gupta"),
+            ("rahul verma", "sourabh kasliwal"),
+            ("bob jones", "cara lee"),
+            ("john smith", "mary wilson"),
+            ("a b", "c d"),
+        ]
+        pairs = []
+        labels = []
+        for x, y in positives:
+            pairs.append((records(x)[0], records(y)[0]))
+            labels.append(1)
+        for x, y in negatives:
+            pairs.append((records(x)[0], records(y)[0]))
+            labels.append(0)
+        scorer = train_scorer(featurizer, pairs, labels, l2=0.5)
+        a, b, c = records("kiran patil", "k patil", "esha bose")
+        assert scorer.score(a, b) > scorer.score(a, c)
+
+    def test_pair_label_length_mismatch(self, featurizer):
+        a, b = records("x", "y")
+        with pytest.raises(ValueError):
+            train_scorer(featurizer, [(a, b)], [1, 0])
+
+
+class TestCachedScorer:
+    def test_caches_by_id_pair(self, featurizer):
+        inner = WeightedScorer(featurizer, [1.0] * featurizer.n_features, 0.0)
+        cached = CachedScorer(inner)
+        a, b = records("sunita sarawagi", "s sarawagi")
+        first = cached.score(a, b)
+        second = cached.score(b, a)  # order-insensitive
+        assert first == second
+        assert cached.n_evaluations == 1
+
+
+class TestGibbs:
+    def test_sums_to_one(self):
+        probs = gibbs_probabilities([1.0, 2.0, 3.0])
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_monotone_in_score(self):
+        probs = gibbs_probabilities([1.0, 3.0, 2.0])
+        assert probs[1] > probs[2] > probs[0]
+
+    def test_temperature_flattens(self):
+        sharp = gibbs_probabilities([0.0, 5.0], temperature=0.5)
+        flat = gibbs_probabilities([0.0, 5.0], temperature=10.0)
+        assert sharp[1] > flat[1]
+
+    def test_empty(self):
+        assert gibbs_probabilities([]) == []
+
+    def test_large_scores_stable(self):
+        probs = gibbs_probabilities([1e6, 1e6 + 1])
+        assert sum(probs) == pytest.approx(1.0)
+        assert not any(math.isnan(p) for p in probs)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            gibbs_probabilities([1.0], temperature=0.0)
+
+    def test_log_odds_conversion(self):
+        assert log_odds_to_probability(0.0) == pytest.approx(0.5)
+        assert log_odds_to_probability(100.0) == pytest.approx(1.0)
+        assert log_odds_to_probability(-100.0) == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,236 @@
+"""Tests for the segmentation DP (Section 5.3.2)."""
+
+import pytest
+
+from repro.clustering.correlation import ScoreMatrix, group_score
+from repro.embedding.greedy import LinearEmbedding
+from repro.embedding.segmentation import (
+    SegmentScoreTable,
+    best_partition,
+    candidate_thresholds,
+    top_k_answers,
+    top_r_segmentations,
+)
+
+
+def two_cluster_matrix() -> ScoreMatrix:
+    """{0,1,2} vs {3,4}: positives within, negatives across."""
+    m = ScoreMatrix(5)
+    for i, j in [(0, 1), (0, 2), (1, 2), (3, 4)]:
+        m.set(i, j, 2.0)
+    for i in (0, 1, 2):
+        for j in (3, 4):
+            m.set(i, j, -1.0)
+    return m
+
+
+def identity_embedding(n: int) -> LinearEmbedding:
+    return LinearEmbedding(order=list(range(n)), breaks={0})
+
+
+class TestSegmentScoreTable:
+    def test_matches_group_score(self):
+        m = two_cluster_matrix()
+        emb = identity_embedding(5)
+        table = SegmentScoreTable(m, emb, max_span=5)
+        for a in range(5):
+            for b in range(a, 5):
+                members = list(range(a, b + 1))
+                assert table.score(a, b) == pytest.approx(
+                    group_score(members, m)
+                ), (a, b)
+
+    def test_respects_embedding_order(self):
+        m = ScoreMatrix(3)
+        m.set(0, 2, 4.0)
+        emb = LinearEmbedding(order=[0, 2, 1], breaks={0})
+        table = SegmentScoreTable(m, emb, max_span=3)
+        # Segment [0, 1] in embedding order is records {0, 2}.
+        assert table.score(0, 1) == pytest.approx(group_score([0, 2], m))
+
+
+class TestCandidateThresholds:
+    def test_unit_weights(self):
+        emb = identity_embedding(4)
+        thresholds = candidate_thresholds(emb, [1.0] * 4, max_span=3)
+        assert thresholds == [0.0, 1.0, 2.0, 3.0]
+
+    def test_includes_zero(self):
+        emb = identity_embedding(3)
+        assert 0.0 in candidate_thresholds(emb, [5.0, 2.0, 1.0], max_span=2)
+
+    def test_subsampling_keeps_extremes(self):
+        emb = identity_embedding(30)
+        weights = [float(i + 1) for i in range(30)]
+        thresholds = candidate_thresholds(
+            emb, weights, max_span=10, max_thresholds=8
+        )
+        assert len(thresholds) <= 8
+        assert thresholds[0] == 0.0
+
+    def test_break_limits_spans(self):
+        emb = LinearEmbedding(order=[0, 1, 2, 3], breaks={0, 2})
+        thresholds = candidate_thresholds(emb, [1.0] * 4, max_span=4)
+        # Max segment length is 2 on either side of the break.
+        assert max(thresholds) == 2.0
+
+
+class TestTopRSegmentations:
+    def test_k1_finds_biggest_cluster(self):
+        m = two_cluster_matrix()
+        answers = top_r_segmentations(
+            m, identity_embedding(5), [1.0] * 5, k=1, r=1, max_span=5
+        )
+        assert answers
+        best = answers[0]
+        big = [
+            seg
+            for seg, flag in zip(best.segments, best.big_flags)
+            if flag
+        ]
+        assert big == [(0, 2)]
+
+    def test_k2_finds_both_clusters(self):
+        m = two_cluster_matrix()
+        answers = top_r_segmentations(
+            m, identity_embedding(5), [1.0] * 5, k=2, r=1, max_span=5
+        )
+        best = answers[0]
+        big = sorted(
+            seg for seg, flag in zip(best.segments, best.big_flags) if flag
+        )
+        assert big == [(0, 2), (3, 4)]
+
+    def test_r_answers_distinct_and_sorted(self):
+        m = two_cluster_matrix()
+        answers = top_r_segmentations(
+            m, identity_embedding(5), [1.0] * 5, k=1, r=4, max_span=5
+        )
+        assert len(answers) >= 2
+        scores = [a.score for a in answers]
+        assert scores == sorted(scores, reverse=True)
+        keys = {(a.segments, a.big_flags) for a in answers}
+        assert len(keys) == len(answers)
+
+    def test_segments_cover_everything(self):
+        m = two_cluster_matrix()
+        for answer in top_r_segmentations(
+            m, identity_embedding(5), [1.0] * 5, k=2, r=3, max_span=5
+        ):
+            covered = []
+            for start, end in answer.segments:
+                covered.extend(range(start, end + 1))
+            assert sorted(covered) == list(range(5))
+
+    def test_exactly_k_big_segments(self):
+        m = two_cluster_matrix()
+        for k in (1, 2):
+            for answer in top_r_segmentations(
+                m, identity_embedding(5), [1.0] * 5, k=k, r=3, max_span=5
+            ):
+                assert sum(answer.big_flags) == k
+
+    def test_weighted_items(self):
+        # Single positive pair (0,1) with heavy weights; item 2 light.
+        m = ScoreMatrix(3)
+        m.set(0, 1, 5.0)
+        m.set(1, 2, -1.0)
+        answers = top_r_segmentations(
+            m, identity_embedding(3), [10.0, 10.0, 1.0], k=1, r=1, max_span=3
+        )
+        best = answers[0]
+        big = [s for s, f in zip(best.segments, best.big_flags) if f]
+        assert big == [(0, 1)]
+
+    def test_break_respected(self):
+        m = ScoreMatrix(4)
+        m.set(0, 1, 1.0)
+        m.set(2, 3, 1.0)
+        emb = LinearEmbedding(order=[0, 1, 2, 3], breaks={0, 2})
+        for answer in top_r_segmentations(
+            m, emb, [1.0] * 4, k=2, r=2, max_span=4
+        ):
+            for start, end in answer.segments:
+                assert not (start < 2 <= end), "segment crosses the break"
+
+    def test_n_smaller_than_k(self):
+        m = ScoreMatrix(1)
+        assert (
+            top_r_segmentations(m, identity_embedding(1), [1.0], k=2, r=1)
+            == []
+        )
+
+    def test_invalid_args(self):
+        m = ScoreMatrix(2)
+        with pytest.raises(ValueError):
+            top_r_segmentations(m, identity_embedding(2), [1.0, 1.0], k=0, r=1)
+        with pytest.raises(ValueError):
+            top_r_segmentations(m, identity_embedding(2), [1.0, 1.0], k=1, r=0)
+        with pytest.raises(ValueError):
+            top_r_segmentations(m, identity_embedding(2), [1.0], k=1, r=1)
+
+
+class TestTopKAnswers:
+    def test_groups_map_to_original_positions(self):
+        m = ScoreMatrix(3)
+        m.set(0, 2, 4.0)  # 0 and 2 are duplicates
+        m.set(0, 1, -1.0)  # 1 is explicitly not a duplicate of either
+        m.set(1, 2, -1.0)
+        emb = LinearEmbedding(order=[0, 2, 1], breaks={0})
+        answers = top_k_answers(m, emb, [1.0] * 3, k=1, r=1, max_span=3)
+        assert answers[0].groups[0] == (0, 2)
+
+    def test_weights_sorted_desc(self):
+        m = two_cluster_matrix()
+        answers = top_k_answers(
+            m, identity_embedding(5), [1.0] * 5, k=2, r=1, max_span=5
+        )
+        weights = answers[0].weights
+        assert list(weights) == sorted(weights, reverse=True)
+
+    def test_merges_duplicate_answers(self):
+        m = two_cluster_matrix()
+        answers = top_k_answers(
+            m, identity_embedding(5), [1.0] * 5, k=1, r=3, max_span=5
+        )
+        keys = [a.groups for a in answers]
+        assert len(keys) == len(set(keys))
+
+
+class TestBestPartition:
+    def test_recovers_two_clusters(self):
+        m = two_cluster_matrix()
+        partition = best_partition(m, identity_embedding(5), max_span=5)
+        assert sorted(tuple(sorted(g)) for g in partition) == [
+            (0, 1, 2),
+            (3, 4),
+        ]
+
+    def test_matches_exhaustive_on_contiguous_partitions(self):
+        # Enumerate all segmentations of 4 items; DP must match the best.
+        import itertools
+
+        m = ScoreMatrix(4)
+        m.set(0, 1, 1.0)
+        m.set(1, 2, -2.0)
+        m.set(2, 3, 3.0)
+        emb = identity_embedding(4)
+
+        def seg_score(cuts):
+            bounds = [0] + list(cuts) + [4]
+            total = 0.0
+            for a, b in zip(bounds, bounds[1:]):
+                total += group_score(list(range(a, b)), m)
+            return total
+
+        best_exhaustive = max(
+            seg_score(c)
+            for r in range(4)
+            for c in itertools.combinations([1, 2, 3], r)
+        )
+        partition = best_partition(m, emb, max_span=4)
+        got = sum(group_score(g, m) for g in partition)
+        assert got == pytest.approx(best_exhaustive)
+
+    def test_empty(self):
+        assert best_partition(ScoreMatrix(0), identity_embedding(0)) == []

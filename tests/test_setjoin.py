@@ -1,0 +1,87 @@
+"""Tests for the filtered Jaccard set-similarity self-join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.setjoin import (
+    brute_force_jaccard_join,
+    canonical_token_order,
+    jaccard_self_join,
+)
+
+
+def sets_of(*token_lists):
+    return [frozenset(tokens) for tokens in token_lists]
+
+
+class TestJaccardSelfJoin:
+    def test_identical_sets(self):
+        sets = sets_of(["a", "b", "c"], ["a", "b", "c"], ["x", "y"])
+        results = jaccard_self_join(sets, 0.9)
+        assert results == [(0, 1, 1.0)]
+
+    def test_threshold_filtering(self):
+        sets = sets_of(["a", "b", "c", "d"], ["a", "b", "c", "e"])
+        # Jaccard = 3/5 = 0.6
+        assert jaccard_self_join(sets, 0.6) == [(0, 1, pytest.approx(0.6))]
+        assert jaccard_self_join(sets, 0.61) == []
+
+    def test_empty_sets_join_nothing(self):
+        sets = sets_of([], ["a"], [])
+        assert jaccard_self_join(sets, 0.5) == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            jaccard_self_join([frozenset({"a"})], 0.0)
+
+    def test_matches_brute_force_random(self):
+        rng = np.random.default_rng(7)
+        vocabulary = [f"t{i}" for i in range(30)]
+        sets = []
+        for _ in range(120):
+            size = int(rng.integers(1, 8))
+            picks = rng.choice(len(vocabulary), size=size, replace=False)
+            sets.append(frozenset(vocabulary[int(p)] for p in picks))
+        for threshold in (0.3, 0.5, 0.7, 0.9):
+            fast = jaccard_self_join(sets, threshold)
+            slow = sorted(brute_force_jaccard_join(sets, threshold))
+            assert fast == slow, threshold
+
+    def test_skewed_token_frequencies(self):
+        # A stop-token shared by everyone must not break correctness.
+        sets = [frozenset({"common", f"u{i}", f"v{i}"}) for i in range(40)]
+        sets.append(frozenset({"common", "u0", "v0"}))
+        fast = jaccard_self_join(sets, 0.6)
+        slow = sorted(brute_force_jaccard_join(sets, 0.6))
+        assert fast == slow
+        assert (0, 40, 1.0) in fast
+
+    def test_canonical_order_rarest_first(self):
+        sets = sets_of(["common", "rare"], ["common"], ["common", "other"])
+        order = canonical_token_order(sets)
+        assert order["rare"] < order["common"]
+        assert order["other"] < order["common"]
+
+
+class TestJoinProperties:
+    token_sets = st.lists(
+        st.frozensets(st.sampled_from("abcdefghij"), min_size=0, max_size=6),
+        min_size=0,
+        max_size=25,
+    )
+
+    @given(token_sets, st.sampled_from([0.25, 0.5, 0.75, 1.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_always_matches_brute_force(self, sets, threshold):
+        fast = jaccard_self_join(sets, threshold)
+        slow = sorted(brute_force_jaccard_join(sets, threshold))
+        assert fast == slow
+
+    @given(token_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_threshold(self, sets):
+        loose = {(i, j) for i, j, _ in jaccard_self_join(sets, 0.4)}
+        tight = {(i, j) for i, j, _ in jaccard_self_join(sets, 0.8)}
+        assert tight <= loose

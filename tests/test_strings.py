@@ -1,0 +1,117 @@
+"""Unit tests for repro.similarity.strings."""
+
+import pytest
+
+from repro.similarity.strings import (
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("sarawagi", "sarawagi") == 0
+
+    def test_empty_vs_word(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_symmetric(self):
+        assert levenshtein("abcdef", "azced") == levenshtein("azced", "abcdef")
+
+    def test_similarity_normalized(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_known_value_martha_marhta(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944444, abs=1e-5)
+
+    def test_known_value_dixon_dicksonx(self):
+        assert jaro("dixon", "dicksonx") == pytest.approx(0.766667, abs=1e-5)
+
+    def test_no_match(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_symmetric(self):
+        assert jaro("dwayne", "duane") == jaro("duane", "dwayne")
+
+
+class TestJaroWinkler:
+    def test_known_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.961111, abs=1e-5)
+
+    def test_prefix_boost(self):
+        assert jaro_winkler("sarawagi", "sarawagy") > jaro("sarawagi", "sarawagy")
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler("abcd", "xbcd") == jaro("abcd", "xbcd")
+
+    def test_bounded_by_one(self):
+        assert jaro_winkler("aaaa", "aaaa") == 1.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    def test_names_similarity_ordering(self):
+        # JaroWinkler is "tailored for names": a one-letter surname typo
+        # stays closer than a different surname.
+        same = jaro_winkler("deshpande", "deshpende")
+        different = jaro_winkler("deshpande", "kasliwal")
+        assert same > 0.9 > different
+
+
+class TestSoundex:
+    def test_classic_examples(self):
+        from repro.similarity.strings import soundex
+
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Ashcraft") == "A261"
+        assert soundex("Ashcroft") == "A261"
+        assert soundex("Tymczak") == "T522"
+        assert soundex("Pfister") == "P236"
+        assert soundex("Honeyman") == "H555"
+
+    def test_padding(self):
+        from repro.similarity.strings import soundex
+
+        assert soundex("lee") == "L000"
+        assert soundex("a") == "A000"
+
+    def test_empty_and_non_alpha(self):
+        from repro.similarity.strings import soundex
+
+        assert soundex("") == ""
+        assert soundex("123") == ""
+        assert soundex("o'brien") == soundex("obrien")
+
+    def test_equality_helper(self):
+        from repro.similarity.strings import soundex_equal
+
+        assert soundex_equal("smith", "smyth")
+        assert not soundex_equal("smith", "jones")
+        assert not soundex_equal("", "")
+
+    def test_typo_variants_often_share_code(self):
+        from repro.similarity.strings import soundex_equal
+
+        assert soundex_equal("sarawagi", "sarawagy")
+        assert soundex_equal("deshpande", "deshpandey")

@@ -1,0 +1,111 @@
+"""Unit tests for repro.similarity.tfidf."""
+
+import math
+
+import pytest
+
+from repro.similarity.tfidf import IdfTable, TfIdfIndex, tfidf_cosine
+
+DOCS = [
+    ["sunita", "sarawagi"],
+    ["vinay", "deshpande"],
+    ["sunita", "deshpande"],
+    ["sourabh", "kasliwal"],
+]
+
+
+@pytest.fixture
+def table() -> IdfTable:
+    return IdfTable(DOCS)
+
+
+class TestIdfTable:
+    def test_document_count(self, table):
+        assert table.n_documents == 4
+
+    def test_document_frequency(self, table):
+        assert table.document_frequency("sunita") == 2
+        assert table.document_frequency("kasliwal") == 1
+        assert table.document_frequency("unknown") == 0
+
+    def test_idf_values(self, table):
+        assert table.idf("sunita") == pytest.approx(math.log(2))
+        assert table.idf("kasliwal") == pytest.approx(math.log(4))
+
+    def test_unseen_gets_max_idf(self, table):
+        assert table.idf("zzz") == pytest.approx(math.log(4))
+        assert table.max_idf_bound() == pytest.approx(math.log(4))
+
+    def test_min_max_idf(self, table):
+        tokens = ["sunita", "kasliwal"]
+        assert table.min_idf(tokens) == pytest.approx(math.log(2))
+        assert table.max_idf(tokens) == pytest.approx(math.log(4))
+
+    def test_min_idf_empty_is_inf(self, table):
+        assert table.min_idf([]) == math.inf
+
+    def test_duplicate_tokens_count_once_per_doc(self):
+        t = IdfTable([["a", "a"], ["b"]])
+        assert t.document_frequency("a") == 1
+
+    def test_weight_vector_normalized(self, table):
+        vec = table.weight_vector(["sunita", "sarawagi"])
+        norm = math.sqrt(sum(w * w for w in vec.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_empty_corpus(self):
+        t = IdfTable([])
+        assert t.n_documents == 0
+        assert t.idf("x") == 0.0
+
+
+class TestTfIdfCosine:
+    def test_identical_vectors(self, table):
+        vec = table.weight_vector(["sunita", "sarawagi"])
+        assert tfidf_cosine(vec, vec) == pytest.approx(1.0)
+
+    def test_disjoint_vectors(self, table):
+        a = table.weight_vector(["sunita"])
+        b = table.weight_vector(["kasliwal"])
+        assert tfidf_cosine(a, b) == 0.0
+
+    def test_rare_overlap_scores_higher(self, table):
+        base = table.weight_vector(["sunita", "kasliwal"])
+        rare = table.weight_vector(["vinay", "kasliwal"])  # shares rare word
+        common = table.weight_vector(["sunita", "vinay"])  # shares common word
+        assert tfidf_cosine(base, rare) > tfidf_cosine(base, common)
+
+
+class TestTfIdfIndex:
+    def test_candidates_above_threshold(self, table):
+        index = TfIdfIndex(table)
+        for doc_id, doc in enumerate(DOCS):
+            index.add(doc_id, doc)
+        hits = index.candidates_above(["sunita", "sarawagi"], threshold=0.9)
+        assert hits[0][0] == 0
+        assert hits[0][1] == pytest.approx(1.0)
+
+    def test_candidates_sorted_descending(self, table):
+        index = TfIdfIndex(table)
+        for doc_id, doc in enumerate(DOCS):
+            index.add(doc_id, doc)
+        hits = index.candidates_above(["sunita", "deshpande"], threshold=0.0)
+        scores = [s for _, s in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_no_shared_token_no_candidate(self, table):
+        index = TfIdfIndex(table)
+        index.add(0, ["sunita", "sarawagi"])
+        assert index.candidates_above(["kasliwal"], threshold=0.0) == []
+
+    def test_duplicate_id_rejected(self, table):
+        index = TfIdfIndex(table)
+        index.add(0, ["a"])
+        with pytest.raises(ValueError):
+            index.add(0, ["b"])
+
+    def test_pairwise_cosine(self, table):
+        index = TfIdfIndex(table)
+        index.add(0, ["sunita", "sarawagi"])
+        index.add(1, ["sunita", "deshpande"])
+        assert 0.0 < index.cosine(0, 1) < 1.0

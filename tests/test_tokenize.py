@@ -1,0 +1,103 @@
+"""Unit tests for repro.similarity.tokenize."""
+
+import pytest
+
+from repro.similarity.tokenize import (
+    cached_ngram_set,
+    cached_word_set,
+    content_word_set,
+    content_words,
+    initial_set,
+    initials,
+    ngram_set,
+    ngrams,
+    normalize,
+    sorted_initials_key,
+    word_set,
+    words,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("Sunita SARAWAGI") == "sunita sarawagi"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  a \t b\n c ") == "a b c"
+
+    def test_empty(self):
+        assert normalize("") == ""
+
+
+class TestWords:
+    def test_splits_on_punctuation(self):
+        assert words("Smith, J.") == ["smith", "j"]
+
+    def test_keeps_digits(self):
+        assert words("411 004 pune") == ["411", "004", "pune"]
+
+    def test_empty(self):
+        assert words("") == []
+
+    def test_word_set(self):
+        assert word_set("a b a") == frozenset({"a", "b"})
+
+
+class TestContentWords:
+    def test_removes_stop_words(self):
+        stops = frozenset({"road", "street"})
+        assert content_words("mg road pune street", stops) == ["mg", "pune"]
+
+    def test_set_variant(self):
+        stops = frozenset({"the"})
+        assert content_word_set("the spice garden the", stops) == frozenset(
+            {"spice", "garden"}
+        )
+
+
+class TestNgrams:
+    def test_basic_trigrams(self):
+        assert ngrams("abcd") == ["abc", "bcd"]
+
+    def test_short_text_yields_whole(self):
+        assert ngrams("ab") == ["ab"]
+        assert ngrams("abc") == ["abc"]
+
+    def test_normalized_before_gramming(self):
+        assert ngram_set("A  B") == ngram_set("a b")
+
+    def test_empty(self):
+        assert ngrams("") == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", n=0)
+
+    def test_spaces_inside_grams(self):
+        assert " b " not in ngram_set("ab")
+        assert "a b" in ngram_set("a bc")
+
+
+class TestInitials:
+    def test_in_order(self):
+        assert initials("sunita k sarawagi") == ("s", "k", "s")
+
+    def test_skips_numeric_tokens(self):
+        assert initials("411 main road") == ("m", "r")
+
+    def test_initial_set_dedupes(self):
+        assert initial_set("sunita sarawagi") == frozenset({"s"})
+
+    def test_sorted_key_order_invariant(self):
+        assert sorted_initials_key("sunita sarawagi") == sorted_initials_key(
+            "sarawagi sunita"
+        )
+
+    def test_sorted_key_distinguishes_multiplicity(self):
+        assert sorted_initials_key("s s") != sorted_initials_key("s")
+
+
+class TestCaches:
+    def test_cached_matches_uncached(self):
+        assert cached_ngram_set("hello world") == ngram_set("hello world")
+        assert cached_word_set("hello world") == word_set("hello world")

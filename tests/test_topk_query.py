@@ -1,0 +1,144 @@
+"""End-to-end tests for the Top-K count query engine."""
+
+import pytest
+
+from repro.core.records import RecordStore
+from repro.core.topk import group_score_matrix, topk_count_query
+from repro.predicates.base import PredicateLevel
+from repro.scoring.pairwise import WeightedScorer
+from repro.similarity.vectorize import name_only_featurizer
+from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+
+
+def one_level() -> list[PredicateLevel]:
+    return [PredicateLevel(exact_name_predicate(), shared_word_predicate())]
+
+
+def simple_scorer() -> WeightedScorer:
+    featurizer = name_only_featurizer()
+    # Jaccard-heavy combination shifted negative: similar names positive.
+    return WeightedScorer(
+        featurizer, weights=[2.0, 2.0, 1.0, 1.0, 2.0], bias=-3.5
+    )
+
+
+class TestTopKCountQuery:
+    def test_exact_when_pruning_settles_it(self):
+        store = make_store(["ann smith"] * 4 + ["bob jones"] * 2)
+        result = topk_count_query(
+            store, 2, one_level(), simple_scorer(), label_field="name"
+        )
+        assert result.exact
+        assert [e.weight for e in result.best.entities] == [4.0, 2.0]
+
+    def test_merges_variants_through_final_scoring(self):
+        store = make_store(
+            ["ann smith"] * 3
+            + ["ann smlth"] * 2  # typo variants of the same entity
+            + ["bob jones"] * 4
+            + ["cara lee"]
+        )
+        result = topk_count_query(
+            store, 2, one_level(), simple_scorer(), label_field="name"
+        )
+        best = result.best
+        weights = sorted((e.weight for e in best.entities), reverse=True)
+        assert weights == [5.0, 4.0]  # ann group merged to 5, bob 4
+
+    def test_r_alternative_answers(self):
+        store = make_store(
+            ["ann smith"] * 3 + ["ann smlth"] * 2 + ["bob jones"] * 4
+        )
+        result = topk_count_query(
+            store, 1, one_level(), simple_scorer(), r=3, label_field="name"
+        )
+        assert 1 <= len(result.answers) <= 3
+        scores = [a.score for a in result.answers]
+        assert scores == sorted(scores, reverse=True)
+        probs = [a.probability for a in result.answers]
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_answer_entities_sorted_by_weight(self):
+        store = make_store(
+            ["a x"] * 5 + ["b y"] * 3 + ["c z"] * 2 + ["d w"]
+        )
+        result = topk_count_query(
+            store, 3, one_level(), simple_scorer(), label_field="name"
+        )
+        weights = [e.weight for e in result.best.entities]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_label_field(self):
+        store = make_store(["ann smith"] * 2 + ["bob jones"])
+        result = topk_count_query(
+            store, 1, one_level(), simple_scorer(), label_field="name"
+        )
+        assert result.best.entities[0].label == "ann smith"
+
+    def test_record_ids_partition(self):
+        store = make_store(["a x"] * 3 + ["b y"] * 2)
+        result = topk_count_query(
+            store, 2, one_level(), simple_scorer(), label_field="name"
+        )
+        ids = [i for e in result.best.entities for i in e.record_ids]
+        assert len(ids) == len(set(ids))
+
+    def test_empty_answers_raise_on_best(self):
+        from repro.core.topk import TopKQueryResult
+
+        with pytest.raises(ValueError):
+            TopKQueryResult().best
+
+
+class TestGroupScoreMatrix:
+    def test_aggregate_scales_by_sizes(self):
+        from repro.core.collapse import collapse_records
+
+        store = make_store(["ann smith"] * 3 + ["ann smlth"] * 2)
+        groups = collapse_records(store, exact_name_predicate())
+        scorer = simple_scorer()
+        plain = group_score_matrix(
+            groups, scorer, shared_word_predicate(), aggregate=False
+        )
+        scaled = group_score_matrix(
+            groups, scorer, shared_word_predicate(), aggregate=True
+        )
+        assert scaled.get(0, 1) == pytest.approx(plain.get(0, 1) * 3 * 2)
+
+
+class TestMassRankedQuery:
+    def test_rank_answers_by_mass(self):
+        store = make_store(
+            ["ann smith"] * 3 + ["ann smlth"] * 2 + ["bob jones"] * 4
+        )
+        result = topk_count_query(
+            store,
+            1,
+            one_level(),
+            simple_scorer(),
+            r=3,
+            label_field="name",
+            rank_answers_by="mass",
+        )
+        assert result.answers
+        probs = [a.probability for a in result.answers]
+        assert abs(sum(probs) - 1.0) < 1e-9
+        assert probs == sorted(probs, reverse=True)
+
+
+class TestFewEntitiesEdgeCases:
+    def test_k_exceeds_distinct_groups_in_partition(self):
+        # Only 2 real entities but k=4 requested with scoring needed:
+        # the answer may contain fewer than k entities, never junk.
+        store = make_store(
+            ["ann smith"] * 3
+            + ["ann smlth"] * 2
+            + ["bob jones"] * 3
+            + ["bob jomes"] * 2
+        )
+        result = topk_count_query(
+            store, 4, one_level(), simple_scorer(), label_field="name"
+        )
+        assert 1 <= len(result.best.entities) <= 4
+        ids = [i for e in result.best.entities for i in e.record_ids]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,129 @@
+"""Tests for predicate validation against gold labels."""
+
+from repro.predicates.base import FunctionPredicate
+from repro.predicates.validate import validate_necessary, validate_sufficient
+from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+
+
+class TestValidateNecessary:
+    def test_holds_on_clean_data(self):
+        store = make_store(["ann smith", "a smith", "bob jones"])
+        labels = [0, 0, 1]
+        report = validate_necessary(shared_word_predicate(), list(store), labels)
+        assert report.ok
+        assert report.n_pairs_checked == 1
+
+    def test_detects_violation(self):
+        store = make_store(["ann smith", "completely different"])
+        labels = [0, 0]  # same entity but predicate false
+        report = validate_necessary(shared_word_predicate(), list(store), labels)
+        assert not report.ok
+        assert report.n_violations == 1
+        assert report.violations == [(0, 1)]
+        assert report.violation_rate == 1.0
+
+    def test_role_recorded(self):
+        store = make_store(["a"])
+        report = validate_necessary(shared_word_predicate(), list(store), [0])
+        assert report.role == "necessary"
+
+    def test_length_mismatch(self):
+        store = make_store(["a"])
+        import pytest
+
+        with pytest.raises(ValueError):
+            validate_necessary(shared_word_predicate(), list(store), [0, 1])
+
+
+class TestValidateSufficient:
+    def test_holds_on_clean_data(self):
+        store = make_store(["ann smith", "ann smith", "bob jones"])
+        labels = [0, 0, 1]
+        report = validate_sufficient(exact_name_predicate(), list(store), labels)
+        assert report.ok
+
+    def test_detects_cross_entity_firing(self):
+        store = make_store(["ann smith", "ann smith"])
+        labels = [0, 1]  # identical strings, different entities
+        report = validate_sufficient(exact_name_predicate(), list(store), labels)
+        assert not report.ok
+        assert report.n_violations == 1
+
+    def test_example_cap(self):
+        store = make_store(["x"] * 6)
+        labels = list(range(6))  # every pair is a violation
+        report = validate_sufficient(
+            exact_name_predicate(), list(store), labels, max_examples=3
+        )
+        assert len(report.violations) == 3
+        assert report.n_violations == 15
+
+    def test_empty_checked_rate(self):
+        predicate = FunctionPredicate(
+            evaluate_fn=lambda a, b: False,
+            keys_fn=lambda r: [],
+            name="never",
+        )
+        store = make_store(["a", "b"])
+        report = validate_sufficient(predicate, list(store), [0, 1])
+        assert report.violation_rate == 0.0
+
+
+class TestGeneratedDataPredicateContracts:
+    """The synthetic generators must satisfy the paper's predicate roles."""
+
+    def test_citation_sufficient_predicates_hold(self):
+        from repro.datasets import author_idf, generate_citations, suggest_min_idf
+        from repro.predicates import citation_levels
+
+        ds = generate_citations(n_records=1500, seed=5)
+        idf = author_idf(ds.store)
+        levels = citation_levels(idf, suggest_min_idf(idf))
+        for level in levels:
+            report = validate_sufficient(
+                level.sufficient, list(ds.store), ds.labels
+            )
+            assert report.ok, f"{level.sufficient.name}: {report.n_violations}"
+
+    def test_citation_necessary_predicates_mostly_hold(self):
+        from repro.datasets import author_idf, generate_citations, suggest_min_idf
+        from repro.predicates import citation_levels
+
+        ds = generate_citations(n_records=1500, seed=5)
+        idf = author_idf(ds.store)
+        levels = citation_levels(idf, suggest_min_idf(idf))
+        for level in levels:
+            report = validate_necessary(
+                level.necessary, list(ds.store), ds.labels
+            )
+            assert report.violation_rate < 0.02, level.necessary.name
+
+    def test_student_predicates_hold(self):
+        from repro.datasets import generate_students
+        from repro.predicates import student_levels
+
+        ds = generate_students(n_records=1500, seed=5)
+        for level in student_levels():
+            sufficient = validate_sufficient(
+                level.sufficient, list(ds.store), ds.labels
+            )
+            assert sufficient.ok, level.sufficient.name
+            necessary = validate_necessary(
+                level.necessary, list(ds.store), ds.labels
+            )
+            assert necessary.violation_rate < 0.02, level.necessary.name
+
+    def test_address_predicates_hold(self):
+        from repro.datasets import generate_addresses
+        from repro.predicates import address_levels
+
+        ds = generate_addresses(n_records=1500, seed=5)
+        for level in address_levels(ds.store):
+            sufficient = validate_sufficient(
+                level.sufficient, list(ds.store), ds.labels
+            )
+            assert sufficient.ok, level.sufficient.name
+            necessary = validate_necessary(
+                level.necessary, list(ds.store), ds.labels
+            )
+            assert necessary.violation_rate < 0.02, level.necessary.name
