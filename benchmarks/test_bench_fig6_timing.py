@@ -10,6 +10,11 @@ pruning pipeline wins clearly at small K.
 
 import pytest
 
+from repro.core.collapse import collapse
+from repro.core.lower_bound import estimate_lower_bound
+from repro.core.prune import prune
+from repro.core.records import GroupSet
+from repro.core.verification import VerificationContext
 from repro.experiments import (
     benchmark_scale,
     citation_pipeline,
@@ -52,6 +57,68 @@ def test_fig6_timing_comparison(benchmark, pipeline, record_table):
     assert checks["pruned_does_far_less_work"], checks
     assert checks["collapse_beats_canopy"], checks
     assert checks["collapse_does_less_work"], checks
+
+
+def test_fig6_shared_verification_counters(pipeline, record_table):
+    """The shared VerificationContext must beat the historical
+    double-build (independent lower-bound and prune indexes) on
+    necessary-predicate evaluations at every level, while leaving the
+    surviving groups and the LevelStats m/M values bit-identical."""
+    k = 10
+    rows = []
+    current = GroupSet.singletons(pipeline.store)
+    for level in pipeline.levels:
+        current = collapse(current, level.sufficient)
+
+        legacy = VerificationContext(caching=False)
+        legacy_estimate = estimate_lower_bound(
+            current, level.necessary, k, context=legacy
+        )
+        legacy_pruned = prune(
+            current, level.necessary, legacy_estimate.bound, context=legacy
+        )
+
+        shared = VerificationContext()
+        estimate = estimate_lower_bound(
+            current, level.necessary, k, context=shared
+        )
+        pruned = prune(current, level.necessary, estimate.bound, context=shared)
+
+        # Identical m/M and identical surviving group set.
+        assert estimate.m == legacy_estimate.m
+        assert estimate.bound == legacy_estimate.bound
+        assert pruned.kept_group_ids == legacy_pruned.kept_group_ids
+        assert (
+            pruned.retained.weights() == legacy_pruned.retained.weights()
+        )
+
+        # Measurably less verification work, counter-verified.
+        assert (
+            shared.counters.total_evaluations
+            < legacy.counters.total_evaluations
+        ), (shared.counters, legacy.counters)
+        assert shared.counters.index_builds < legacy.counters.index_builds
+
+        rows.append(
+            {
+                "level": level.name,
+                "legacy evals": legacy.counters.total_evaluations,
+                "shared evals": shared.counters.total_evaluations,
+                "legacy builds": legacy.counters.index_builds,
+                "shared builds": shared.counters.index_builds,
+                "cache hits": shared.counters.cache_hits,
+            }
+        )
+        current = pruned.retained
+    record_table(
+        format_table(
+            rows,
+            title=(
+                "Figure 6 (verification sharing) — necessary-predicate "
+                f"evaluations per level ({len(pipeline.store)} records, K={k})"
+            ),
+        )
+    )
 
 
 def test_fig6_none_reference(benchmark, small_pipeline, record_table):

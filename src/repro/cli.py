@@ -21,9 +21,11 @@ import csv
 import sys
 from collections.abc import Sequence
 
+from .core.pruned_dedup import PrunedDedupResult
 from .core.rank_query import thresholded_rank_query, topk_rank_query
 from .core.records import RecordStore
 from .core.topk import topk_count_query
+from .core.verification import PipelineCounters
 from .predicates.base import PredicateLevel
 from .predicates.library import ExactFieldsPredicate, NgramOverlapPredicate
 from .scoring.pairwise import CachedScorer, WeightedScorer
@@ -121,6 +123,13 @@ def _common_arguments(parser: argparse.ArgumentParser) -> None:
         default=0.6,
         help="necessary-predicate 3-gram overlap threshold (default 0.6)",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print verification-work counters (predicate/signature "
+        "evaluations, cache traffic, index builds, per-stage wall time) "
+        "to stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,6 +174,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+_COUNTER_COLUMNS = (
+    ("evals", "predicate_evaluations"),
+    ("sig-evals", "signature_evaluations"),
+    ("hits", "cache_hits"),
+    ("misses", "cache_misses"),
+    ("builds", "index_builds"),
+    ("reuses", "index_reuses"),
+)
+
+
+def _counter_line(label: str, counters: PipelineCounters) -> str:
+    cells = "  ".join(
+        f"{name}={getattr(counters, attr)}" for name, attr in _COUNTER_COLUMNS
+    )
+    return f"{label:<12} {cells}"
+
+
+def print_stats(
+    counters: PipelineCounters | None,
+    pruning: PrunedDedupResult | None = None,
+    file=None,
+) -> None:
+    """Write the verification-work report for ``--stats`` to *file*.
+
+    One line per executed level (when per-level stats are available),
+    a totals line, and the per-stage wall-time breakdown.
+    """
+    out = file if file is not None else sys.stderr
+    if counters is None:
+        print("verification stats: unavailable", file=out)
+        return
+    print("verification stats", file=out)
+    if pruning is not None:
+        for stats in pruning.stats:
+            if stats.counters is not None:
+                print(
+                    "  " + _counter_line(stats.level_name, stats.counters),
+                    file=out,
+                )
+    print("  " + _counter_line("total", counters), file=out)
+    for stage, seconds in sorted(counters.stage_seconds.items()):
+        print(f"  {stage:<12} {seconds:8.3f}s", file=out)
+
+
 def run_topk(args: argparse.Namespace) -> int:
     store = load_csv(args.input, args.field, args.weight_field)
     levels = generic_levels(args.field, args.ngram_threshold)
@@ -184,6 +237,11 @@ def run_topk(args: argparse.Namespace) -> int:
             print(f"{entity.weight:12.2f}  {entity.label}")
         if rank_index < len(result.answers):
             print()
+    if args.stats:
+        pruning = result.pruning
+        print_stats(
+            pruning.counters if pruning is not None else None, pruning
+        )
     return 0
 
 
@@ -198,6 +256,8 @@ def run_rank(args: argparse.Namespace) -> int:
             f"{entry.weight:12.2f}  (u<={entry.upper_bound:12.2f}) {marker} "
             f"{label}"
         )
+    if args.stats:
+        print_stats(result.counters)
     return 0
 
 
@@ -210,6 +270,8 @@ def run_threshold(args: argparse.Namespace) -> int:
     for entry in result.ranking:
         label = store[entry.representative_id][args.field]
         print(f"{entry.weight:12.2f}  {label}")
+    if args.stats:
+        print_stats(result.counters)
     return 0
 
 

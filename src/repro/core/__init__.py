@@ -16,6 +16,7 @@ from .rank_query import (
     topk_rank_query,
 )
 from .records import Group, GroupSet, Record, RecordStore, merge_groups
+from .verification import PipelineCounters, VerificationContext
 from .topk import (
     EntityGroup,
     RankedAnswer,
@@ -31,6 +32,7 @@ __all__ = [
     "GroupSet",
     "LevelStats",
     "LowerBoundEstimate",
+    "PipelineCounters",
     "PruneResult",
     "PrunedDedupResult",
     "RankQueryResult",
@@ -39,6 +41,7 @@ __all__ = [
     "Record",
     "RecordStore",
     "TopKQueryResult",
+    "VerificationContext",
     "collapse",
     "collapse_records",
     "estimate_lower_bound",

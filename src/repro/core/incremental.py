@@ -26,6 +26,7 @@ from .lower_bound import estimate_lower_bound
 from .prune import prune
 from .pruned_dedup import LevelStats, PrunedDedupResult
 from .records import Group, GroupSet, Record, RecordStore, merge_groups
+from .verification import VerificationContext
 
 
 class IncrementalTopK:
@@ -40,12 +41,18 @@ class IncrementalTopK:
             same-key records are verified pairwise for non-equivalence
             sufficient predicates (newest first) — bounds per-insert
             cost on pathological keys.
+        verdict_cache_limit: Cap on cached necessary-predicate pair
+            verdicts per predicate.  Records are immutable and ids are
+            stable, so verdicts stay valid across inserts and queries;
+            the cache is flushed wholesale past this size to bound
+            memory on long streams.
     """
 
     def __init__(
         self,
         levels: list[PredicateLevel],
         max_block_verifications: int = 64,
+        verdict_cache_limit: int = 2_000_000,
     ):
         if not levels:
             raise ValueError("need at least one predicate level")
@@ -56,6 +63,14 @@ class IncrementalTopK:
         self._key_members: dict[Hashable, list[int]] = defaultdict(list)
         self._version = 0
         self._query_cache: dict[int, tuple[int, PrunedDedupResult]] = {}
+        self._verification = VerificationContext(
+            verdict_cache_limit=verdict_cache_limit
+        )
+
+    @property
+    def verification(self) -> VerificationContext:
+        """The stream-lifetime verification context (counters included)."""
+        return self._verification
 
     def __len__(self) -> int:
         return len(self._records)
@@ -128,21 +143,30 @@ class IncrementalTopK:
             return cached[1]
 
         d = len(self._records)
-        result = PrunedDedupResult(
-            groups=self.collapsed_groups(), n_starting_records=d
-        )
+        context = self._verification
+        before_run = context.counters.snapshot()
+        with context.stage("collapse"):
+            groups = self.collapsed_groups()
+        result = PrunedDedupResult(groups=groups, n_starting_records=d)
         current = result.groups
         for index, level in enumerate(self._levels):
+            before_level = context.counters.snapshot()
             if index > 0:
-                current = collapse(current, level.sufficient)
+                with context.stage("collapse"):
+                    current = collapse(current, level.sufficient)
             n_after_collapse = len(current)
-            estimate = estimate_lower_bound(current, level.necessary, k)
-            pruned = prune(
-                current,
-                level.necessary,
-                estimate.bound,
-                iterations=prune_iterations,
-            )
+            with context.stage("lower_bound"):
+                estimate = estimate_lower_bound(
+                    current, level.necessary, k, context=context
+                )
+            with context.stage("prune"):
+                pruned = prune(
+                    current,
+                    level.necessary,
+                    estimate.bound,
+                    iterations=prune_iterations,
+                    context=context,
+                )
             current = pruned.retained
             result.stats.append(
                 LevelStats(
@@ -154,11 +178,16 @@ class IncrementalTopK:
                     n_groups_after_prune=len(current),
                     n_prime_pct=100.0 * len(current) / d if d else 0.0,
                     certified=estimate.certified,
+                    counters=context.counters.delta(before_level),
                 )
             )
-            if len(current) == k:
+            # Same early-out as the batch engine: the group count can
+            # only shrink from here, so <= k groups ends the query.
+            if len(current) <= k:
                 result.terminated_early = True
+                result.terminated_below_k = len(current) < k
                 break
         result.groups = current
+        result.counters = context.counters.delta(before_run)
         self._query_cache[k] = (self._version, result)
         return result

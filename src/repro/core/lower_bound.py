@@ -16,11 +16,15 @@ and stop as soon as the bound reaches K.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..graphs.clique_partition import IncrementalCliquePartition
 from ..predicates.base import Predicate
 from ..predicates.blocking import NeighborIndex
 from .records import GroupSet
+
+if TYPE_CHECKING:
+    from .verification import VerificationContext
 
 
 def _sparse_enough(graph, max_density: float = 0.25) -> bool:
@@ -58,6 +62,7 @@ def estimate_lower_bound(
     k: int,
     refine: bool = True,
     refine_max_vertices: int = 400,
+    context: "VerificationContext | None" = None,
 ) -> LowerBoundEstimate:
     """Estimate ``(m, M)`` for a Top-*k* query over *group_set*.
 
@@ -68,6 +73,10 @@ def estimate_lower_bound(
     until the prefix graph exceeds *refine_max_vertices*, past which the
     cubic Min-fill pass stops paying for itself and only the incremental
     bound drives the loop.
+
+    With a :class:`~repro.core.verification.VerificationContext`, the
+    neighbor index is obtained from (and left in) the context so the
+    following prune stage reuses the build and every pair verdict.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -76,7 +85,10 @@ def estimate_lower_bound(
         return LowerBoundEstimate(m=0, bound=0.0, certified=False, cpn=0)
 
     representatives = group_set.representatives()
-    index = NeighborIndex(necessary, representatives)
+    if context is not None:
+        index = context.neighbor_index(necessary, group_set)
+    else:
+        index = NeighborIndex(necessary, representatives)
     cpn = IncrementalCliquePartition()
     next_refine = max(k, 2)
 

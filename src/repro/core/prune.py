@@ -14,10 +14,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..predicates.base import Predicate
 from ..predicates.blocking import NeighborIndex
 from .records import GroupSet
+
+if TYPE_CHECKING:
+    from .verification import VerificationContext
 
 
 @dataclass
@@ -42,6 +46,7 @@ def prune(
     bound: float,
     iterations: int = 2,
     compute_all_bounds: bool = False,
+    context: "VerificationContext | None" = None,
 ) -> PruneResult:
     """Prune groups whose upper bound cannot exceed *bound* (= M).
 
@@ -52,6 +57,11 @@ def prune(
     With *compute_all_bounds*, real upper bounds are computed even for
     groups already at weight >= M (they can never be pruned, so the count
     query skips them, but the Section 7 rank queries need every u_i).
+
+    With a :class:`~repro.core.verification.VerificationContext`, the
+    neighbor index built by the preceding lower-bound estimation over
+    the same group set is reused instead of rebuilt, and pair verdicts
+    it already computed are served from the shared cache.
     """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
@@ -65,7 +75,10 @@ def prune(
 
     weights = group_set.weights()
     representatives = group_set.representatives()
-    index = NeighborIndex(necessary, representatives)
+    if context is not None:
+        index = context.neighbor_index(necessary, group_set)
+    else:
+        index = NeighborIndex(necessary, representatives)
 
     # Groups already at weight >= M can never be pruned; their bound is
     # effectively infinite.  Neighbor lists are materialized only for the

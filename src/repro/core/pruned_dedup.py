@@ -22,6 +22,7 @@ from .collapse import collapse
 from .lower_bound import LowerBoundEstimate, estimate_lower_bound
 from .prune import prune
 from .records import GroupSet, RecordStore
+from .verification import PipelineCounters, VerificationContext
 
 
 @dataclass
@@ -39,6 +40,9 @@ class LevelStats:
         n_prime_pct: That count as a percentage of the starting records
             (the tables' ``n'`` column).
         certified: Whether the CPN bound reached K at this level.
+        counters: Verification work done by this level (predicate /
+            signature evaluations, cache traffic, index builds, stage
+            wall time); None for results produced without a context.
     """
 
     level_name: str
@@ -49,6 +53,7 @@ class LevelStats:
     n_groups_after_prune: int
     n_prime_pct: float
     certified: bool
+    counters: PipelineCounters | None = None
 
 
 @dataclass
@@ -59,14 +64,20 @@ class PrunedDedupResult:
         groups: Surviving groups after the last executed level.
         stats: One :class:`LevelStats` per executed level.
         n_starting_records: Size of the input store.
-        terminated_early: True when a level left exactly K groups and the
+        terminated_early: True when a level left at most K groups and the
             pipeline returned without running later levels.
+        terminated_below_k: True when early termination happened with
+            strictly fewer than K groups (pruning overshot the ask;
+            later levels could never have grown the count back).
+        counters: Total verification work across all executed levels.
     """
 
     groups: GroupSet
     stats: list[LevelStats] = field(default_factory=list)
     n_starting_records: int = 0
     terminated_early: bool = False
+    terminated_below_k: bool = False
+    counters: PipelineCounters | None = None
 
     @property
     def retained_fraction(self) -> float:
@@ -82,6 +93,7 @@ def pruned_dedup(
     levels: list[PredicateLevel],
     prune_iterations: int = 2,
     refine_bound: bool = True,
+    context: VerificationContext | None = None,
 ) -> PrunedDedupResult:
     """Run Algorithm 2 (minus the final clustering) on *store*.
 
@@ -92,6 +104,9 @@ def pruned_dedup(
         prune_iterations: Passes of upper-bound refinement (Section 4.3).
         refine_bound: Re-run the full Min-fill CPN bound at checkpoints
             during lower-bound estimation (tighter M, more work).
+        context: Shared verification state (neighbor index + pair-verdict
+            cache + counters).  A fresh one is created when omitted;
+            passing one lets callers accumulate counters across runs.
 
     Returns:
         The surviving :class:`GroupSet` plus per-level statistics.  Apply
@@ -103,21 +118,38 @@ def pruned_dedup(
     if not levels:
         raise ValueError("need at least one predicate level")
 
+    if context is None:
+        context = VerificationContext()
     d = len(store)
     result = PrunedDedupResult(
-        groups=GroupSet.singletons(store), n_starting_records=d
+        groups=GroupSet.singletons(store),
+        n_starting_records=d,
+        counters=context.counters,
     )
     current = result.groups
+    before_run = context.counters.snapshot()
     for level in levels:
-        current = collapse(current, level.sufficient)
+        before_level = context.counters.snapshot()
+        with context.stage("collapse"):
+            current = collapse(current, level.sufficient)
         n_after_collapse = len(current)
 
-        estimate: LowerBoundEstimate = estimate_lower_bound(
-            current, level.necessary, k, refine=refine_bound
-        )
-        pruned = prune(
-            current, level.necessary, estimate.bound, iterations=prune_iterations
-        )
+        with context.stage("lower_bound"):
+            estimate: LowerBoundEstimate = estimate_lower_bound(
+                current,
+                level.necessary,
+                k,
+                refine=refine_bound,
+                context=context,
+            )
+        with context.stage("prune"):
+            pruned = prune(
+                current,
+                level.necessary,
+                estimate.bound,
+                iterations=prune_iterations,
+                context=context,
+            )
         current = pruned.retained
 
         result.stats.append(
@@ -130,12 +162,20 @@ def pruned_dedup(
                 n_groups_after_prune=len(current),
                 n_prime_pct=100.0 * len(current) / d if d else 0.0,
                 certified=estimate.certified,
+                counters=context.counters.delta(before_level),
             )
         )
-        if len(current) == k:
+        # Pruning can only shrink the group count from here on (collapse
+        # merges, prune drops), so at <= k groups later levels are
+        # pointless: at k they are the certified answer, below k the
+        # remaining groups are all that can ever be returned.
+        if len(current) <= k:
             result.groups = current
             result.terminated_early = True
+            result.terminated_below_k = len(current) < k
+            result.counters = context.counters.delta(before_run)
             return result
 
     result.groups = current
+    result.counters = context.counters.delta(before_run)
     return result

@@ -22,6 +22,7 @@ from .collapse import collapse
 from .lower_bound import estimate_lower_bound
 from .prune import prune
 from .records import GroupSet, RecordStore
+from .verification import PipelineCounters, VerificationContext
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,7 @@ class RankQueryResult:
             beyond the count query's pruning.
         certain: For thresholded queries — True when the termination test
             held and the ranking needs no exact evaluation.
+        counters: Verification work done across the whole query.
     """
 
     ranking: list[RankedGroup]
@@ -63,6 +65,7 @@ class RankQueryResult:
     n_retained: int
     n_extra_pruned: int
     certain: bool = False
+    counters: PipelineCounters | None = None
 
 
 def _resolved_flags(
@@ -100,6 +103,7 @@ def _rank_prune(
     necessary,
     upper: list[float],
     bound: float,
+    context: VerificationContext | None = None,
 ) -> tuple[list[int], list[bool]]:
     """Section 7.1's extra pruning: drop groups only adjacent to resolved
     groups (and themselves below M), returning kept ids + resolved flags.
@@ -107,7 +111,10 @@ def _rank_prune(
     n = len(group_set)
     weights = group_set.weights()
     representatives = group_set.representatives()
-    index = NeighborIndex(necessary, representatives)
+    if context is not None:
+        index = context.neighbor_index(necessary, group_set)
+    else:
+        index = NeighborIndex(necessary, representatives)
     neighbor_lists = {
         i: index.neighbors(representatives[i], exclude_position=i)
         for i in range(n)
@@ -137,36 +144,51 @@ def topk_rank_query(
     k: int,
     levels: list[PredicateLevel],
     prune_iterations: int = 2,
+    context: VerificationContext | None = None,
 ) -> RankQueryResult:
     """Answer a Top-K *rank* query (Section 7.1).
 
     Runs the count query's collapse/bound/prune per level, then the
-    rank-specific resolved-group pruning after the last level.
+    rank-specific resolved-group pruning after the last level.  The
+    verification context (created when omitted) shares each level's
+    neighbor index between bound estimation, pruning, and the rank pass,
+    and carries pair verdicts across all of them.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if not levels:
         raise ValueError("need at least one predicate level")
 
+    if context is None:
+        context = VerificationContext()
     current = GroupSet.singletons(store)
     bound = 0.0
     upper: list[float] = []
     for level in levels:
-        current = collapse(current, level.sufficient)
-        estimate = estimate_lower_bound(current, level.necessary, k)
+        with context.stage("collapse"):
+            current = collapse(current, level.sufficient)
+        with context.stage("lower_bound"):
+            estimate = estimate_lower_bound(
+                current, level.necessary, k, context=context
+            )
         bound = estimate.bound
-        result = prune(
-            current,
-            level.necessary,
-            bound,
-            iterations=prune_iterations,
-            compute_all_bounds=True,
-        )
+        with context.stage("prune"):
+            result = prune(
+                current,
+                level.necessary,
+                bound,
+                iterations=prune_iterations,
+                compute_all_bounds=True,
+                context=context,
+            )
         current = result.retained
         upper = [result.upper_bounds[i] for i in result.kept_group_ids]
 
     n_before = len(current)
-    kept, flags = _rank_prune(current, levels[-1].necessary, upper, bound)
+    with context.stage("rank_prune"):
+        kept, flags = _rank_prune(
+            current, levels[-1].necessary, upper, bound, context=context
+        )
     retained = current.subset(kept)
     ranking = [
         RankedGroup(
@@ -182,6 +204,7 @@ def topk_rank_query(
         groups=retained,
         n_retained=len(kept),
         n_extra_pruned=n_before - len(kept),
+        counters=context.counters,
     )
 
 
@@ -190,6 +213,7 @@ def thresholded_rank_query(
     threshold: float,
     levels: list[PredicateLevel],
     prune_iterations: int = 2,
+    context: VerificationContext | None = None,
 ) -> RankQueryResult:
     """Answer a thresholded rank query (Section 7.2): groups of size >= T.
 
@@ -203,28 +227,42 @@ def thresholded_rank_query(
     if not levels:
         raise ValueError("need at least one predicate level")
 
+    if context is None:
+        context = VerificationContext()
     current = GroupSet.singletons(store)
     upper: list[float] = []
     for level in levels:
-        current = collapse(current, level.sufficient)
-        result = prune(
-            current,
-            level.necessary,
-            threshold,
-            iterations=prune_iterations,
-            compute_all_bounds=True,
-        )
+        with context.stage("collapse"):
+            current = collapse(current, level.sufficient)
+        with context.stage("prune"):
+            result = prune(
+                current,
+                level.necessary,
+                threshold,
+                iterations=prune_iterations,
+                compute_all_bounds=True,
+                context=context,
+            )
         current = result.retained
         upper = [result.upper_bounds[i] for i in result.kept_group_ids]
 
     n_before = len(current)
-    kept, flags = _rank_prune(current, levels[-1].necessary, upper, threshold)
+    with context.stage("rank_prune"):
+        kept, flags = _rank_prune(
+            current, levels[-1].necessary, upper, threshold, context=context
+        )
     retained = current.subset(kept)
     kept_upper = [upper[original] for original in kept]
 
-    certain = _threshold_termination(
-        retained.weights(), kept_upper, retained, levels[-1].necessary, threshold
-    )
+    with context.stage("rank_prune"):
+        certain = _threshold_termination(
+            retained.weights(),
+            kept_upper,
+            retained,
+            levels[-1].necessary,
+            threshold,
+            context=context,
+        )
     ranking = [
         RankedGroup(
             representative_id=retained[pos].representative_id,
@@ -242,6 +280,7 @@ def thresholded_rank_query(
         n_retained=len(kept),
         n_extra_pruned=n_before - len(kept),
         certain=certain,
+        counters=context.counters,
     )
 
 
@@ -251,13 +290,17 @@ def _threshold_termination(
     retained: GroupSet,
     necessary,
     threshold: float,
+    context: VerificationContext | None = None,
 ) -> bool:
     """Section 7.2's termination test for some prefix length k."""
     n = len(weights)
     if n == 0:
         return True
     representatives = retained.representatives()
-    index = NeighborIndex(necessary, representatives)
+    if context is not None:
+        index = context.neighbor_index(necessary, retained)
+    else:
+        index = NeighborIndex(necessary, representatives)
     neighbor_lists = [
         set(index.neighbors(representatives[i], exclude_position=i))
         for i in range(n)

@@ -19,6 +19,7 @@ from ..scoring.gibbs import gibbs_probabilities
 from ..scoring.pairwise import PairwiseScorer
 from .pruned_dedup import PrunedDedupResult, pruned_dedup
 from .records import GroupSet, RecordStore
+from .verification import VerificationContext
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,7 @@ def topk_count_query(
     alpha: float = 0.75,
     rank_answers_by: str = "score",
     probability_temperature: float | None = None,
+    context: VerificationContext | None = None,
 ) -> TopKQueryResult:
     """Answer a Top-K count query over *store*, returning R ranked answers.
 
@@ -107,9 +109,11 @@ def topk_count_query(
             of answer probabilities.  Defaults to the spread of the
             answer scores, so reported probabilities stay informative
             even when aggregate scaling makes raw scores huge.
+        context: Shared verification state forwarded to the pruning
+            pipeline; the run's counters land on ``result.pruning``.
     """
     pruning = pruned_dedup(
-        store, k, levels, prune_iterations=prune_iterations
+        store, k, levels, prune_iterations=prune_iterations, context=context
     )
     groups = pruning.groups
 

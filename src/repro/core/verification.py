@@ -1,0 +1,221 @@
+"""Shared verification layer: one NeighborIndex + verdict cache per level.
+
+Algorithm 2's per-level cost is dominated by necessary-predicate
+verification, and historically the lower-bound estimator and the prune
+stage each built their *own* :class:`~repro.predicates.blocking.NeighborIndex`
+over the same group representatives and re-verified the same candidate
+pairs.  :class:`VerificationContext` removes that duplication:
+
+* the index is constructed once per ``(predicate, representatives)``
+  pair and handed to every stage of the level that asks for it;
+* pair verdicts are shared: expensive strategies (plain ``evaluate``,
+  signatures) memoize them in a cache keyed by the two endpoints'
+  *record ids* (stable for the lifetime of a store), so a pair verified
+  by the lower-bound walk is free for the prune stage, for later prune
+  iterations, and for later levels whose groups were untouched by
+  collapse — a collapse that merges a group elects a new representative,
+  which retires the old pair keys without any explicit invalidation
+  (records are immutable, so a cached verdict can never go stale).  The
+  cheap count-filtering strategy shares verdicts by symmetric membership
+  in already-probed neighbor sets instead (see
+  :meth:`~repro.predicates.blocking.NeighborIndex.neighbors`) — its
+  per-pair decision is cheaper than per-pair dict traffic would be;
+* every verification strategy is instrumented with cheap counters
+  (:class:`PipelineCounters`) so the pipeline's work is measurable per
+  level and per stage.
+
+The context is deliberately dumb about *what* it verifies: correctness
+is unchanged because verdicts are pure functions of two immutable
+records, and the cache only engages for predicates declaring themselves
+:attr:`~repro.predicates.base.Predicate.symmetric` (the pipeline's
+neighbor graphs already assume symmetry throughout).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..predicates.base import Predicate
+from ..predicates.blocking import NeighborIndex
+from .records import GroupSet
+
+
+@dataclass
+class PipelineCounters:
+    """Cheap work counters for the verification layer.
+
+    Attributes:
+        predicate_evaluations: Necessary-predicate verdicts computed via
+            ``evaluate`` or the count-filtering fast path (one per
+            candidate pair decided).
+        signature_evaluations: Verdicts computed via the
+            ``evaluate_signatures`` fast path.
+        cache_hits: Pair verdicts answered by sharing — from the
+            record-id verdict cache (evaluate/signature strategies) or
+            by neighbor-set membership (count-filtering strategy).
+        cache_misses: Pair verdicts computed and inserted into the
+            record-id verdict cache (count-mode evaluations do not
+            insert, so they never count as misses).
+        index_builds: ``NeighborIndex`` constructions (posting-list
+            builds over all representatives).
+        index_reuses: Stages that received an already-built index.
+        neighbor_queries: ``NeighborIndex.neighbors`` calls.
+        neighbor_memo_hits: Neighbor queries answered from the
+            per-index memo without touching the postings.
+        stage_seconds: Wall-clock seconds per pipeline stage name
+            (cumulative across levels).
+    """
+
+    predicate_evaluations: int = 0
+    signature_evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    index_builds: int = 0
+    index_reuses: int = 0
+    neighbor_queries: int = 0
+    neighbor_memo_hits: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    _INT_FIELDS = (
+        "predicate_evaluations",
+        "signature_evaluations",
+        "cache_hits",
+        "cache_misses",
+        "index_builds",
+        "index_reuses",
+        "neighbor_queries",
+        "neighbor_memo_hits",
+    )
+
+    @property
+    def total_evaluations(self) -> int:
+        """All predicate verdicts actually computed (not cache-served)."""
+        return self.predicate_evaluations + self.signature_evaluations
+
+    def add_stage_time(self, stage: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall time under *stage*."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def snapshot(self) -> "PipelineCounters":
+        """Return an independent copy of the current counter values."""
+        copy = PipelineCounters(
+            **{name: getattr(self, name) for name in self._INT_FIELDS}
+        )
+        copy.stage_seconds = dict(self.stage_seconds)
+        return copy
+
+    def delta(self, since: "PipelineCounters") -> "PipelineCounters":
+        """Return the work done since the *since* snapshot."""
+        diff = PipelineCounters(
+            **{
+                name: getattr(self, name) - getattr(since, name)
+                for name in self._INT_FIELDS
+            }
+        )
+        diff.stage_seconds = {
+            stage: seconds - since.stage_seconds.get(stage, 0.0)
+            for stage, seconds in self.stage_seconds.items()
+            if seconds - since.stage_seconds.get(stage, 0.0) > 0.0
+        }
+        return diff
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dict form for reports and the CLI ``--stats`` output."""
+        out: dict[str, object] = {
+            name: getattr(self, name) for name in self._INT_FIELDS
+        }
+        out["stage_seconds"] = dict(self.stage_seconds)
+        return out
+
+
+class VerificationContext:
+    """Per-pipeline state shared by every stage that verifies pairs.
+
+    One context is created per pipeline run (``pruned_dedup``, a rank
+    query, or the lifetime of an :class:`~repro.core.incremental.IncrementalTopK`)
+    and handed to :func:`~repro.core.lower_bound.estimate_lower_bound`
+    and :func:`~repro.core.prune.prune`.  Stages ask it for a
+    :class:`~repro.predicates.blocking.NeighborIndex` via
+    :meth:`neighbor_index`; the index is built once per
+    ``(predicate, representatives)`` pair and reused while the level's
+    group set is unchanged.
+
+    Args:
+        counters: Counter sink; a fresh one is created when omitted.
+        verdict_cache_limit: Per-predicate cap on cached pair verdicts.
+            When exceeded, that predicate's cache is flushed wholesale
+            (long-running incremental streams set this to bound memory).
+        caching: Disable to make every :meth:`neighbor_index` call build
+            a bare, uncached index — the pre-sharing pipeline behaviour,
+            kept for baseline measurements and ablations.
+    """
+
+    def __init__(
+        self,
+        counters: PipelineCounters | None = None,
+        verdict_cache_limit: int | None = None,
+        caching: bool = True,
+    ):
+        self.counters = counters if counters is not None else PipelineCounters()
+        self._verdicts: dict[int, dict[tuple[int, int], bool]] = {}
+        self._verdict_limit = verdict_cache_limit
+        self._caching = caching
+        self._index_key: tuple[int, tuple[int, ...]] | None = None
+        self._index: NeighborIndex | None = None
+
+    def neighbor_index(
+        self, predicate: Predicate, group_set: GroupSet
+    ) -> NeighborIndex:
+        """Return the (possibly cached) index over *group_set*'s reps.
+
+        Two consecutive calls with the same predicate and an unchanged
+        representative list — exactly the lower-bound/prune pairing of
+        one level — share a single index build, its neighbor memo, and
+        its verdict cache.
+        """
+        if not self._caching:
+            return NeighborIndex(
+                predicate, group_set.representatives(), counters=self.counters
+            )
+        key = (
+            id(predicate),
+            tuple(group.representative_id for group in group_set),
+        )
+        if self._index is not None and self._index_key == key:
+            self.counters.index_reuses += 1
+            return self._index
+
+        verdicts = None
+        if getattr(predicate, "symmetric", True):
+            verdicts = self._verdicts.setdefault(id(predicate), {})
+            if (
+                self._verdict_limit is not None
+                and len(verdicts) > self._verdict_limit
+            ):
+                verdicts.clear()
+        index = NeighborIndex(
+            predicate,
+            group_set.representatives(),
+            counters=self.counters,
+            verdicts=verdicts,
+            memoize=True,
+        )
+        self._index_key = key
+        self._index = index
+        return index
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a pipeline stage into :attr:`PipelineCounters.stage_seconds`."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.counters.add_stage_time(name, time.perf_counter() - start)
+
+    def cached_verdicts(self, predicate: Predicate) -> int:
+        """Number of pair verdicts currently cached for *predicate*."""
+        return len(self._verdicts.get(id(predicate), ()))

@@ -45,6 +45,13 @@ class Predicate(ABC):
     cost: float = 1.0
     key_implies_match: bool = False
 
+    #: Whether ``evaluate(a, b) == evaluate(b, a)``.  The pipeline's
+    #: neighbor graphs already treat predicate edges as undirected; the
+    #: shared pair-verdict cache additionally relies on this to serve a
+    #: verdict computed from either endpoint.  Set False on a direction-
+    #: sensitive predicate to opt out of verdict caching.
+    symmetric: bool = True
+
     @abstractmethod
     def evaluate(self, a: Record, b: Record) -> bool:
         """Return the truth value of the predicate on the pair (a, b)."""
@@ -122,6 +129,7 @@ class ConjunctionPredicate(Predicate):
         self.name = name or " & ".join(p.name for p in self._predicates)
         self.cost = sum(p.cost for p in self._predicates)
         self.key_implies_match = False
+        self.symmetric = all(p.symmetric for p in self._predicates)
 
     def evaluate(self, a: Record, b: Record) -> bool:
         return all(p.evaluate(a, b) for p in self._predicates)
@@ -144,12 +152,14 @@ class FunctionPredicate(Predicate):
         name: str = "function-predicate",
         cost: float = 1.0,
         key_implies_match: bool = False,
+        symmetric: bool = True,
     ):
         self._evaluate_fn = evaluate_fn
         self._keys_fn = keys_fn
         self.name = name
         self.cost = cost
         self.key_implies_match = key_implies_match
+        self.symmetric = symmetric
 
     def evaluate(self, a: Record, b: Record) -> bool:
         return bool(self._evaluate_fn(a, b))

@@ -106,8 +106,10 @@ def _verify_sorted_neighborhood(
 ) -> None:
     """Fallback for huge blocks: verify only nearby pairs after sorting."""
     def sort_key(pos: int) -> str:
+        # Sort the stringified values: raw field values are not
+        # guaranteed mutually comparable (mixed int/str stores).
         record = records[pos]
-        return "|".join(str(v) for v in sorted(record.fields.values()))
+        return "|".join(sorted(str(v) for v in record.fields.values()))
 
     ordered = sorted(positions, key=sort_key)
     for i, pos_a in enumerate(ordered):
@@ -146,6 +148,25 @@ def candidate_pairs(
                     yield pair
 
 
+class _DiscardCounters:
+    """Null counter sink (duck-typed PipelineCounters) for bare indexes.
+
+    Defined here rather than importing
+    :class:`repro.core.verification.PipelineCounters` to keep the
+    predicates layer free of core imports.
+    """
+
+    def __init__(self):
+        self.predicate_evaluations = 0
+        self.signature_evaluations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.index_builds = 0
+        self.index_reuses = 0
+        self.neighbor_queries = 0
+        self.neighbor_memo_hits = 0
+
+
 class NeighborIndex:
     """Answer "which members of this set can match *probe* under N?".
 
@@ -154,11 +175,51 @@ class NeighborIndex:
     probe, optionally verified with the predicate.  Probes can be records
     outside the indexed set or members of it (the member itself is then
     excluded from its own neighbor list).
+
+    Args:
+        predicate: The (necessary) predicate to verify candidates with.
+        records: The indexed records (group representatives).
+        counters: Optional counter sink (see
+            :class:`repro.core.verification.PipelineCounters`); work is
+            counted into a discard sink when omitted.
+        verdicts: Optional shared pair-verdict cache keyed by
+            ``(record_id, record_id)`` with the smaller id first.  Only
+            sound for symmetric predicates; supplied by
+            :class:`~repro.core.verification.VerificationContext` and
+            consulted by the evaluate/signature strategies (count
+            filtering shares verdicts via neighbor-set membership
+            instead — cheaper than per-pair dict traffic).
+        memoize: Cache full neighbor lists per
+            ``(probe.record_id, exclude_position)``.  Callers must not
+            mutate returned lists when enabled.
     """
 
-    def __init__(self, predicate: Predicate, records: Sequence[Record]):
+    def __init__(
+        self,
+        predicate: Predicate,
+        records: Sequence[Record],
+        counters=None,
+        verdicts: dict[tuple[int, int], bool] | None = None,
+        memoize: bool = False,
+    ):
         self._predicate = predicate
         self._records = records
+        self._counters = counters if counters is not None else _DiscardCounters()
+        self._verdicts = verdicts
+        self._memo: dict[tuple[int, int], list[int]] | None = (
+            {} if memoize else None
+        )
+        # Position -> neighbor-position set for fully self-probed members.
+        # For a symmetric predicate, membership in an already-computed
+        # neighbor set decides a pair with zero storage beyond the memo —
+        # crucial for count-verifiable predicates, where a per-pair
+        # verdict dict would cost more than the evaluation it replaces.
+        self._probed: dict[int, set[int]] | None = (
+            {}
+            if memoize and getattr(predicate, "symmetric", True)
+            else None
+        )
+        self._counters.index_builds += 1
         self._index = build_key_index(predicate, records)
         # Count-filtering fast path: verification happens inside the
         # postings pass itself (no per-pair set intersections).
@@ -193,31 +254,87 @@ class NeighborIndex:
 
     def neighbors(self, probe: Record, exclude_position: int = -1) -> list[int]:
         """Return verified neighbor positions of *probe* under N."""
+        counters = self._counters
+        counters.neighbor_queries += 1
+        memo_key = (probe.record_id, exclude_position)
+        if self._memo is not None:
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                counters.neighbor_memo_hits += 1
+                return cached
         if self._count_mode:
-            return self._neighbors_by_count(probe, exclude_position)
+            result = self._neighbors_by_count(probe, exclude_position)
+        else:
+            result = self._neighbors_by_pairs(probe, exclude_position)
+        if self._memo is not None:
+            self._memo[memo_key] = result
+        if (
+            self._probed is not None
+            and 0 <= exclude_position < len(self._records)
+            and self._records[exclude_position].record_id == probe.record_id
+        ):
+            self._probed[exclude_position] = set(result)
+        return result
+
+    def _neighbors_by_pairs(self, probe: Record, exclude_position: int) -> list[int]:
+        """Pairwise verification (signature fast path when available),
+        consulting the shared verdict cache per candidate pair."""
         candidates = self.candidate_positions(probe)
         candidates.discard(exclude_position)
         if self._predicate.key_implies_match:
             return sorted(candidates)
-        if self._signatures is not None:
-            probe_signature = self._predicate.signature(probe)
-            verify = self._predicate.evaluate_signatures
-            signatures = self._signatures
-            return sorted(
-                position
-                for position in candidates
-                if verify(probe_signature, signatures[position])
-            )
-        return sorted(
-            position
-            for position in candidates
-            if self._predicate.evaluate(probe, self._records[position])
+        counters = self._counters
+        verdicts = self._verdicts
+        probe_signature = (
+            self._predicate.signature(probe)
+            if self._signatures is not None
+            else None
         )
+        out = []
+        probe_id = probe.record_id
+        for position in candidates:
+            if verdicts is not None:
+                other_id = self._records[position].record_id
+                pair = (
+                    (probe_id, other_id)
+                    if probe_id < other_id
+                    else (other_id, probe_id)
+                )
+                verdict = verdicts.get(pair)
+                if verdict is None:
+                    verdict = self._verify_pair(probe, probe_signature, position)
+                    verdicts[pair] = verdict
+                    counters.cache_misses += 1
+                else:
+                    counters.cache_hits += 1
+            else:
+                verdict = self._verify_pair(probe, probe_signature, position)
+            if verdict:
+                out.append(position)
+        out.sort()
+        return out
+
+    def _verify_pair(self, probe: Record, probe_signature, position: int) -> bool:
+        if self._signatures is not None:
+            self._counters.signature_evaluations += 1
+            return self._predicate.evaluate_signatures(
+                probe_signature, self._signatures[position]
+            )
+        self._counters.predicate_evaluations += 1
+        return self._predicate.evaluate(probe, self._records[position])
 
     def _neighbors_by_count(self, probe: Record, exclude_position: int) -> list[int]:
         """Count-filtering verification: one pass over the probe's
         postings accumulates shared-key counts for every candidate; the
-        predicate is decided from the counts directly."""
+        predicate is decided from the counts directly.
+
+        Pairs whose other endpoint was already fully self-probed are
+        decided by symmetric membership in that endpoint's neighbor set
+        instead — the count-mode analogue of the pair-verdict cache.  A
+        per-pair dict is deliberately NOT used here: a count-mode verdict
+        is a couple of integer comparisons, cheaper than the dict
+        traffic (and unbounded per-pair storage) it would take to cache.
+        """
         probe_keys = set(self._predicate.blocking_keys(probe))
         counts: dict[int, int] = defaultdict(int)
         for key in probe_keys:
@@ -227,12 +344,33 @@ class NeighborIndex:
         probe_post = self._predicate.count_post_signature(probe)
         accepts = self._predicate.count_accepts
         post_check = self._predicate.count_post_check
+        counters = self._counters
+        records = self._records
+        # Membership shortcuts are only sound when the probe IS the
+        # excluded member: neighbor sets were computed excluding only
+        # their own position, so they answer exactly "is position
+        # `exclude_position` my neighbor?".
+        probed = self._probed
+        if probed is not None and not (
+            0 <= exclude_position < len(records)
+            and records[exclude_position].record_id == probe.record_id
+        ):
+            probed = None
         out = []
         for position, shared in counts.items():
             if position == exclude_position:
                 continue
-            if not accepts(shared, n_probe, self._key_counts[position]):
-                continue
-            if post_check(probe_post, self._post_signatures[position]):
+            if probed is not None:
+                known = probed.get(position)
+                if known is not None:
+                    counters.cache_hits += 1
+                    if exclude_position in known:
+                        out.append(position)
+                    continue
+            counters.predicate_evaluations += 1
+            if accepts(
+                shared, n_probe, self._key_counts[position]
+            ) and post_check(probe_post, self._post_signatures[position]):
                 out.append(position)
-        return sorted(out)
+        out.sort()
+        return out

@@ -27,9 +27,28 @@ from collections import Counter, defaultdict
 from collections.abc import Sequence
 
 
+_CEIL_EPS = 1e-9
+
+
+def _eps_ceil(value: float) -> int:
+    """``math.ceil`` that forgives float drift just above an integer.
+
+    ``0.28 * 25`` evaluates to ``7.000000000000001``; a raw ceil turns
+    that into 8, overshooting the exact bound by one.  In a filter
+    derivation that overshoot is *unsound*: it lengthens the required
+    overlap and shortens the prefix, silently dropping pairs that sit
+    exactly on the threshold.  Values within a relative epsilon of an
+    integer are treated as that integer.
+    """
+    floor = math.floor(value)
+    if value - floor <= _CEIL_EPS * max(1.0, abs(value)):
+        return floor
+    return math.ceil(value)
+
+
 def _required_overlap(size_a: int, size_b: int, threshold: float) -> int:
     """Minimum |A ∩ B| for Jaccard(A, B) >= threshold."""
-    return math.ceil(threshold / (1.0 + threshold) * (size_a + size_b))
+    return _eps_ceil(threshold / (1.0 + threshold) * (size_a + size_b))
 
 
 def canonical_token_order(sets: Sequence[frozenset[str]]) -> dict[str, int]:
@@ -71,12 +90,16 @@ def jaccard_self_join(
         size = len(tokens)
         if size == 0:
             continue
-        prefix_length = size - math.ceil(threshold * size) + 1
+        # The eps-robust ceil keeps pairs sitting exactly on the
+        # threshold: float drift in threshold*size must never shorten
+        # the prefix or tighten the length cutoff past the exact value.
+        minimum_other_size = _eps_ceil(threshold * size)
+        prefix_length = size - minimum_other_size + 1
         candidate_overlap_bound: dict[int, int] = {}
         for position in range(prefix_length):
             token = tokens[position]
             for other, other_position, other_size in index[token]:
-                if other_size < threshold * size:
+                if other_size < minimum_other_size:
                     continue  # length filter
                 bound = 1 + min(size - position - 1, other_size - other_position - 1)
                 best = candidate_overlap_bound.get(other)

@@ -99,11 +99,22 @@ class TfIdfIndex:
             raise ValueError(f"document id {doc_id} already indexed")
         vec = self._idf.weight_vector(tokens)
         self._vectors[doc_id] = vec
-        for token in vec:
-            self._postings[token].append(doc_id)
+        # Tokens appearing in every document have IDF 0 and so weight 0:
+        # they can never contribute to a dot product, but their posting
+        # lists are the longest in the index (every document posts them).
+        # Skipping them shrinks the index and removes the degenerate
+        # candidates they would surface (cosine contribution exactly 0).
+        for token, weight in vec.items():
+            if weight > 0.0:
+                self._postings[token].append(doc_id)
 
     def __len__(self) -> int:
         return len(self._vectors)
+
+    @property
+    def n_posting_entries(self) -> int:
+        """Total ``(token, document)`` entries across all posting lists."""
+        return sum(len(ids) for ids in self._postings.values())
 
     def vector(self, doc_id: int) -> dict[str, float]:
         """Return the stored normalized vector for *doc_id*."""

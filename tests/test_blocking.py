@@ -1,5 +1,6 @@
 """Unit tests for repro.predicates.blocking."""
 
+from repro.core.records import RecordStore
 from repro.predicates.base import FunctionPredicate
 from repro.predicates.blocking import (
     NeighborIndex,
@@ -155,3 +156,29 @@ class TestCountFiltering:
                     predicate.signature(probe), predicate.signature(records[other])
                 )
                 assert sig == predicate.evaluate(probe, records[other])
+
+
+class TestSortedNeighborhoodFallback:
+    def test_oversized_block_with_mixed_type_field_values(self):
+        # Mixed int/str field values used to crash the huge-block
+        # sorted-neighborhood fallback (sorting raw values raises
+        # TypeError: '<' not supported between 'int' and 'str').
+        rows = [
+            {"name": "ann smith", "code": 7},
+            {"name": "ann smith", "code": "a7"},
+            {"name": "bob jones", "code": 3},
+            {"name": "bob jones", "code": "b3"},
+            {"name": "ann smith", "code": 9},
+        ]
+        store = RecordStore.from_rows(rows)
+        one_block = FunctionPredicate(
+            evaluate_fn=lambda a, b: a["name"] == b["name"],
+            keys_fn=lambda r: ["block"],
+            name="one-block",
+        )
+        # 10 pairs > max_block_pairs forces the fallback path.
+        uf = closure(one_block, list(store), max_block_pairs=1)
+        assert uf.connected(0, 1)
+        assert uf.connected(0, 4)
+        assert uf.connected(2, 3)
+        assert not uf.connected(0, 2)

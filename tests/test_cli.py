@@ -229,3 +229,54 @@ class TestGenerate:
                 == 0
             )
             assert out.exists()
+
+
+class TestStatsFlag:
+    def _args(self, command, mentions_csv, *extra):
+        return [
+            command,
+            "--input",
+            mentions_csv,
+            "--field",
+            "name",
+            "--weight-field",
+            "count",
+            "--stats",
+            *extra,
+        ]
+
+    def test_topk_stats_to_stderr(self, mentions_csv, capsys):
+        code = main(self._args("topk", mentions_csv, "--k", "2"))
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "verification stats" in captured.err
+        assert "evals=" in captured.err
+        assert "builds=" in captured.err
+        assert "lower_bound" in captured.err
+        # The report must not pollute the answer on stdout.
+        assert "verification stats" not in captured.out
+
+    def test_rank_stats(self, mentions_csv, capsys):
+        code = main(self._args("rank", mentions_csv, "--k", "2"))
+        assert code == 0
+        assert "verification stats" in capsys.readouterr().err
+
+    def test_threshold_stats(self, mentions_csv, capsys):
+        code = main(self._args("threshold", mentions_csv, "--min-weight", "5"))
+        assert code == 0
+        assert "verification stats" in capsys.readouterr().err
+
+    def test_no_stats_by_default(self, mentions_csv, capsys):
+        code = main(
+            [
+                "topk",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--k",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "verification stats" not in capsys.readouterr().err

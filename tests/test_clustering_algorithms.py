@@ -183,8 +183,6 @@ class TestRegionRounding:
     def test_rounding_never_worse_than_threshold_closure(self):
         # The returned partition is max(threshold, region) by Eq. 1, so
         # it must score at least the plain closure rounding.
-        from repro.clustering.lp import _round_to_partition
-
         for seed in range(5):
             m = random_instance(8, seed=seed + 50, density=1.0)
             result = lp_cluster(m)

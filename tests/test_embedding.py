@@ -1,6 +1,5 @@
 """Tests for greedy and spectral linear embeddings."""
 
-import numpy as np
 import pytest
 
 from repro.clustering.correlation import ScoreMatrix

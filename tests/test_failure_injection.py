@@ -5,10 +5,8 @@ document what happens when they do not (degraded answers, never crashes)
 and that odd-but-legal inputs flow through every stage.
 """
 
-import pytest
 
 from repro.core.pruned_dedup import pruned_dedup
-from repro.core.records import RecordStore
 from repro.core.topk import topk_count_query
 from repro.predicates.base import FunctionPredicate, PredicateLevel
 from repro.predicates.validate import validate_necessary, validate_sufficient

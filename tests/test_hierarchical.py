@@ -4,7 +4,6 @@ import pytest
 
 from repro.clustering.correlation import ScoreMatrix, partition_score
 from repro.clustering.hierarchical import agglomerate
-from repro.embedding.greedy import greedy_embedding
 from repro.embedding.segmentation import best_partition
 
 

@@ -131,7 +131,20 @@ class TestDeterminism:
         a = pruned_dedup(students.store, 10, students.levels)
         b = pruned_dedup(students.store, 10, students.levels)
         assert a.groups.weights() == b.groups.weights()
-        assert [s.__dict__ for s in a.stats] == [s.__dict__ for s in b.stats]
+
+        def comparable(stats):
+            # Everything except wall-clock noise must be bit-identical;
+            # the work counters are deterministic, stage timings are not.
+            rows = []
+            for s in stats:
+                row = {k: v for k, v in s.__dict__.items() if k != "counters"}
+                counts = s.counters.as_dict()
+                counts.pop("stage_seconds")
+                row["work"] = counts
+                rows.append(row)
+            return rows
+
+        assert comparable(a.stats) == comparable(b.stats)
 
     def test_query_deterministic(self, citation):
         first = topk_count_query(

@@ -8,7 +8,6 @@ from repro.baselines.full_dedup import (
     none_pipeline,
 )
 from repro.datasets import generate_citations, sample_labeled_pairs, split_groups
-from repro.predicates.base import PredicateLevel
 from repro.scoring.pairwise import WeightedScorer
 from repro.similarity.vectorize import name_only_featurizer
 from tests.conftest import exact_name_predicate, make_store, shared_word_predicate

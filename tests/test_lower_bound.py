@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.core.collapse import collapse_records
 from repro.core.lower_bound import (
     estimate_lower_bound,
     estimate_lower_bound_naive,
 )
 from repro.core.records import GroupSet
 from repro.predicates.base import FunctionPredicate
-from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+from tests.conftest import make_store, shared_word_predicate
 
 
 def weighted_groups(names_weights: list[tuple[str, float]]) -> GroupSet:

@@ -1,9 +1,8 @@
 """Assorted coverage tests for smaller public surfaces."""
 
-import pytest
 
 from repro.core.records import RecordStore
-from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+from tests.conftest import make_store, shared_word_predicate
 
 
 class TestReportRendering:

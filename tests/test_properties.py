@@ -9,7 +9,7 @@ from repro.clustering.correlation import ScoreMatrix, correlation_score, partiti
 from repro.clustering.exact import all_partitions, exact_best_partition
 from repro.clustering.metrics import pairwise_scores
 from repro.clustering.transitive import transitive_closure_clusters
-from repro.embedding.greedy import LinearEmbedding, greedy_embedding
+from repro.embedding.greedy import greedy_embedding
 from repro.embedding.segmentation import best_partition
 from repro.graphs.adjacency import Graph
 from repro.graphs.clique_partition import (

@@ -104,3 +104,22 @@ class TestPrunedDedupCorrectness:
         store = make_store(["a"] * 3 + ["b"] * 2, weights=[2, 2, 2, 5, 5])
         result = pruned_dedup(store, 2, one_level())
         assert sorted(result.groups.weights(), reverse=True) == [10.0, 6.0]
+
+
+class TestEarlyTerminationBelowK:
+    def test_fewer_groups_than_k_terminates_and_is_flagged(self):
+        # 2 distinct unrelated names can never produce 5 groups; the
+        # pipeline must stop after the first level and say it fell short.
+        store = make_store(["aa one", "bb two"])
+        result = pruned_dedup(store, 5, one_level())
+        assert result.terminated_early
+        assert result.terminated_below_k
+        assert len(result.groups) == 2
+        assert len(result.stats) == 1
+
+    def test_exactly_k_groups_is_not_below_k(self):
+        store = make_store(["aa one"] * 2 + ["bb two"])
+        result = pruned_dedup(store, 2, one_level())
+        assert result.terminated_early
+        assert not result.terminated_below_k
+        assert len(result.groups) == 2

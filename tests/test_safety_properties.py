@@ -14,7 +14,6 @@ from hypothesis import strategies as st
 from repro.core.incremental import IncrementalTopK
 from repro.core.pruned_dedup import pruned_dedup
 from repro.core.rank_query import topk_rank_query
-from repro.core.records import RecordStore
 from repro.predicates.base import PredicateLevel
 from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
 

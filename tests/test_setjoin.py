@@ -85,3 +85,38 @@ class TestJoinProperties:
         loose = {(i, j) for i, j, _ in jaccard_self_join(sets, 0.4)}
         tight = {(i, j) for i, j, _ in jaccard_self_join(sets, 0.8)}
         assert tight <= loose
+
+
+class TestThresholdBoundaryRegression:
+    """Pairs sitting exactly on the threshold must survive float drift.
+
+    ``0.28 * 25`` evaluates to ``7.000000000000001``: a raw ``ceil``
+    used to lengthen the required prefix overlap and tighten the length
+    filter past their exact values, silently dropping pairs with Jaccard
+    exactly equal to the threshold.
+    """
+
+    def test_pair_exactly_on_drifting_threshold_survives(self):
+        assert 0.28 * 25 != 7.0  # the drift this regression guards
+        shared = {f"s{i}" for i in range(7)}
+        big = frozenset({f"x{i:02d}" for i in range(18)} | shared)
+        small = frozenset(shared)
+        sets = [big, small]  # Jaccard = 7/25 = 0.28 exactly
+        fast = jaccard_self_join(sets, 0.28)
+        slow = sorted(brute_force_jaccard_join(sets, 0.28))
+        assert fast == slow
+        assert fast == [(0, 1, pytest.approx(0.28))]
+
+    @pytest.mark.parametrize("threshold", [0.07, 0.14, 0.28, 0.55, 0.56])
+    def test_drifting_thresholds_match_brute_force(self, threshold):
+        rng = np.random.RandomState(17)
+        pool = [f"t{i}" for i in range(30)]
+        sets = [
+            frozenset(
+                rng.choice(pool, size=rng.randint(1, 12), replace=False)
+            )
+            for _ in range(40)
+        ]
+        fast = jaccard_self_join(sets, threshold)
+        slow = sorted(brute_force_jaccard_join(sets, threshold))
+        assert fast == slow

@@ -109,3 +109,39 @@ class TestTfIdfIndex:
         index.add(0, ["sunita", "sarawagi"])
         index.add(1, ["sunita", "deshpande"])
         assert 0.0 < index.cosine(0, 1) < 1.0
+
+
+class TestZeroWeightPostings:
+    """Tokens with IDF 0 (present in every document) must not be posted:
+    their weight is 0, so they can never contribute to a cosine, yet
+    they used to produce the longest posting lists in the index."""
+
+    def _index(self):
+        docs = [["common", "alpha"], ["common", "beta"], ["common", "gamma"]]
+        table = IdfTable(docs)
+        index = TfIdfIndex(table)
+        for doc_id, doc in enumerate(docs):
+            index.add(doc_id, doc)
+        return index
+
+    def test_ubiquitous_token_not_posted(self):
+        index = self._index()
+        # One entry per distinctive token; "common" (3 more entries
+        # before the fix) is absent.
+        assert index.n_posting_entries == 3
+
+    def test_retrieval_unchanged_for_real_matches(self):
+        index = self._index()
+        results = index.candidates_above(["common", "alpha"], 0.5)
+        assert results == [(0, pytest.approx(1.0))]
+
+    def test_stop_token_only_probe_surfaces_nothing(self):
+        index = self._index()
+        # Cosine with everything is exactly 0; even threshold 0.0 must
+        # not surface the whole corpus as zero-score candidates.
+        assert index.candidates_above(["common"], 0.0) == []
+
+    def test_vectors_still_complete(self):
+        index = self._index()
+        assert "common" in index.vector(0)
+        assert index.vector(0)["common"] == 0.0

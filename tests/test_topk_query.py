@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.records import RecordStore
 from repro.core.topk import group_score_matrix, topk_count_query
 from repro.predicates.base import PredicateLevel
 from repro.scoring.pairwise import WeightedScorer

@@ -1,0 +1,281 @@
+"""Tests for the shared verification layer (context, counters, caches).
+
+The workload below has two heavy disjoint clusters (alpha/beta), two
+lighter groups N-connected to them (gamma/delta), and two isolated
+singletons — small enough to reason about every probe by hand:
+
+* lower-bound estimation (K=2) certifies at m=2 with M=4 after probing
+  the alpha and beta representatives;
+* pruning probes the four at-risk groups; gamma and delta survive on
+  their neighbor mass, the singletons are pruned.
+
+Every candidate pair the prune stage needs was already decided by the
+lower-bound walk (from the other endpoint), so a shared context answers
+the whole prune stage from the verdict cache.
+"""
+
+import pytest
+
+from repro.core.collapse import collapse
+from repro.core.incremental import IncrementalTopK
+from repro.core.lower_bound import estimate_lower_bound
+from repro.core.prune import prune
+from repro.core.pruned_dedup import pruned_dedup
+from repro.core.records import GroupSet
+from repro.core.verification import PipelineCounters, VerificationContext
+from repro.predicates.base import FunctionPredicate, PredicateLevel
+from repro.predicates.blocking import NeighborIndex
+from repro.predicates.library import NgramOverlapPredicate
+from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+
+
+def two_cluster_store():
+    return make_store(
+        ["alpha one"] * 5
+        + ["beta two"] * 4
+        + ["gamma one"] * 3
+        + ["delta two"] * 2
+        + ["eps three", "zeta four"]
+    )
+
+
+def collapsed_groups(store):
+    return collapse(GroupSet.singletons(store), exact_name_predicate())
+
+
+def run_level(context, groups, necessary, k=2):
+    estimate = estimate_lower_bound(groups, necessary, k, context=context)
+    pruned = prune(groups, necessary, estimate.bound, context=context)
+    return estimate, pruned
+
+
+class TestSharedContextSavesWork:
+    def test_strictly_fewer_evaluations_than_independent_stages(self):
+        store = two_cluster_store()
+        groups = collapsed_groups(store)
+        necessary = shared_word_predicate()
+
+        legacy = VerificationContext(caching=False)
+        legacy_estimate, legacy_pruned = run_level(legacy, groups, necessary)
+
+        shared = VerificationContext()
+        estimate, pruned = run_level(shared, groups, necessary)
+
+        # Identical pipeline outcome...
+        assert (estimate.m, estimate.bound) == (
+            legacy_estimate.m,
+            legacy_estimate.bound,
+        )
+        assert pruned.kept_group_ids == legacy_pruned.kept_group_ids
+        assert pruned.retained.weights() == legacy_pruned.retained.weights()
+
+        # ...for strictly less verification work.
+        assert (
+            shared.counters.total_evaluations
+            < legacy.counters.total_evaluations
+        )
+        assert shared.counters.index_builds == 1
+        assert legacy.counters.index_builds == 2
+        assert shared.counters.index_reuses == 1
+        assert shared.counters.cache_hits > 0
+        assert legacy.counters.cache_hits == 0
+
+    def test_prune_answered_entirely_from_cache(self):
+        # Every pair the prune stage probes was decided (from the other
+        # endpoint) during the lower-bound walk: zero fresh evaluations.
+        store = two_cluster_store()
+        groups = collapsed_groups(store)
+        necessary = shared_word_predicate()
+        context = VerificationContext()
+        estimate_lower_bound(groups, necessary, 2, context=context)
+        after_lower_bound = context.counters.snapshot()
+        prune(groups, necessary, 4.0, context=context)
+        prune_work = context.counters.delta(after_lower_bound)
+        assert prune_work.total_evaluations == 0
+        assert prune_work.cache_hits > 0
+
+    def test_verdict_cache_is_inspectable(self):
+        store = two_cluster_store()
+        groups = collapsed_groups(store)
+        necessary = shared_word_predicate()
+        context = VerificationContext()
+        run_level(context, groups, necessary)
+        assert context.cached_verdicts(necessary) == (
+            context.counters.cache_misses
+        )
+        assert context.cached_verdicts(necessary) > 0
+
+
+class TestCountModeSharing:
+    """Count-verifiable predicates share verdicts by neighbor-set
+    membership (not the per-pair dict — see NeighborIndex docs)."""
+
+    def test_membership_sharing_matches_uncached_index(self):
+        store = make_store(
+            ["ann smithson"] * 3
+            + ["anne smithson"] * 2
+            + ["bob jonesey"] * 2
+            + ["bobby jonesey", "cara leeworth"]
+        )
+        groups = collapsed_groups(store)
+        necessary = NgramOverlapPredicate("name", 0.4)
+        assert necessary.count_verifiable
+        context = VerificationContext()
+        cached = context.neighbor_index(necessary, groups)
+        bare = NeighborIndex(necessary, groups.representatives())
+        representatives = groups.representatives()
+        for position, representative in enumerate(representatives):
+            assert cached.neighbors(
+                representative, exclude_position=position
+            ) == bare.neighbors(representative, exclude_position=position)
+        # Later probes answered earlier probes' pairs from their sets.
+        assert context.counters.cache_hits > 0
+        # ...and the per-pair dict stayed empty (count mode bypasses it).
+        assert context.cached_verdicts(necessary) == 0
+
+    def test_shared_and_full_probes_agree_pairwise(self):
+        # Every (i, j) verdict must be identical whichever endpoint is
+        # probed first — the symmetry the membership shortcut relies on.
+        store = make_store(
+            ["ann smithson", "anne smithson", "bob jonesey", "bobby jonesey"]
+        )
+        groups = collapsed_groups(store)
+        necessary = NgramOverlapPredicate("name", 0.4)
+        context = VerificationContext()
+        index = context.neighbor_index(necessary, groups)
+        representatives = groups.representatives()
+        lists = {
+            i: set(index.neighbors(representatives[i], exclude_position=i))
+            for i in range(len(representatives))
+        }
+        for i in lists:
+            for j in lists:
+                if i != j:
+                    assert (j in lists[i]) == (i in lists[j])
+
+
+class TestContextCorrectnessGuards:
+    def test_asymmetric_predicate_bypasses_verdict_cache(self):
+        store = two_cluster_store()
+        groups = collapsed_groups(store)
+        asym = FunctionPredicate(
+            evaluate_fn=lambda a, b: bool(
+                set(a["name"].split()) & set(b["name"].split())
+            ),
+            keys_fn=lambda r: r["name"].split(),
+            name="asym",
+            symmetric=False,
+        )
+        context = VerificationContext()
+        index = context.neighbor_index(asym, groups)
+        index.neighbors(groups.representatives()[2], exclude_position=2)
+        assert context.counters.predicate_evaluations > 0
+        assert context.counters.cache_misses == 0
+        assert context.cached_verdicts(asym) == 0
+
+    def test_index_rebuilt_when_group_set_changes(self):
+        store = two_cluster_store()
+        groups = collapsed_groups(store)
+        necessary = shared_word_predicate()
+        context = VerificationContext()
+        first = context.neighbor_index(necessary, groups)
+        again = context.neighbor_index(necessary, groups)
+        assert again is first
+        shrunk = context.neighbor_index(necessary, groups.subset([0, 1, 2]))
+        assert shrunk is not first
+        assert context.counters.index_builds == 2
+        assert context.counters.index_reuses == 1
+
+    def test_verdict_cache_limit_flushes(self):
+        store = two_cluster_store()
+        groups = collapsed_groups(store)
+        necessary = shared_word_predicate()
+        context = VerificationContext(verdict_cache_limit=1)
+        run_level(context, groups, necessary)
+        assert context.cached_verdicts(necessary) > 1
+        # The limit is enforced at the next index build for the predicate.
+        context.neighbor_index(necessary, groups.subset([0, 1]))
+        assert context.cached_verdicts(necessary) == 0
+
+
+class TestCounters:
+    def test_snapshot_and_delta(self):
+        counters = PipelineCounters()
+        counters.predicate_evaluations = 5
+        counters.add_stage_time("prune", 1.0)
+        snapshot = counters.snapshot()
+        counters.predicate_evaluations += 3
+        counters.signature_evaluations += 2
+        counters.add_stage_time("prune", 0.5)
+        delta = counters.delta(snapshot)
+        assert delta.predicate_evaluations == 3
+        assert delta.signature_evaluations == 2
+        assert delta.total_evaluations == 5
+        assert delta.stage_seconds == pytest.approx({"prune": 0.5})
+        # The snapshot is an independent copy.
+        assert snapshot.predicate_evaluations == 5
+        assert snapshot.stage_seconds == {"prune": 1.0}
+
+    def test_as_dict_shape(self):
+        counters = PipelineCounters()
+        counters.cache_hits = 7
+        counters.add_stage_time("collapse", 0.25)
+        flat = counters.as_dict()
+        assert flat["cache_hits"] == 7
+        assert flat["stage_seconds"] == {"collapse": 0.25}
+        assert set(PipelineCounters._INT_FIELDS) <= set(flat)
+
+
+class TestPipelineIntegration:
+    def test_pruned_dedup_exposes_per_level_counters(self):
+        store = two_cluster_store()
+        levels = [
+            PredicateLevel(exact_name_predicate(), shared_word_predicate())
+        ]
+        result = pruned_dedup(store, 2, levels)
+        assert result.counters is not None
+        level_counters = result.stats[0].counters
+        assert level_counters is not None
+        assert level_counters.index_builds == 1
+        assert level_counters.index_reuses == 1
+        assert level_counters.cache_hits > 0
+        assert {"collapse", "lower_bound", "prune"} <= set(
+            result.counters.stage_seconds
+        )
+
+    def test_external_context_accumulates_across_runs(self):
+        store = two_cluster_store()
+        levels = [
+            PredicateLevel(exact_name_predicate(), shared_word_predicate())
+        ]
+        context = VerificationContext()
+        first = pruned_dedup(store, 2, levels, context=context)
+        evaluations_after_first = context.counters.total_evaluations
+        assert evaluations_after_first > 0
+        second = pruned_dedup(store, 2, levels, context=context)
+        assert first.groups.weights() == second.groups.weights()
+        # Same store, same predicate objects: the second run is answered
+        # from the persistent verdict cache and neighbor memo.
+        assert (
+            context.counters.total_evaluations == evaluations_after_first
+        )
+        assert context.counters.index_builds == 1
+
+    def test_incremental_stream_keeps_cache_across_queries(self):
+        levels = [
+            PredicateLevel(exact_name_predicate(), shared_word_predicate())
+        ]
+        stream = IncrementalTopK(levels)
+        stream.add_store(two_cluster_store())
+        first = stream.query(2)
+        assert first.counters is not None
+        builds_after_first = stream.verification.counters.index_builds
+        second = stream.query(1)
+        # A different K re-runs the pipeline but reuses the index and
+        # every neighbor list computed by the first query.
+        assert (
+            stream.verification.counters.index_builds == builds_after_first
+        )
+        assert stream.verification.counters.neighbor_memo_hits > 0
+        batch = pruned_dedup(stream.current_store(), 1, levels)
+        assert second.groups.weights() == batch.groups.weights()
