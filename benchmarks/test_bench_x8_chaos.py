@@ -1,0 +1,28 @@
+"""X8: answer safety under injected predicate faults (see docs/robustness.md).
+
+Sweeps the chaos harness's predicate-exception rate on the citation
+pipeline under a containment policy and checks the role-safety claims:
+every injected fault is contained (the run never crashes or degrades),
+the surviving groups never over-merge relative to the fault-free run,
+and the true Top-K entities survive at every fault rate.
+"""
+
+from repro.experiments import chaos_checks, format_table, run_chaos_sweep
+
+
+def test_x8_chaos_fault_containment(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_chaos_sweep(
+            error_rates=(0.0, 0.1, 0.2, 0.4), n_records=800, k=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(rows, title="X8 — chaos fault containment (citations)")
+    )
+    checks = chaos_checks(rows)
+    assert checks["faults_actually_fired"], rows
+    assert checks["never_over_merges"], rows
+    assert checks["topk_survives_all_rates"], rows
+    assert checks["containment_never_degrades_run"], rows

@@ -16,6 +16,7 @@ Public entry points:
 
 from .core import (
     EntityGroup,
+    ExecutionPolicy,
     IncrementalTopK,
     GroupSet,
     Record,
@@ -32,6 +33,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "EntityGroup",
+    "ExecutionPolicy",
     "IncrementalTopK",
     "GroupSet",
     "PredicateLevel",

@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import argparse
 import csv
+import math
 import sys
 from collections.abc import Sequence
 
 from .core.pruned_dedup import PrunedDedupResult
 from .core.rank_query import thresholded_rank_query, topk_rank_query
 from .core.records import RecordStore
+from .core.resilience import ExecutionPolicy
 from .core.topk import topk_count_query
 from .core.verification import PipelineCounters
 from .predicates.base import PredicateLevel
@@ -55,11 +57,20 @@ def load_csv(
                 weights.append(1.0)
             else:
                 try:
-                    weights.append(float(row[weight_field]))
+                    weight = float(row[weight_field])
                 except ValueError:
                     raise SystemExit(
                         f"error: non-numeric weight {row[weight_field]!r}"
                     ) from None
+                if not math.isfinite(weight):
+                    # nan/inf weights silently poison every weight sum,
+                    # bound, and comparison downstream — reject up front.
+                    raise SystemExit(
+                        f"error: non-finite weight {row[weight_field]!r} "
+                        f"(row {len(rows)} of {path}); weights must be "
+                        f"finite numbers"
+                    )
+                weights.append(weight)
     if not rows:
         raise SystemExit(f"error: {path} contains no data rows")
     return RecordStore.from_rows(rows, weights=weights)
@@ -130,6 +141,22 @@ def _common_arguments(parser: argparse.ArgumentParser) -> None:
         "evaluations, cache traffic, index builds, per-stage wall time) "
         "to stderr",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the query; when it expires the best "
+        "answer derivable so far is returned, marked DEGRADED on stderr",
+    )
+    parser.add_argument(
+        "--on-predicate-error",
+        choices=("degrade", "raise"),
+        default=None,
+        help="contain exceptions from predicate/scorer code with "
+        "role-safe fallback verdicts ('degrade') or propagate them "
+        "('raise'); implies resilient execution even without --deadline",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,6 +201,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def policy_from_args(args: argparse.Namespace) -> ExecutionPolicy | None:
+    """Build the resilience policy requested on the command line.
+
+    Returns None (fully unguarded execution, bit-identical to the
+    pre-resilience pipeline) unless ``--deadline`` or
+    ``--on-predicate-error`` was given.
+    """
+    if args.deadline is None and args.on_predicate_error is None:
+        return None
+    return ExecutionPolicy(
+        deadline_seconds=args.deadline,
+        on_error=args.on_predicate_error or "degrade",
+    )
+
+
+def _warn_degraded(reason: str) -> None:
+    print(
+        f"warning: DEGRADED answer — execution policy exhausted "
+        f"({reason}); showing the best answer derivable from the work "
+        f"completed so far",
+        file=sys.stderr,
+    )
+
+
 _COUNTER_COLUMNS = (
     ("evals", "predicate_evaluations"),
     ("sig-evals", "signature_evaluations"),
@@ -214,6 +265,15 @@ def print_stats(
                     file=out,
                 )
     print("  " + _counter_line("total", counters), file=out)
+    if counters.total_contained:
+        print(
+            f"  contained    errors={counters.predicate_errors_contained}  "
+            f"keying={counters.keying_errors_contained}  "
+            f"timeouts={counters.predicate_timeouts_contained}  "
+            f"scorer={counters.scorer_errors_contained}  "
+            f"quarantined={counters.records_quarantined}",
+            file=out,
+        )
     for stage, seconds in sorted(counters.stage_seconds.items()):
         print(f"  {stage:<12} {seconds:8.3f}s", file=out)
 
@@ -229,7 +289,10 @@ def run_topk(args: argparse.Namespace) -> int:
         scorer,
         r=args.r,
         label_field=args.field,
+        policy=policy_from_args(args),
     )
+    if result.degraded:
+        _warn_degraded(result.degraded_reason)
     for rank_index, answer in enumerate(result.answers, start=1):
         if len(result.answers) > 1:
             print(f"answer #{rank_index} (p={answer.probability:.2f})")
@@ -248,7 +311,9 @@ def run_topk(args: argparse.Namespace) -> int:
 def run_rank(args: argparse.Namespace) -> int:
     store = load_csv(args.input, args.field, args.weight_field)
     levels = generic_levels(args.field, args.ngram_threshold)
-    result = topk_rank_query(store, args.k, levels)
+    result = topk_rank_query(store, args.k, levels, policy=policy_from_args(args))
+    if result.degraded:
+        _warn_degraded(result.degraded_reason)
     for entry in result.ranking[: args.k]:
         marker = " " if entry.resolved else "?"
         label = store[entry.representative_id][args.field]
@@ -264,7 +329,11 @@ def run_rank(args: argparse.Namespace) -> int:
 def run_threshold(args: argparse.Namespace) -> int:
     store = load_csv(args.input, args.field, args.weight_field)
     levels = generic_levels(args.field, args.ngram_threshold)
-    result = thresholded_rank_query(store, args.min_weight, levels)
+    result = thresholded_rank_query(
+        store, args.min_weight, levels, policy=policy_from_args(args)
+    )
+    if result.degraded:
+        _warn_degraded(result.degraded_reason)
     status = "certain" if result.certain else "may need exact evaluation"
     print(f"# groups with weight >= {args.min_weight} ({status})")
     for entry in result.ranking:

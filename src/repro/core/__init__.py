@@ -1,14 +1,19 @@
 """Core pipeline: records, PrunedDedup stages, and query engines."""
 
 from .collapse import collapse, collapse_records
-from .incremental import IncrementalTopK
+from .incremental import DeadLetter, IncrementalTopK
 from .lower_bound import (
     LowerBoundEstimate,
     estimate_lower_bound,
     estimate_lower_bound_naive,
 )
 from .prune import PruneResult, prune
-from .pruned_dedup import LevelStats, PrunedDedupResult, pruned_dedup
+from .pruned_dedup import (
+    LevelStats,
+    PrunedDedupResult,
+    pruned_dedup,
+    run_level_pipeline,
+)
 from .rank_query import (
     RankQueryResult,
     RankedGroup,
@@ -16,6 +21,16 @@ from .rank_query import (
     topk_rank_query,
 )
 from .records import Group, GroupSet, Record, RecordStore, merge_groups
+from .resilience import (
+    ExecutionPolicy,
+    ExecutionState,
+    GuardedPredicate,
+    GuardedScorer,
+    ResilienceExhausted,
+    StageRecord,
+    StageRunner,
+    guard_levels,
+)
 from .verification import PipelineCounters, VerificationContext
 from .topk import (
     EntityGroup,
@@ -26,7 +41,12 @@ from .topk import (
 )
 
 __all__ = [
+    "DeadLetter",
     "EntityGroup",
+    "ExecutionPolicy",
+    "ExecutionState",
+    "GuardedPredicate",
+    "GuardedScorer",
     "IncrementalTopK",
     "Group",
     "GroupSet",
@@ -40,6 +60,9 @@ __all__ = [
     "RankedGroup",
     "Record",
     "RecordStore",
+    "ResilienceExhausted",
+    "StageRecord",
+    "StageRunner",
     "TopKQueryResult",
     "VerificationContext",
     "collapse",
@@ -47,9 +70,11 @@ __all__ = [
     "estimate_lower_bound",
     "estimate_lower_bound_naive",
     "group_score_matrix",
+    "guard_levels",
     "merge_groups",
     "prune",
     "pruned_dedup",
+    "run_level_pipeline",
     "thresholded_rank_query",
     "topk_count_query",
     "topk_rank_query",

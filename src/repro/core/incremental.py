@@ -9,24 +9,51 @@ existing groups through the predicate's blocking keys, so a query only
 pays for bound-estimation, pruning and the later levels on the *current
 collapsed state*, never re-tokenizing history.
 
-Queries are answered through the same machinery as the batch engine, so
-results match a from-scratch :func:`repro.core.pruned_dedup.pruned_dedup`
-run on the accumulated records (verified by the test suite).
+Queries are answered through the same machinery as the batch engine
+(:func:`repro.core.pruned_dedup.run_level_pipeline`), so results match
+a from-scratch :func:`repro.core.pruned_dedup.pruned_dedup` run on the
+accumulated records (verified by the test suite) — including execution
+policies: a query armed with an
+:class:`~repro.core.resilience.ExecutionPolicy` degrades anytime instead
+of hanging.
+
+Streams are hardened against poison records: an insert whose keying or
+pairwise verification raises is **quarantined** into an inspectable
+dead-letter list (:attr:`IncrementalTopK.dead_letters`) instead of
+stopping the stream or corrupting the maintained closure.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from collections.abc import Hashable, Mapping
+from dataclasses import dataclass
 
 from ..graphs.union_find import UnionFind
 from ..predicates.base import PredicateLevel
-from .collapse import collapse
-from .lower_bound import estimate_lower_bound
-from .prune import prune
-from .pruned_dedup import LevelStats, PrunedDedupResult
+from .pruned_dedup import PrunedDedupResult, run_level_pipeline
 from .records import Group, GroupSet, Record, RecordStore, merge_groups
+from .resilience import ExecutionPolicy
 from .verification import VerificationContext
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined stream record.
+
+    Attributes:
+        fields: The record's raw fields, as submitted.
+        weight: The record's weight, as submitted.
+        error: ``repr`` of the exception that poisoned the insert.
+        stage: Where the insert failed: ``"keying"`` (the sufficient
+            predicate's ``blocking_keys`` raised) or ``"evaluate"``
+            (pairwise verification against an existing record raised).
+    """
+
+    fields: Mapping[str, str]
+    weight: float
+    error: str
+    stage: str
 
 
 class IncrementalTopK:
@@ -44,8 +71,13 @@ class IncrementalTopK:
         verdict_cache_limit: Cap on cached necessary-predicate pair
             verdicts per predicate.  Records are immutable and ids are
             stable, so verdicts stay valid across inserts and queries;
-            the cache is flushed wholesale past this size to bound
-            memory on long streams.
+            past this size the oldest verdicts are evicted (bounded
+            FIFO) to bound memory on long streams without dropping
+            verdicts the query in flight still needs.
+        quarantine: Divert records whose keying/verification raises into
+            :attr:`dead_letters` (the default — one poison record cannot
+            stop the stream).  With False, such exceptions propagate to
+            the ``add`` caller.
     """
 
     def __init__(
@@ -53,16 +85,21 @@ class IncrementalTopK:
         levels: list[PredicateLevel],
         max_block_verifications: int = 64,
         verdict_cache_limit: int = 2_000_000,
+        quarantine: bool = True,
     ):
         if not levels:
             raise ValueError("need at least one predicate level")
         self._levels = levels
         self._max_verifications = max_block_verifications
+        self._quarantine = quarantine
         self._records: list[Record] = []
         self._uf = UnionFind(0)
         self._key_members: dict[Hashable, list[int]] = defaultdict(list)
         self._version = 0
-        self._query_cache: dict[int, tuple[int, PrunedDedupResult]] = {}
+        self._query_cache: dict[
+            tuple[int, ExecutionPolicy | None], tuple[int, PrunedDedupResult]
+        ] = {}
+        self._dead_letters: list[DeadLetter] = []
         self._verification = VerificationContext(
             verdict_cache_limit=verdict_cache_limit
         )
@@ -71,6 +108,11 @@ class IncrementalTopK:
     def verification(self) -> VerificationContext:
         """The stream-lifetime verification context (counters included)."""
         return self._verification
+
+    @property
+    def dead_letters(self) -> list[DeadLetter]:
+        """Quarantined records, in arrival order (inspect and replay)."""
+        return list(self._dead_letters)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -81,32 +123,69 @@ class IncrementalTopK:
         return self._version
 
     def add(self, fields: Mapping[str, str], weight: float = 1.0) -> int:
-        """Insert one record; return its id.
+        """Insert one record; return its id (or -1 when quarantined).
 
         Cost is proportional to the record's blocking keys and (for
         non-equivalence sufficient predicates) a bounded number of
-        pairwise verifications inside its key blocks.
+        pairwise verifications inside its key blocks.  A record whose
+        keying or verification raises is quarantined into
+        :attr:`dead_letters` before any engine state is touched, so the
+        stream and the maintained closure stay intact.
         """
         record = Record(
             record_id=len(self._records), fields=dict(fields), weight=weight
         )
+        sufficient = self._levels[0].sufficient
+        # Key and verify BEFORE mutating any engine state, so a poison
+        # record can be quarantined without rollback.
+        try:
+            keys = set(sufficient.blocking_keys(record))
+        except Exception as exc:
+            if not self._quarantine:
+                raise
+            self._divert(fields, weight, exc, "keying")
+            return -1
+        unions: list[int] = []
+        try:
+            for key in keys:
+                members = self._key_members.get(key)
+                if not members:
+                    continue
+                if sufficient.key_implies_match:
+                    unions.append(members[0])
+                    continue
+                matched_roots: set[int] = set()
+                for other in reversed(members[-self._max_verifications:]):
+                    root = self._uf.find(other)
+                    if root in matched_roots:
+                        continue
+                    if sufficient.evaluate(record, self._records[other]):
+                        unions.append(other)
+                        matched_roots.add(root)
+        except Exception as exc:
+            if not self._quarantine:
+                raise
+            self._divert(fields, weight, exc, "evaluate")
+            return -1
+
         self._records.append(record)
         self._uf.add()
-        sufficient = self._levels[0].sufficient
-        for key in set(sufficient.blocking_keys(record)):
-            members = self._key_members[key]
-            if members:
-                if sufficient.key_implies_match:
-                    self._uf.union(record.record_id, members[0])
-                else:
-                    for other in reversed(members[-self._max_verifications:]):
-                        if self._uf.connected(record.record_id, other):
-                            continue
-                        if sufficient.evaluate(record, self._records[other]):
-                            self._uf.union(record.record_id, other)
-            members.append(record.record_id)
+        for other in unions:
+            self._uf.union(record.record_id, other)
+        for key in keys:
+            self._key_members[key].append(record.record_id)
         self._version += 1
         return record.record_id
+
+    def _divert(
+        self, fields: Mapping[str, str], weight: float, exc: Exception, stage: str
+    ) -> None:
+        self._dead_letters.append(
+            DeadLetter(
+                fields=dict(fields), weight=weight, error=repr(exc), stage=stage
+            )
+        )
+        self._verification.counters.records_quarantined += 1
 
     def add_store(self, store: RecordStore) -> None:
         """Bulk-insert every record of *store* (ids are reassigned)."""
@@ -131,14 +210,24 @@ class IncrementalTopK:
             groups.append(merge_groups(store, singletons))
         return GroupSet(store=store, groups=groups)
 
-    def query(self, k: int, prune_iterations: int = 2) -> PrunedDedupResult:
+    def query(
+        self,
+        k: int,
+        prune_iterations: int = 2,
+        policy: ExecutionPolicy | None = None,
+    ) -> PrunedDedupResult:
         """Answer the Top-K pruning query on the current stream state.
 
-        Results are cached per *k* until the next insert.
+        Results are cached per ``(k, policy)`` until the next insert.
+        With a *policy*, the query degrades anytime exactly like the
+        batch engine: on deadline/budget exhaustion it returns the best
+        answer derivable from the current collapsed state, flagged
+        ``degraded``.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        cached = self._query_cache.get(k)
+        cache_key = (k, policy)
+        cached = self._query_cache.get(cache_key)
         if cached is not None and cached[0] == self._version:
             return cached[1]
 
@@ -147,47 +236,16 @@ class IncrementalTopK:
         before_run = context.counters.snapshot()
         with context.stage("collapse"):
             groups = self.collapsed_groups()
-        result = PrunedDedupResult(groups=groups, n_starting_records=d)
-        current = result.groups
-        for index, level in enumerate(self._levels):
-            before_level = context.counters.snapshot()
-            if index > 0:
-                with context.stage("collapse"):
-                    current = collapse(current, level.sufficient)
-            n_after_collapse = len(current)
-            with context.stage("lower_bound"):
-                estimate = estimate_lower_bound(
-                    current, level.necessary, k, context=context
-                )
-            with context.stage("prune"):
-                pruned = prune(
-                    current,
-                    level.necessary,
-                    estimate.bound,
-                    iterations=prune_iterations,
-                    context=context,
-                )
-            current = pruned.retained
-            result.stats.append(
-                LevelStats(
-                    level_name=level.name,
-                    n_groups_after_collapse=n_after_collapse,
-                    n_pct=100.0 * n_after_collapse / d if d else 0.0,
-                    m=estimate.m,
-                    bound=estimate.bound,
-                    n_groups_after_prune=len(current),
-                    n_prime_pct=100.0 * len(current) / d if d else 0.0,
-                    certified=estimate.certified,
-                    counters=context.counters.delta(before_level),
-                )
-            )
-            # Same early-out as the batch engine: the group count can
-            # only shrink from here, so <= k groups ends the query.
-            if len(current) <= k:
-                result.terminated_early = True
-                result.terminated_below_k = len(current) < k
-                break
-        result.groups = current
-        result.counters = context.counters.delta(before_run)
-        self._query_cache[k] = (self._version, result)
+        result = run_level_pipeline(
+            groups,
+            k,
+            self._levels,
+            context=context,
+            prune_iterations=prune_iterations,
+            policy=policy,
+            skip_first_collapse=True,
+            n_starting_records=d,
+            before_run=before_run,
+        )
+        self._query_cache[cache_key] = (self._version, result)
         return result

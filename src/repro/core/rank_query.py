@@ -14,7 +14,9 @@ reuses the machinery with ``M = T`` fixed instead of estimated.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 
 from ..predicates.base import PredicateLevel
 from ..predicates.blocking import NeighborIndex
@@ -22,6 +24,13 @@ from .collapse import collapse
 from .lower_bound import estimate_lower_bound
 from .prune import prune
 from .records import GroupSet, RecordStore
+from .resilience import (
+    ExecutionPolicy,
+    StageRecord,
+    StageRunner,
+    guard_levels,
+    necessary_compromised,
+)
 from .verification import PipelineCounters, VerificationContext
 
 
@@ -58,6 +67,14 @@ class RankQueryResult:
         certain: For thresholded queries — True when the termination test
             held and the ranking needs no exact evaluation.
         counters: Verification work done across the whole query.
+        degraded: True when the execution policy stopped the query
+            early; the ranking then reflects the last consistent state
+            (weight-ordered, conservative upper bounds, nothing marked
+            resolved) — role-safe but not certified.
+        degraded_reason: Why the query degraded (``"deadline"`` or
+            ``"stage_budget"``); empty otherwise.
+        stage_records: Per-stage completion trail
+            (:class:`~repro.core.resilience.StageRecord`).
     """
 
     ranking: list[RankedGroup]
@@ -66,6 +83,9 @@ class RankQueryResult:
     n_extra_pruned: int
     certain: bool = False
     counters: PipelineCounters | None = None
+    degraded: bool = False
+    degraded_reason: str = ""
+    stage_records: list[StageRecord] = dataclass_field(default_factory=list)
 
 
 def _resolved_flags(
@@ -139,12 +159,47 @@ def _rank_prune(
     return kept, flags
 
 
+def _degraded_rank_result(
+    current: GroupSet,
+    upper: list[float],
+    runner: StageRunner,
+    context: VerificationContext,
+) -> RankQueryResult:
+    """Anytime answer after policy exhaustion: the last consistent state
+    in weight order, conservative upper bounds, nothing resolved."""
+    weights = current.weights()
+    # Upper bounds only align with `current` when no merge has happened
+    # since they were computed; otherwise fall back to "unknown".
+    bounds = upper if len(upper) == len(current) else [math.inf] * len(current)
+    ranking = [
+        RankedGroup(
+            representative_id=current[i].representative_id,
+            weight=weights[i],
+            upper_bound=bounds[i],
+            resolved=False,
+        )
+        for i in range(len(current))
+    ]
+    return RankQueryResult(
+        ranking=ranking,
+        groups=current,
+        n_retained=len(current),
+        n_extra_pruned=0,
+        certain=False,
+        counters=context.counters,
+        degraded=True,
+        degraded_reason=runner.reason,
+        stage_records=runner.records,
+    )
+
+
 def topk_rank_query(
     store: RecordStore,
     k: int,
     levels: list[PredicateLevel],
     prune_iterations: int = 2,
     context: VerificationContext | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> RankQueryResult:
     """Answer a Top-K *rank* query (Section 7.1).
 
@@ -153,6 +208,11 @@ def topk_rank_query(
     verification context (created when omitted) shares each level's
     neighbor index between bound estimation, pruning, and the rank pass,
     and carries pair verdicts across all of them.
+
+    With an :class:`~repro.core.resilience.ExecutionPolicy`, predicate
+    faults are contained role-safely (a compromised necessary predicate
+    stands pruning down for its level) and on deadline/budget exhaustion
+    the query returns the last consistent state flagged ``degraded``.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -161,34 +221,70 @@ def topk_rank_query(
 
     if context is None:
         context = VerificationContext()
+    state = policy.start(context.counters) if policy is not None else None
+    executed = guard_levels(levels, state) if state is not None else levels
+    runner = StageRunner(context, state)
+
     current = GroupSet.singletons(store)
     bound = 0.0
     upper: list[float] = []
-    for level in levels:
-        with context.stage("collapse"):
-            current = collapse(current, level.sufficient)
-        with context.stage("lower_bound"):
-            estimate = estimate_lower_bound(
+    compromised = False
+    for level in executed:
+        collapsed = runner.run(
+            level.name, "collapse", lambda: collapse(current, level.sufficient)
+        )
+        if runner.aborted:
+            return _degraded_rank_result(current, upper, runner, context)
+        current = collapsed
+        estimate = runner.run(
+            level.name,
+            "lower_bound",
+            lambda: estimate_lower_bound(
                 current, level.necessary, k, context=context
-            )
+            ),
+        )
+        if runner.aborted:
+            return _degraded_rank_result(current, upper, runner, context)
         bound = estimate.bound
-        with context.stage("prune"):
-            result = prune(
+        if necessary_compromised(level):
+            # Missing N-edges: neither the bound nor neighbor-derived
+            # upper bounds are safe to prune with at this level.
+            bound = 0.0
+            compromised = True
+        result = runner.run(
+            level.name,
+            "prune",
+            lambda: prune(
                 current,
                 level.necessary,
                 bound,
                 iterations=prune_iterations,
                 compute_all_bounds=True,
                 context=context,
-            )
+            ),
+        )
+        if runner.aborted:
+            return _degraded_rank_result(current, upper, runner, context)
         current = result.retained
         upper = [result.upper_bounds[i] for i in result.kept_group_ids]
 
-    n_before = len(current)
-    with context.stage("rank_prune"):
-        kept, flags = _rank_prune(
-            current, levels[-1].necessary, upper, bound, context=context
+    if compromised:
+        # The final level's N-graph may be missing edges, so Section
+        # 7.1's resolution/redundancy reasoning is unsound: skip the
+        # extra pruning, keep everything, mark nothing resolved.
+        kept = list(range(len(current)))
+        flags = [False] * len(current)
+    else:
+        rank_pruned = runner.run(
+            "rank",
+            "rank_prune",
+            lambda: _rank_prune(
+                current, executed[-1].necessary, upper, bound, context=context
+            ),
         )
+        if runner.aborted:
+            return _degraded_rank_result(current, upper, runner, context)
+        kept, flags = rank_pruned
     retained = current.subset(kept)
     ranking = [
         RankedGroup(
@@ -203,8 +299,9 @@ def topk_rank_query(
         ranking=ranking,
         groups=retained,
         n_retained=len(kept),
-        n_extra_pruned=n_before - len(kept),
+        n_extra_pruned=len(current) - len(kept),
         counters=context.counters,
+        stage_records=runner.records,
     )
 
 
@@ -214,6 +311,7 @@ def thresholded_rank_query(
     levels: list[PredicateLevel],
     prune_iterations: int = 2,
     context: VerificationContext | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> RankQueryResult:
     """Answer a thresholded rank query (Section 7.2): groups of size >= T.
 
@@ -221,6 +319,12 @@ def thresholded_rank_query(
     ``certain`` when Section 7.2's termination test holds: some prefix of
     the retained groups is each of weight >= T and rank-resolved, while
     every later group is redundant given the prefix.
+
+    With an :class:`~repro.core.resilience.ExecutionPolicy`, predicate
+    faults are contained role-safely (a compromised necessary predicate
+    stands pruning down and forfeits certainty) and on deadline/budget
+    exhaustion the query returns the last consistent state flagged
+    ``degraded``.
     """
     if threshold <= 0:
         raise ValueError(f"threshold must be positive, got {threshold}")
@@ -229,40 +333,90 @@ def thresholded_rank_query(
 
     if context is None:
         context = VerificationContext()
+    state = policy.start(context.counters) if policy is not None else None
+    executed = guard_levels(levels, state) if state is not None else levels
+    runner = StageRunner(context, state)
+
     current = GroupSet.singletons(store)
     upper: list[float] = []
-    for level in levels:
-        with context.stage("collapse"):
-            current = collapse(current, level.sufficient)
-        with context.stage("prune"):
-            result = prune(
+    compromised = False
+    for level in executed:
+        collapsed = runner.run(
+            level.name, "collapse", lambda: collapse(current, level.sufficient)
+        )
+        if runner.aborted:
+            return _degraded_rank_result(current, upper, runner, context)
+        current = collapsed
+        if state is not None:
+            # Unlike the count query there is no lower-bound stage to
+            # exercise the necessary predicate's keying before pruning,
+            # so sweep it now: building the neighbor index (reused by
+            # prune through the context cache) attempts blocking_keys on
+            # every representative and surfaces keying failures while
+            # pruning can still stand down.
+            runner.run(
+                level.name,
+                "prune",
+                lambda: context.neighbor_index(level.necessary, current),
+            )
+            if runner.aborted:
+                return _degraded_rank_result(current, upper, runner, context)
+        bound = threshold
+        if necessary_compromised(level):
+            # Missing N-edges make the upper bounds unsafe: retain
+            # everything at this level rather than risk over-pruning.
+            bound = 0.0
+            compromised = True
+        result = runner.run(
+            level.name,
+            "prune",
+            lambda: prune(
                 current,
                 level.necessary,
-                threshold,
+                bound,
                 iterations=prune_iterations,
                 compute_all_bounds=True,
                 context=context,
-            )
+            ),
+        )
+        if runner.aborted:
+            return _degraded_rank_result(current, upper, runner, context)
         current = result.retained
         upper = [result.upper_bounds[i] for i in result.kept_group_ids]
 
-    n_before = len(current)
-    with context.stage("rank_prune"):
-        kept, flags = _rank_prune(
-            current, levels[-1].necessary, upper, threshold, context=context
+    if compromised:
+        kept = list(range(len(current)))
+        flags = [False] * len(current)
+        certain = False
+        kept_upper = [upper[original] for original in kept]
+    else:
+        rank_pruned = runner.run(
+            "rank",
+            "rank_prune",
+            lambda: _rank_prune(
+                current, executed[-1].necessary, upper, threshold, context=context
+            ),
         )
+        if runner.aborted:
+            return _degraded_rank_result(current, upper, runner, context)
+        kept, flags = rank_pruned
+        kept_upper = [upper[original] for original in kept]
+        retained_for_test = current.subset(kept)
+        certain = runner.run(
+            "rank",
+            "rank_prune",
+            lambda: _threshold_termination(
+                retained_for_test.weights(),
+                kept_upper,
+                retained_for_test,
+                executed[-1].necessary,
+                threshold,
+                context=context,
+            ),
+        )
+        if runner.aborted:
+            return _degraded_rank_result(current, upper, runner, context)
     retained = current.subset(kept)
-    kept_upper = [upper[original] for original in kept]
-
-    with context.stage("rank_prune"):
-        certain = _threshold_termination(
-            retained.weights(),
-            kept_upper,
-            retained,
-            levels[-1].necessary,
-            threshold,
-            context=context,
-        )
     ranking = [
         RankedGroup(
             representative_id=retained[pos].representative_id,
@@ -278,9 +432,10 @@ def thresholded_rank_query(
         ranking=ranking,
         groups=retained,
         n_retained=len(kept),
-        n_extra_pruned=n_before - len(kept),
+        n_extra_pruned=len(current) - len(kept),
         certain=certain,
         counters=context.counters,
+        stage_records=runner.records,
     )
 
 

@@ -1,0 +1,358 @@
+"""Resilient execution: fault containment, deadlines, anytime degradation.
+
+The paper's guarantees (Sections 4-5) hold only when the user-supplied
+sufficient/necessary predicates and the final scorer honour their roles
+and terminate.  Over open-ended, constantly evolving sources — the
+system's stated regime — predicates are hand-tuned and inputs hostile,
+so a single raising predicate or pathological slow pair must not crash
+or corrupt a whole query.  This module contains such failures:
+
+* :class:`ExecutionPolicy` declares the resilience contract of one query
+  run: a wall-clock deadline, a per-stage evaluation budget, a per-call
+  timeout for user code, and what to do on user-code exceptions
+  (``raise`` or ``degrade``).
+* :class:`GuardedPredicate` / :class:`GuardedScorer` wrap user code and
+  substitute *role-safe* fallback verdicts on failure: a failing
+  **sufficient** predicate answers False (never over-merge), a failing
+  **necessary** predicate answers True (never over-prune), a failing
+  scorer answers the neutral score 0.0.  Every containment is counted
+  in the run's :class:`~repro.core.verification.PipelineCounters`.
+* :class:`StageRunner` gives the query pipelines one place to execute a
+  stage under the policy; on deadline/budget exhaustion the stage is
+  abandoned, the pipeline keeps its last consistent state, and the
+  result is returned flagged ``degraded`` with a per-stage
+  :class:`StageRecord` trail instead of hanging or raising.
+
+Timeouts are **cooperative**: pure-Python code cannot preempt a call
+that never returns.  The per-call timeout marks calls that exceeded the
+budget after the fact (their verdict is replaced by the role-safe
+fallback), and the deadline is checked before every guarded call, so a
+*bounded* stall delays the query by at most one stall before the
+deadline fires.  A truly infinite loop inside a predicate is out of
+scope for in-process containment (run under ``pytest-timeout`` or an
+external supervisor for that).
+
+With no policy installed, none of this machinery engages and pipeline
+results are bit-identical to the unguarded ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+from ..predicates.base import Predicate, PredicateLevel
+from ..scoring.pairwise import PairwiseScorer
+
+if TYPE_CHECKING:
+    from ..core.records import Record
+    from .verification import PipelineCounters, VerificationContext
+
+T = TypeVar("T")
+
+#: Reasons a run can degrade (``ResilienceExhausted.reason`` /
+#: ``PrunedDedupResult.degraded_reason`` values).
+REASON_DEADLINE = "deadline"
+REASON_STAGE_BUDGET = "stage_budget"
+
+
+class ResilienceExhausted(Exception):
+    """Internal control-flow signal: the policy's deadline or budget is
+    spent and the current stage must be abandoned.
+
+    Never escapes the query pipelines — they catch it and return a
+    degraded result.  Carries the machine-readable :attr:`reason`.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Resilience contract for one query run.
+
+    Attributes:
+        deadline_seconds: Wall-clock budget for the whole query, counted
+            from :meth:`start`.  When it expires the pipeline stops
+            descending predicate levels and returns the best answer
+            derivable from the current collapsed state, flagged
+            ``degraded``.  None = no deadline.
+        max_stage_evaluations: Cap on guarded predicate/scorer calls per
+            pipeline stage; exhaustion degrades exactly like a deadline.
+            None = unlimited.
+        call_timeout_seconds: Per-call wall budget for user predicates
+            and scorers.  A call that returns but took longer is deemed
+            unreliable and its verdict replaced with the role-safe
+            fallback (cooperative — see the module docstring).  None =
+            no per-call timeout.
+        on_error: ``"degrade"`` substitutes role-safe fallbacks for
+            exceptions raised by user predicates/scorers (counted in the
+            pipeline counters); ``"raise"`` propagates them unchanged.
+    """
+
+    deadline_seconds: float | None = None
+    max_stage_evaluations: int | None = None
+    call_timeout_seconds: float | None = None
+    on_error: str = "degrade"
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'degrade', got {self.on_error!r}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be >= 0")
+        if self.max_stage_evaluations is not None and self.max_stage_evaluations < 0:
+            raise ValueError("max_stage_evaluations must be >= 0")
+        if self.call_timeout_seconds is not None and self.call_timeout_seconds < 0:
+            raise ValueError("call_timeout_seconds must be >= 0")
+
+    def start(self, counters: "PipelineCounters") -> "ExecutionState":
+        """Arm the policy: start the deadline clock now."""
+        return ExecutionState(self, counters)
+
+
+class ExecutionState:
+    """Armed, mutable runtime of an :class:`ExecutionPolicy`.
+
+    One state spans one query run (for ``topk_count_query`` it covers
+    both the pruning pipeline and the scoring stage, so the deadline is
+    global).  Guarded wrappers call :meth:`tick` once per user-code
+    call; stage boundaries call :meth:`begin_stage`/:meth:`check`.
+    """
+
+    def __init__(self, policy: ExecutionPolicy, counters: "PipelineCounters"):
+        self.policy = policy
+        self.counters = counters
+        self._deadline_at = (
+            None
+            if policy.deadline_seconds is None
+            else time.perf_counter() + policy.deadline_seconds
+        )
+        self._stage_calls = 0
+        self.exhausted_reason: str | None = None
+
+    def begin_stage(self) -> None:
+        """Reset the per-stage evaluation budget."""
+        self._stage_calls = 0
+
+    def tick(self) -> None:
+        """Account one guarded call; raise when the policy is exhausted."""
+        self._stage_calls += 1
+        budget = self.policy.max_stage_evaluations
+        if budget is not None and self._stage_calls > budget:
+            self._exhaust(REASON_STAGE_BUDGET)
+        self._check_deadline()
+
+    def check(self) -> None:
+        """Raise :class:`ResilienceExhausted` if the policy is spent."""
+        if self.exhausted_reason is not None:
+            raise ResilienceExhausted(self.exhausted_reason)
+        self._check_deadline()
+
+    def _check_deadline(self) -> None:
+        if self._deadline_at is not None and time.perf_counter() > self._deadline_at:
+            self._exhaust(REASON_DEADLINE)
+
+    def _exhaust(self, reason: str) -> None:
+        self.exhausted_reason = reason
+        raise ResilienceExhausted(reason)
+
+
+class GuardedPredicate(Predicate):
+    """Role-aware fault-containment wrapper around a user predicate.
+
+    Exceptions from ``evaluate`` are replaced (under ``on_error:
+    degrade``) with the role-safe fallback: False for a sufficient
+    predicate, True for a necessary one.  Exceptions from
+    ``blocking_keys`` yield no keys — safe for the sufficient role (the
+    record simply collapses with nobody) but *compromising* for the
+    necessary role (missing N-edges could over-prune), so the wrapper
+    counts :attr:`keying_failures` and the pipelines stand pruning down
+    for any level whose necessary guard reports one.
+
+    The signature / count-filtering fast paths are deliberately not
+    forwarded: every verdict must pass through the guarded ``evaluate``
+    so faults cannot bypass containment.  ``symmetric`` is forced False
+    so fallback verdicts are never written into the cross-stage
+    pair-verdict cache (they are policy artifacts, not pure functions
+    of the records).
+    """
+
+    symmetric = False
+
+    def __init__(self, inner: Predicate, role: str, state: ExecutionState):
+        if role not in ("sufficient", "necessary"):
+            raise ValueError(f"role must be 'sufficient' or 'necessary', got {role!r}")
+        self._inner = inner
+        self._state = state
+        self.role = role
+        self.fallback_verdict = role == "necessary"
+        self.name = f"guarded[{inner.name}]"
+        self.cost = inner.cost
+        self.key_implies_match = inner.key_implies_match
+        self.keying_failures = 0
+
+    @property
+    def inner(self) -> Predicate:
+        """The wrapped user predicate."""
+        return self._inner
+
+    def evaluate(self, a: "Record", b: "Record") -> bool:
+        state = self._state
+        state.tick()
+        timeout = state.policy.call_timeout_seconds
+        started = time.perf_counter() if timeout is not None else 0.0
+        try:
+            verdict = bool(self._inner.evaluate(a, b))
+        except Exception:
+            if state.policy.on_error == "raise":
+                raise
+            state.counters.predicate_errors_contained += 1
+            return self.fallback_verdict
+        if timeout is not None and time.perf_counter() - started > timeout:
+            state.counters.predicate_timeouts_contained += 1
+            return self.fallback_verdict
+        return verdict
+
+    def blocking_keys(self, record: "Record"):
+        state = self._state
+        try:
+            return list(self._inner.blocking_keys(record))
+        except Exception:
+            if state.policy.on_error == "raise":
+                raise
+            state.counters.keying_errors_contained += 1
+            self.keying_failures += 1
+            return []
+
+
+class GuardedScorer(PairwiseScorer):
+    """Fault-containment wrapper around the final pairwise criterion P.
+
+    A raising or over-slow scorer call yields the neutral score
+    *fallback* (default 0.0: no attraction, no repulsion), so one bad
+    pair cannot crash the scoring stage or skew a segmentation with a
+    garbage magnitude.
+    """
+
+    def __init__(
+        self,
+        inner: PairwiseScorer,
+        state: ExecutionState,
+        fallback: float = 0.0,
+    ):
+        self._inner = inner
+        self._state = state
+        self._fallback = fallback
+
+    def score(self, a: "Record", b: "Record") -> float:
+        state = self._state
+        state.tick()
+        timeout = state.policy.call_timeout_seconds
+        started = time.perf_counter() if timeout is not None else 0.0
+        try:
+            value = float(self._inner.score(a, b))
+        except Exception:
+            if state.policy.on_error == "raise":
+                raise
+            state.counters.scorer_errors_contained += 1
+            return self._fallback
+        if timeout is not None and time.perf_counter() - started > timeout:
+            state.counters.scorer_errors_contained += 1
+            return self._fallback
+        return value
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Completion record of one pipeline stage of one level.
+
+    Attributes:
+        level_name: Name of the predicate level (or ``"scoring"`` for
+            the final scoring stage of ``topk_count_query``).
+        stage: Stage name (``collapse`` / ``lower_bound`` / ``prune`` /
+            ``rank_prune`` / ``score``).
+        completed: False when the stage was abandoned by the policy.
+        reason: Why an incomplete stage stopped (``deadline`` or
+            ``stage_budget``); empty for completed stages.
+    """
+
+    level_name: str
+    stage: str
+    completed: bool
+    reason: str = ""
+
+
+class StageRunner:
+    """Execute pipeline stages under an (optional) execution policy.
+
+    Wraps each stage in the context's wall-clock timer, resets the
+    per-stage budget, and converts :class:`ResilienceExhausted` into an
+    :attr:`aborted` flag plus an incomplete :class:`StageRecord` — the
+    calling pipeline then finalizes a degraded result from its last
+    consistent state.  With no state installed this adds only the
+    completion records.
+    """
+
+    def __init__(
+        self,
+        context: "VerificationContext",
+        state: ExecutionState | None = None,
+    ):
+        self._context = context
+        self.state = state
+        self.records: list[StageRecord] = []
+        self.aborted = False
+        self.reason = ""
+
+    def run(self, level_name: str, stage: str, fn: Callable[[], T]) -> T | None:
+        """Run *fn* as stage *stage* of level *level_name*.
+
+        Returns *fn*'s value, or None when the policy aborted the stage
+        (check :attr:`aborted` — a stage may also legitimately return
+        None).
+        """
+        state = self.state
+        if state is not None:
+            state.begin_stage()
+        try:
+            with self._context.stage(stage):
+                if state is not None:
+                    state.check()
+                value = fn()
+        except ResilienceExhausted as exc:
+            self.aborted = True
+            self.reason = exc.reason
+            self.records.append(StageRecord(level_name, stage, False, exc.reason))
+            return None
+        self.records.append(StageRecord(level_name, stage, True))
+        return value
+
+
+def guard_levels(
+    levels: list[PredicateLevel], state: ExecutionState
+) -> list[PredicateLevel]:
+    """Wrap every level's predicates in role-aware guards."""
+    return [
+        PredicateLevel(
+            sufficient=GuardedPredicate(level.sufficient, "sufficient", state),
+            necessary=GuardedPredicate(level.necessary, "necessary", state),
+            name=level.name,
+        )
+        for level in levels
+    ]
+
+
+def necessary_compromised(level: PredicateLevel) -> bool:
+    """True when the level's necessary predicate is guarded and lost
+    blocking keys to containment — its neighbor graph may be missing
+    edges, so any pruning based on it could over-prune."""
+    necessary = level.necessary
+    return (
+        isinstance(necessary, GuardedPredicate)
+        and necessary.keying_failures > 0
+    )

@@ -19,6 +19,12 @@ from ..scoring.gibbs import gibbs_probabilities
 from ..scoring.pairwise import PairwiseScorer
 from .pruned_dedup import PrunedDedupResult, pruned_dedup
 from .records import GroupSet, RecordStore
+from .resilience import (
+    ExecutionPolicy,
+    GuardedScorer,
+    ResilienceExhausted,
+    StageRecord,
+)
 from .verification import VerificationContext
 
 
@@ -55,11 +61,19 @@ class TopKQueryResult:
         pruning: Per-level statistics from PrunedDedup.
         exact: True when pruning alone reduced the data to exactly K
             groups — the answer needed no scoring at all.
+        degraded: True when the execution policy stopped the query
+            early (during pruning or scoring); the answer is then the K
+            heaviest groups of the last consistent collapsed state —
+            well-formed and role-safe, but not certified.
+        degraded_reason: Why the query degraded (``"deadline"`` or
+            ``"stage_budget"``); empty otherwise.
     """
 
     answers: list[RankedAnswer] = field(default_factory=list)
     pruning: PrunedDedupResult | None = None
     exact: bool = False
+    degraded: bool = False
+    degraded_reason: str = ""
 
     @property
     def best(self) -> RankedAnswer:
@@ -83,6 +97,7 @@ def topk_count_query(
     rank_answers_by: str = "score",
     probability_temperature: float | None = None,
     context: VerificationContext | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> TopKQueryResult:
     """Answer a Top-K count query over *store*, returning R ranked answers.
 
@@ -111,11 +126,26 @@ def topk_count_query(
             even when aggregate scaling makes raw scores huge.
         context: Shared verification state forwarded to the pruning
             pipeline; the run's counters land on ``result.pruning``.
+        policy: Optional :class:`~repro.core.resilience.ExecutionPolicy`
+            spanning the whole query — pruning *and* scoring share one
+            deadline.  Predicate/scorer faults are contained role-safely
+            and on exhaustion the query returns the K heaviest groups of
+            the last consistent collapsed state, flagged ``degraded``.
     """
+    if context is None:
+        context = VerificationContext()
+    state = policy.start(context.counters) if policy is not None else None
     pruning = pruned_dedup(
-        store, k, levels, prune_iterations=prune_iterations, context=context
+        store,
+        k,
+        levels,
+        prune_iterations=prune_iterations,
+        context=context,
+        execution_state=state,
     )
     groups = pruning.groups
+    if pruning.degraded:
+        return _degraded_result(groups, k, label_field, pruning)
 
     if len(groups) <= k:
         # Pruning already certified the K groups: no scoring needed.
@@ -126,31 +156,51 @@ def topk_count_query(
         answer = RankedAnswer(entities=entities, score=0.0, probability=1.0)
         return TopKQueryResult(answers=[answer], pruning=pruning, exact=True)
 
-    scores = group_score_matrix(
-        groups, scorer, levels[-1].necessary, aggregate=aggregate_scores
-    )
-    embedding = greedy_embedding(scores, alpha=alpha)
-    if max_span is None:
-        max_span = auto_max_span(scores)
-    if r == 1:
-        raw_answers = _single_best_answer(scores, embedding, groups, k, max_span)
-    else:
-        raw_answers = top_k_answers(
-            scores,
-            embedding,
-            weights=groups.weights(),
-            k=k,
-            r=r,
-            max_span=max_span,
-            rank_by=rank_answers_by,
+    if state is not None:
+        state.begin_stage()
+        scorer = GuardedScorer(scorer, state)
+    try:
+        if state is not None:
+            state.check()
+        scores = group_score_matrix(
+            groups, scorer, levels[-1].necessary, aggregate=aggregate_scores
         )
-        if not raw_answers:
-            # Degenerate threshold structure (e.g. the K-th and (K+1)-th
-            # groups tie in every segmentation): fall back to the best
-            # unconstrained segmentation's K largest groups.
+        if state is not None:
+            state.check()
+        embedding = greedy_embedding(scores, alpha=alpha)
+        if max_span is None:
+            max_span = auto_max_span(scores)
+        if state is not None:
+            state.check()
+        if r == 1:
             raw_answers = _single_best_answer(
                 scores, embedding, groups, k, max_span
             )
+        else:
+            raw_answers = top_k_answers(
+                scores,
+                embedding,
+                weights=groups.weights(),
+                k=k,
+                r=r,
+                max_span=max_span,
+                rank_by=rank_answers_by,
+            )
+            if not raw_answers:
+                # Degenerate threshold structure (e.g. the K-th and
+                # (K+1)-th groups tie in every segmentation): fall back
+                # to the best unconstrained segmentation's K largest
+                # groups.
+                raw_answers = _single_best_answer(
+                    scores, embedding, groups, k, max_span
+                )
+    except ResilienceExhausted as exc:
+        pruning.stage_records.append(
+            StageRecord("scoring", "score", False, exc.reason)
+        )
+        return _degraded_result(groups, k, label_field, pruning, exc.reason)
+    if state is not None:
+        pruning.stage_records.append(StageRecord("scoring", "score", True))
     answer_scores = [
         a.log_mass if a.log_mass is not None else a.score for a in raw_answers
     ]
@@ -165,6 +215,32 @@ def topk_count_query(
         for raw, probability in zip(raw_answers, probabilities)
     ]
     return TopKQueryResult(answers=answers, pruning=pruning, exact=False)
+
+
+def _degraded_result(
+    groups: GroupSet,
+    k: int,
+    label_field: str,
+    pruning: PrunedDedupResult,
+    reason: str | None = None,
+) -> TopKQueryResult:
+    """Anytime answer after policy exhaustion: the K heaviest groups of
+    the last consistent collapsed state.  Groups reflect only completed
+    sufficient-closure merges and role-safe pruning, so the answer is
+    well-formed (no over-merge introduced by fallbacks) — just not
+    certified."""
+    entities = tuple(
+        _entity(groups, position, label_field)
+        for position in range(min(k, len(groups)))
+    )
+    answer = RankedAnswer(entities=entities, score=0.0, probability=1.0)
+    return TopKQueryResult(
+        answers=[answer],
+        pruning=pruning,
+        exact=False,
+        degraded=True,
+        degraded_reason=reason if reason is not None else pruning.degraded_reason,
+    )
 
 
 def _single_best_answer(

@@ -36,6 +36,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Iterator
 
 from ..predicates.base import Predicate
@@ -65,6 +66,19 @@ class PipelineCounters:
         neighbor_queries: ``NeighborIndex.neighbors`` calls.
         neighbor_memo_hits: Neighbor queries answered from the
             per-index memo without touching the postings.
+        predicate_errors_contained: Predicate ``evaluate`` exceptions
+            replaced with a role-safe fallback verdict by a
+            :class:`~repro.core.resilience.GuardedPredicate`.
+        keying_errors_contained: Predicate ``blocking_keys`` exceptions
+            contained (the record contributed no keys).
+        predicate_timeouts_contained: Predicate calls exceeding the
+            policy's per-call timeout whose verdict was replaced with
+            the role-safe fallback.
+        scorer_errors_contained: Scorer exceptions or per-call timeouts
+            replaced with the neutral score.
+        records_quarantined: Stream records diverted to an
+            :class:`~repro.core.incremental.IncrementalTopK` dead-letter
+            list instead of being inserted.
         stage_seconds: Wall-clock seconds per pipeline stage name
             (cumulative across levels).
     """
@@ -77,6 +91,11 @@ class PipelineCounters:
     index_reuses: int = 0
     neighbor_queries: int = 0
     neighbor_memo_hits: int = 0
+    predicate_errors_contained: int = 0
+    keying_errors_contained: int = 0
+    predicate_timeouts_contained: int = 0
+    scorer_errors_contained: int = 0
+    records_quarantined: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
     _INT_FIELDS = (
@@ -88,12 +107,28 @@ class PipelineCounters:
         "index_reuses",
         "neighbor_queries",
         "neighbor_memo_hits",
+        "predicate_errors_contained",
+        "keying_errors_contained",
+        "predicate_timeouts_contained",
+        "scorer_errors_contained",
+        "records_quarantined",
     )
 
     @property
     def total_evaluations(self) -> int:
         """All predicate verdicts actually computed (not cache-served)."""
         return self.predicate_evaluations + self.signature_evaluations
+
+    @property
+    def total_contained(self) -> int:
+        """All containment events (errors, timeouts, quarantines)."""
+        return (
+            self.predicate_errors_contained
+            + self.keying_errors_contained
+            + self.predicate_timeouts_contained
+            + self.scorer_errors_contained
+            + self.records_quarantined
+        )
 
     def add_stage_time(self, stage: str, seconds: float) -> None:
         """Accumulate *seconds* of wall time under *stage*."""
@@ -146,8 +181,11 @@ class VerificationContext:
     Args:
         counters: Counter sink; a fresh one is created when omitted.
         verdict_cache_limit: Per-predicate cap on cached pair verdicts.
-            When exceeded, that predicate's cache is flushed wholesale
-            (long-running incremental streams set this to bound memory).
+            When exceeded, the *oldest* entries are evicted (bounded
+            FIFO) down to the limit at the next index build — never a
+            wholesale flush, which could drop verdicts the level
+            currently executing still needs (long-running incremental
+            streams set this to bound memory).
         caching: Disable to make every :meth:`neighbor_index` call build
             a bare, uncached index — the pre-sharing pipeline behaviour,
             kept for baseline measurements and ablations.
@@ -195,7 +233,14 @@ class VerificationContext:
                 self._verdict_limit is not None
                 and len(verdicts) > self._verdict_limit
             ):
-                verdicts.clear()
+                # Bounded FIFO: dicts preserve insertion order, so the
+                # leading keys are the oldest verdicts — evict those and
+                # keep the recent ones, which are the verdicts the level
+                # in flight is most likely to re-ask for.  (A wholesale
+                # clear() here used to drop mid-query state.)
+                excess = len(verdicts) - self._verdict_limit
+                for oldest in list(islice(iter(verdicts), excess)):
+                    del verdicts[oldest]
         index = NeighborIndex(
             predicate,
             group_set.representatives(),

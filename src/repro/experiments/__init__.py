@@ -28,6 +28,7 @@ from .accuracy import (
     run_figure7,
     table1,
 )
+from .chaos import chaos_checks, run_chaos_sweep
 from .fidelity import fidelity_checks, run_fidelity_sweep
 from .harness import (
     DEFAULT_SCALE,
@@ -57,6 +58,7 @@ __all__ = [
     "accuracy_shape_checks",
     "address_pipeline",
     "benchmark_scale",
+    "chaos_checks",
     "citation_pipeline",
     "cpn_vs_naive_checks",
     "fidelity_checks",
@@ -65,6 +67,7 @@ __all__ = [
     "prune_iteration_checks",
     "rank_query_checks",
     "run_accuracy_case",
+    "run_chaos_sweep",
     "run_cpn_vs_naive",
     "run_cpn_vs_naive_constructed",
     "run_fidelity_sweep",

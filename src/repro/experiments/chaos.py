@@ -1,0 +1,118 @@
+"""X8: answer safety under injected predicate faults (chaos sweep).
+
+The resilience layer claims role-safe containment: a query run under an
+:class:`~repro.core.resilience.ExecutionPolicy` with faulty predicates
+must never *over-merge* (a failing sufficient predicate falls back to
+False) and never *over-prune* the true answer (a failing necessary
+predicate falls back to True; a compromised necessary keying stands
+pruning down).  This sweep injects predicate exceptions at increasing
+rates into the citation pipeline and measures both directions against
+the fault-free run and the gold labels.
+"""
+
+from __future__ import annotations
+
+from ..core.pruned_dedup import pruned_dedup
+from ..core.records import GroupSet
+from ..core.resilience import ExecutionPolicy
+from ..datasets import author_idf, author_string_idf, generate_citations, suggest_min_idf
+from ..predicates import citation_levels
+from ..testing.chaos import FaultPlan, chaos_levels
+
+
+def _partition(groups: GroupSet) -> dict[int, int]:
+    """Map record id -> position of its group in *groups*."""
+    assignment: dict[int, int] = {}
+    for position, group in enumerate(groups):
+        for record_id in group.member_ids:
+            assignment[record_id] = position
+    return assignment
+
+
+def refines(groups: GroupSet, baseline: GroupSet) -> bool:
+    """True when every group of *groups* sits inside one baseline group.
+
+    This is the no-over-merge criterion: with sufficient-predicate
+    faults falling back to False, the chaos run may merge *less* than
+    the fault-free run but never across its group boundaries.
+    """
+    base = _partition(baseline)
+    for group in groups:
+        owners = {base[r] for r in group.member_ids if r in base}
+        if len(owners) > 1:
+            return False
+    return True
+
+
+def run_chaos_sweep(
+    error_rates: tuple[float, ...] = (0.0, 0.1, 0.2, 0.4),
+    n_records: int = 800,
+    k: int = 5,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Sweep predicate-exception rates on the citation pruning pipeline.
+
+    Every row compares a chaos run (both roles raising at *rate*, under
+    a containment-only policy) against the fault-free run and the gold
+    labels:
+
+    * ``contained`` — containment events recorded by the run's counters
+      (the injected faults that actually fired);
+    * ``no_over_merge`` — the chaos run's groups refine the fault-free
+      run's groups (role-safety of the sufficient fallback);
+    * ``topk_recall`` — fraction of the true Top-K entities still alive
+      in the retained groups (role-safety of the necessary fallback);
+    * ``retained_pct`` — pruning effectiveness left at this fault rate.
+    """
+    dataset = generate_citations(n_records=n_records, seed=seed)
+    idf = author_idf(dataset.store)
+    levels = citation_levels(
+        idf, suggest_min_idf(idf), anchor_idf=author_string_idf(dataset.store)
+    )
+    baseline = pruned_dedup(dataset.store, k, levels)
+    true_topk = [entity for entity, _ in dataset.true_topk(k)]
+    policy = ExecutionPolicy(on_error="degrade")
+
+    rows: list[dict[str, object]] = []
+    for rate in error_rates:
+        plan = FaultPlan(seed=seed, error_rate=rate)
+        faulty = chaos_levels(levels, plan, roles="both")
+        result = pruned_dedup(dataset.store, k, faulty, policy=policy)
+        surviving = {
+            dataset.labels[record_id]
+            for group in result.groups
+            for record_id in group.member_ids
+        }
+        counters = result.counters
+        rows.append(
+            {
+                "error_rate": rate,
+                "contained": counters.total_contained if counters else 0,
+                "no_over_merge": refines(result.groups, baseline.groups),
+                "topk_recall": sum(e in surviving for e in true_topk)
+                / len(true_topk),
+                "retained_pct": result.stats[-1].n_prime_pct
+                if result.stats
+                else 100.0,
+                "degraded": result.degraded,
+            }
+        )
+    return rows
+
+
+def chaos_checks(rows: list[dict[str, object]]) -> dict[str, bool]:
+    """Role-safety claims for the chaos sweep."""
+    ordered = sorted(rows, key=lambda r: float(r["error_rate"]))
+    faulty_rows = [r for r in ordered if float(r["error_rate"]) > 0.0]
+    return {
+        "faults_actually_fired": all(
+            int(r["contained"]) > 0 for r in faulty_rows
+        ),
+        "never_over_merges": all(bool(r["no_over_merge"]) for r in ordered),
+        "topk_survives_all_rates": all(
+            float(r["topk_recall"]) == 1.0 for r in ordered
+        ),
+        "containment_never_degrades_run": all(
+            not bool(r["degraded"]) for r in ordered
+        ),
+    }

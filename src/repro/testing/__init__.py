@@ -1,0 +1,22 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.chaos` is the seeded fault-injection harness used by
+the chaos test suite and the x8 benchmark to exercise the resilience
+layer (:mod:`repro.core.resilience`) under deterministic failures.
+"""
+
+from .chaos import (
+    ChaosError,
+    ChaosPredicate,
+    ChaosScorer,
+    FaultPlan,
+    chaos_levels,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosPredicate",
+    "ChaosScorer",
+    "FaultPlan",
+    "chaos_levels",
+]

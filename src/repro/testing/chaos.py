@@ -1,0 +1,208 @@
+"""Seeded chaos: deterministic fault injection for predicates and scorers.
+
+The resilience layer (:mod:`repro.core.resilience`) promises that user
+code which raises, stalls, or lies cannot crash a query, hang it past
+its deadline, or push its answer into an unsafe direction.  This module
+manufactures exactly such user code, deterministically:
+
+* :class:`FaultPlan` declares *which* faults fire and how often — raise,
+  stall, verdict-flip, and keying-error rates, plus one designated
+  always-stalling pair.
+* :class:`ChaosPredicate` / :class:`ChaosScorer` wrap a well-behaved
+  inner predicate/scorer and inject the plan's faults around it.
+
+Determinism is *per pair*, not per call sequence: each potential fault
+is drawn from a :func:`hashlib.blake2b` hash of ``(seed, fault-kind,
+record ids)``, so the same pair faults identically regardless of
+evaluation order, caching, or how many times it is asked.  That makes
+chaos runs reproducible across pipeline refactors — a test pinning
+``seed=7`` sees the same fault schedule forever.
+
+The wrappers declare ``symmetric = False`` (fault-injected verdicts must
+never enter the shared pair-verdict cache) and force
+``key_implies_match`` off so every in-block pair actually reaches the
+guarded ``evaluate`` where faults fire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from ..core.records import Record
+from ..predicates.base import Predicate
+from ..scoring.pairwise import PairwiseScorer
+
+#: Denominator turning a 64-bit hash prefix into a uniform draw in [0, 1).
+_DRAW_SPACE = float(2**64)
+
+
+class ChaosError(RuntimeError):
+    """The exception injected by the chaos wrappers."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault schedule for one chaos run.
+
+    Rates are probabilities in ``[0, 1]`` applied independently per
+    (fault kind, record pair) — drawn from a stable hash, so the same
+    pair always faults the same way under the same seed.
+
+    Attributes:
+        seed: Root of every fault draw; change it to reshuffle faults.
+        error_rate: Fraction of ``evaluate``/``score`` calls that raise
+            :class:`ChaosError`.
+        stall_rate: Fraction of calls that sleep ``stall_seconds``
+            before answering (exceeding a policy's per-call timeout).
+        flip_rate: Fraction of predicate calls that return the *negated*
+            verdict (a lying predicate — undetectable, but chaos tests
+            use it to measure answer-quality decay).
+        stall_seconds: Sleep duration for stall faults and the
+            designated :attr:`stall_pair`.
+        keying_error_rate: Fraction of ``blocking_keys`` calls that
+            raise (per record, not per pair).
+        stall_pair: Optional ``(record_id, record_id)`` pair whose
+            evaluation/scoring always sleeps ``stall_seconds`` —
+            the "one pathological slow pair" scenario.
+    """
+
+    seed: int = 0
+    error_rate: float = 0.0
+    stall_rate: float = 0.0
+    flip_rate: float = 0.0
+    stall_seconds: float = 0.05
+    keying_error_rate: float = 0.0
+    stall_pair: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        for rate_name in ("error_rate", "stall_rate", "flip_rate", "keying_error_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be in [0, 1], got {rate}")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be >= 0")
+
+    def draw(self, salt: str, *ids: int) -> float:
+        """Uniform [0, 1) draw, a pure function of (seed, salt, ids)."""
+        ids_key = ",".join(str(i) for i in sorted(ids))
+        digest = hashlib.blake2b(
+            f"{self.seed}|{salt}|{ids_key}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / _DRAW_SPACE
+
+    def is_stall_pair(self, a: int, b: int) -> bool:
+        """Whether (a, b) is the designated always-stalling pair."""
+        if self.stall_pair is None:
+            return False
+        return {a, b} == set(self.stall_pair)
+
+
+class ChaosPredicate(Predicate):
+    """Wrap *inner* and inject the plan's faults around its verdicts.
+
+    The fault schedule keys on the two records' ids (order-independent),
+    with the *salt* distinguishing wrappers so the same pair can fault
+    under the sufficient predicate but not the necessary one.
+    """
+
+    #: Chaos verdicts are schedule artifacts — keep them out of the
+    #: shared pair-verdict cache.
+    symmetric = False
+
+    def __init__(self, inner: Predicate, plan: FaultPlan, salt: str = ""):
+        self._inner = inner
+        self.plan = plan
+        self.salt = salt or inner.name
+        self.name = f"chaos[{inner.name}]"
+        self.cost = inner.cost
+        # Force every in-block pair through evaluate() so faults fire.
+        self.key_implies_match = False
+
+    @property
+    def inner(self) -> Predicate:
+        """The wrapped well-behaved predicate."""
+        return self._inner
+
+    def evaluate(self, a: Record, b: Record) -> bool:
+        plan = self.plan
+        i, j = a.record_id, b.record_id
+        if plan.is_stall_pair(i, j):
+            time.sleep(plan.stall_seconds)
+        elif plan.stall_rate and plan.draw(f"{self.salt}:stall", i, j) < plan.stall_rate:
+            time.sleep(plan.stall_seconds)
+        if plan.error_rate and plan.draw(f"{self.salt}:raise", i, j) < plan.error_rate:
+            raise ChaosError(f"{self.name} injected failure on pair ({i}, {j})")
+        verdict = self._inner.evaluate(a, b)
+        if plan.flip_rate and plan.draw(f"{self.salt}:flip", i, j) < plan.flip_rate:
+            return not verdict
+        return verdict
+
+    def blocking_keys(self, record: Record) -> Iterable[Hashable]:
+        plan = self.plan
+        if (
+            plan.keying_error_rate
+            and plan.draw(f"{self.salt}:keying", record.record_id)
+            < plan.keying_error_rate
+        ):
+            raise ChaosError(
+                f"{self.name} injected keying failure on record {record.record_id}"
+            )
+        return self._inner.blocking_keys(record)
+
+
+class ChaosScorer(PairwiseScorer):
+    """Wrap a scorer and inject raise/stall faults around its scores."""
+
+    def __init__(self, inner: PairwiseScorer, plan: FaultPlan, salt: str = "scorer"):
+        self._inner = inner
+        self.plan = plan
+        self.salt = salt
+
+    def score(self, a: Record, b: Record) -> float:
+        plan = self.plan
+        i, j = a.record_id, b.record_id
+        if plan.is_stall_pair(i, j):
+            time.sleep(plan.stall_seconds)
+        elif plan.stall_rate and plan.draw(f"{self.salt}:stall", i, j) < plan.stall_rate:
+            time.sleep(plan.stall_seconds)
+        if plan.error_rate and plan.draw(f"{self.salt}:raise", i, j) < plan.error_rate:
+            raise ChaosError(f"chaos scorer injected failure on pair ({i}, {j})")
+        return self._inner.score(a, b)
+
+
+def chaos_levels(levels, plan: FaultPlan, roles: str = "both"):
+    """Wrap every level's predicates in :class:`ChaosPredicate`.
+
+    Args:
+        levels: The well-behaved :class:`~repro.predicates.base.PredicateLevel`
+            list to sabotage.
+        plan: The fault schedule.
+        roles: Which role to inject into: ``"sufficient"``,
+            ``"necessary"``, or ``"both"``.
+
+    Each wrapper gets a distinct salt (role + level index) so faults are
+    independent across roles and levels.
+    """
+    from ..predicates.base import PredicateLevel
+
+    if roles not in ("sufficient", "necessary", "both"):
+        raise ValueError(
+            f"roles must be 'sufficient', 'necessary' or 'both', got {roles!r}"
+        )
+    wrapped = []
+    for index, level in enumerate(levels):
+        sufficient = level.sufficient
+        necessary = level.necessary
+        if roles in ("sufficient", "both"):
+            sufficient = ChaosPredicate(sufficient, plan, salt=f"S{index}")
+        if roles in ("necessary", "both"):
+            necessary = ChaosPredicate(necessary, plan, salt=f"N{index}")
+        wrapped.append(
+            PredicateLevel(
+                sufficient=sufficient, necessary=necessary, name=level.name
+            )
+        )
+    return wrapped

@@ -56,6 +56,21 @@ class TestLoadCsv:
         with pytest.raises(SystemExit):
             load_csv(str(path), "name", None)
 
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "NaN", "Infinity"])
+    def test_non_finite_weight_rejected(self, tmp_path, bad):
+        # float() happily parses these, but a nan/inf weight silently
+        # poisons every weight sum and bound downstream.
+        path = tmp_path / "nonfinite.csv"
+        path.write_text(f"name,w\nann,{bad}\n")
+        with pytest.raises(SystemExit, match="non-finite"):
+            load_csv(str(path), "name", "w")
+
+    def test_finite_weights_still_accepted(self, tmp_path):
+        path = tmp_path / "fine.csv"
+        path.write_text("name,w\nann,2.5\nbob,1e3\n")
+        store = load_csv(str(path), "name", "w")
+        assert store.total_weight() == 1002.5
+
 
 class TestCommands:
     def test_topk(self, mentions_csv, capsys):
@@ -280,3 +295,85 @@ class TestStatsFlag:
         )
         assert code == 0
         assert "verification stats" not in capsys.readouterr().err
+
+
+class TestResilienceFlags:
+    def _base(self, command, mentions_csv, *extra):
+        return [
+            command,
+            "--input",
+            mentions_csv,
+            "--field",
+            "name",
+            "--weight-field",
+            "count",
+            *extra,
+        ]
+
+    def test_policy_from_args(self, mentions_csv):
+        from repro.cli import policy_from_args
+
+        args = build_parser().parse_args(
+            self._base("rank", mentions_csv, "--k", "2")
+        )
+        assert policy_from_args(args) is None
+        args = build_parser().parse_args(
+            self._base("rank", mentions_csv, "--k", "2", "--deadline", "5.0")
+        )
+        policy = policy_from_args(args)
+        assert policy.deadline_seconds == 5.0
+        assert policy.on_error == "degrade"
+        args = build_parser().parse_args(
+            self._base(
+                "rank", mentions_csv, "--k", "2", "--on-predicate-error", "raise"
+            )
+        )
+        assert policy_from_args(args).on_error == "raise"
+
+    def test_generous_deadline_leaves_answer_unchanged(self, mentions_csv, capsys):
+        code = main(self._base("topk", mentions_csv, "--k", "2"))
+        assert code == 0
+        plain = capsys.readouterr().out
+        code = main(
+            self._base("topk", mentions_csv, "--k", "2", "--deadline", "60")
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert "DEGRADED" not in captured.err
+
+    def test_expired_deadline_warns_degraded(self, mentions_csv, capsys):
+        code = main(
+            self._base("topk", mentions_csv, "--k", "2", "--deadline", "0")
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "DEGRADED" in captured.err
+        assert "deadline" in captured.err
+        # Still prints a (best-effort) answer on stdout.
+        assert captured.out.strip()
+
+    def test_rank_and_threshold_accept_deadline(self, mentions_csv, capsys):
+        assert (
+            main(
+                self._base(
+                    "rank", mentions_csv, "--k", "2", "--deadline", "0"
+                )
+            )
+            == 0
+        )
+        assert "DEGRADED" in capsys.readouterr().err
+        assert (
+            main(
+                self._base(
+                    "threshold",
+                    mentions_csv,
+                    "--min-weight",
+                    "5",
+                    "--deadline",
+                    "0",
+                )
+            )
+            == 0
+        )
+        assert "DEGRADED" in capsys.readouterr().err

@@ -1,0 +1,630 @@
+"""Tests for the resilient execution layer (repro.core.resilience).
+
+Covers the guard wrappers' role-safe fallbacks and counters, policy
+validation, anytime degradation of every query engine, keying-compromise
+handling, the stream quarantine, and — critically — that a policy with
+no faults changes nothing about the pipeline's answers.
+"""
+
+import time
+
+import pytest
+
+from repro.core.incremental import IncrementalTopK
+from repro.core.pruned_dedup import pruned_dedup
+from repro.core.rank_query import thresholded_rank_query, topk_rank_query
+from repro.core.records import GroupSet
+from repro.core.resilience import (
+    REASON_DEADLINE,
+    REASON_STAGE_BUDGET,
+    ExecutionPolicy,
+    GuardedPredicate,
+    GuardedScorer,
+    ResilienceExhausted,
+    StageRunner,
+    guard_levels,
+    necessary_compromised,
+)
+from repro.core.topk import topk_count_query
+from repro.core.verification import PipelineCounters, VerificationContext
+from repro.predicates.base import FunctionPredicate, PredicateLevel
+from repro.scoring.pairwise import PairwiseScorer
+from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
+
+
+def raising_predicate(name="boom", keys_fn=None):
+    def explode(a, b):
+        raise RuntimeError("predicate exploded")
+
+    return FunctionPredicate(
+        evaluate_fn=explode,
+        keys_fn=keys_fn or (lambda r: r["name"].split()),
+        name=name,
+    )
+
+
+def keying_raiser(trigger="poison"):
+    def keys(record):
+        if trigger in record["name"]:
+            raise ValueError("keying exploded")
+        return record["name"].split()
+
+    return FunctionPredicate(
+        evaluate_fn=lambda a, b: bool(
+            set(a["name"].split()) & set(b["name"].split())
+        ),
+        keys_fn=keys,
+        name="keying-raiser",
+    )
+
+
+class ConstantScorer(PairwiseScorer):
+    def __init__(self, value=1.0):
+        self.value = value
+        self.calls = 0
+
+    def score(self, a, b):
+        self.calls += 1
+        return self.value
+
+
+class RaisingScorer(PairwiseScorer):
+    def score(self, a, b):
+        raise RuntimeError("scorer exploded")
+
+
+def armed_state(counters=None, **policy_kwargs):
+    counters = counters if counters is not None else PipelineCounters()
+    return ExecutionPolicy(**policy_kwargs).start(counters)
+
+
+def records_ab():
+    store = make_store(["ann smith", "ann smyth"])
+    return store[0], store[1]
+
+
+class TestExecutionPolicy:
+    def test_rejects_bad_on_error(self):
+        with pytest.raises(ValueError, match="on_error"):
+            ExecutionPolicy(on_error="explode")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_seconds": -1.0},
+            {"max_stage_evaluations": -1},
+            {"call_timeout_seconds": -0.5},
+        ],
+    )
+    def test_rejects_negative_budgets(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**kwargs)
+
+    def test_policy_is_hashable(self):
+        # The incremental engine keys its query cache on (k, policy).
+        assert hash(ExecutionPolicy()) == hash(ExecutionPolicy())
+        assert ExecutionPolicy(deadline_seconds=1.0) != ExecutionPolicy()
+
+    def test_deadline_exhausts_state(self):
+        state = armed_state(deadline_seconds=0.0)
+        time.sleep(0.002)
+        with pytest.raises(ResilienceExhausted) as err:
+            state.tick()
+        assert err.value.reason == REASON_DEADLINE
+        # Once exhausted, check() keeps raising.
+        with pytest.raises(ResilienceExhausted):
+            state.check()
+
+    def test_stage_budget_resets_per_stage(self):
+        state = armed_state(max_stage_evaluations=2)
+        state.tick()
+        state.tick()
+        with pytest.raises(ResilienceExhausted) as err:
+            state.tick()
+        assert err.value.reason == REASON_STAGE_BUDGET
+        state.begin_stage()
+        state.tick()  # fresh budget
+
+
+class TestGuardedPredicate:
+    def test_sufficient_fallback_is_false(self):
+        a, b = records_ab()
+        counters = PipelineCounters()
+        guard = GuardedPredicate(
+            raising_predicate(), "sufficient", armed_state(counters)
+        )
+        assert guard.evaluate(a, b) is False
+        assert counters.predicate_errors_contained == 1
+
+    def test_necessary_fallback_is_true(self):
+        a, b = records_ab()
+        counters = PipelineCounters()
+        guard = GuardedPredicate(
+            raising_predicate(), "necessary", armed_state(counters)
+        )
+        assert guard.evaluate(a, b) is True
+        assert counters.predicate_errors_contained == 1
+
+    def test_on_error_raise_propagates(self):
+        a, b = records_ab()
+        guard = GuardedPredicate(
+            raising_predicate(), "sufficient", armed_state(on_error="raise")
+        )
+        with pytest.raises(RuntimeError, match="predicate exploded"):
+            guard.evaluate(a, b)
+
+    def test_healthy_verdicts_pass_through(self):
+        a, b = records_ab()
+        guard = GuardedPredicate(
+            shared_word_predicate(), "necessary", armed_state()
+        )
+        assert guard.evaluate(a, b) is True  # share "ann"
+        assert guard.keying_failures == 0
+
+    def test_keying_failure_yields_no_keys_and_marks_guard(self):
+        store = make_store(["poison pill", "fine record"])
+        counters = PipelineCounters()
+        guard = GuardedPredicate(keying_raiser(), "necessary", armed_state(counters))
+        assert guard.blocking_keys(store[0]) == []
+        assert list(guard.blocking_keys(store[1])) == ["fine", "record"]
+        assert guard.keying_failures == 1
+        assert counters.keying_errors_contained == 1
+
+    def test_call_timeout_replaces_slow_verdict(self):
+        a, b = records_ab()
+        counters = PipelineCounters()
+        slow = FunctionPredicate(
+            evaluate_fn=lambda x, y: time.sleep(0.02) or True,
+            keys_fn=lambda r: [r["name"]],
+            name="slow",
+        )
+        guard = GuardedPredicate(
+            slow, "sufficient", armed_state(counters, call_timeout_seconds=0.001)
+        )
+        # The slow call really returned True; the guard deems it
+        # unreliable and substitutes the role-safe False.
+        assert guard.evaluate(a, b) is False
+        assert counters.predicate_timeouts_contained == 1
+
+    def test_never_enters_verdict_cache(self):
+        guard = GuardedPredicate(
+            shared_word_predicate(), "necessary", armed_state()
+        )
+        assert guard.symmetric is False
+
+    def test_rejects_unknown_role(self):
+        with pytest.raises(ValueError, match="role"):
+            GuardedPredicate(shared_word_predicate(), "optional", armed_state())
+
+
+class TestGuardedScorer:
+    def test_error_contained_as_neutral_score(self):
+        a, b = records_ab()
+        counters = PipelineCounters()
+        guard = GuardedScorer(RaisingScorer(), armed_state(counters))
+        assert guard.score(a, b) == 0.0
+        assert counters.scorer_errors_contained == 1
+
+    def test_on_error_raise_propagates(self):
+        a, b = records_ab()
+        guard = GuardedScorer(RaisingScorer(), armed_state(on_error="raise"))
+        with pytest.raises(RuntimeError, match="scorer exploded"):
+            guard.score(a, b)
+
+    def test_healthy_scores_pass_through(self):
+        a, b = records_ab()
+        guard = GuardedScorer(ConstantScorer(2.5), armed_state())
+        assert guard.score(a, b) == 2.5
+
+
+class TestStageRunner:
+    def test_records_completed_stages(self):
+        runner = StageRunner(VerificationContext(), armed_state())
+        assert runner.run("level-1", "collapse", lambda: 41) == 41
+        assert not runner.aborted
+        [record] = runner.records
+        assert (record.level_name, record.stage, record.completed) == (
+            "level-1",
+            "collapse",
+            True,
+        )
+
+    def test_abort_keeps_reason_and_incomplete_record(self):
+        state = armed_state(max_stage_evaluations=0)
+        runner = StageRunner(VerificationContext(), state)
+        value = runner.run("level-1", "prune", lambda: state.tick())
+        assert value is None
+        assert runner.aborted
+        assert runner.reason == REASON_STAGE_BUDGET
+        assert runner.records[-1].completed is False
+        assert runner.records[-1].reason == REASON_STAGE_BUDGET
+
+    def test_without_state_only_records(self):
+        runner = StageRunner(VerificationContext())
+        assert runner.run("level-1", "collapse", lambda: "ok") == "ok"
+        assert runner.records[0].completed
+
+
+def default_levels():
+    return [PredicateLevel(exact_name_predicate(), shared_word_predicate())]
+
+
+class TestNoFaultEquivalence:
+    """A policy with no faults must not change any pipeline answer."""
+
+    def test_pruned_dedup_identical_under_policy(self, tiny_store):
+        plain = pruned_dedup(tiny_store, 2, default_levels())
+        policed = pruned_dedup(
+            tiny_store, 2, default_levels(), policy=ExecutionPolicy()
+        )
+        assert not policed.degraded
+        assert policed.groups.weights() == plain.groups.weights()
+        assert [
+            (s.level_name, s.m, s.bound, s.certified) for s in policed.stats
+        ] == [(s.level_name, s.m, s.bound, s.certified) for s in plain.stats]
+        # Guards disable the verdict cache, so the policed run may
+        # evaluate more — but it must never contain anything.
+        assert policed.counters.total_contained == 0
+
+    def test_topk_rank_query_identical_under_policy(self, tiny_store):
+        plain = topk_rank_query(tiny_store, 2, default_levels())
+        policed = topk_rank_query(
+            tiny_store, 2, default_levels(), policy=ExecutionPolicy()
+        )
+        assert not policed.degraded
+        assert policed.ranking == plain.ranking
+
+    def test_thresholded_rank_query_identical_under_policy(self, tiny_store):
+        plain = thresholded_rank_query(tiny_store, 2.0, default_levels())
+        policed = thresholded_rank_query(
+            tiny_store, 2.0, default_levels(), policy=ExecutionPolicy()
+        )
+        assert not policed.degraded
+        assert policed.ranking == plain.ranking
+        assert policed.certain == plain.certain
+
+    def test_topk_count_query_identical_under_policy(self, tiny_store):
+        scorer = ConstantScorer(1.0)
+        plain = topk_count_query(
+            tiny_store, 2, default_levels(), scorer, label_field="name"
+        )
+        policed = topk_count_query(
+            tiny_store,
+            2,
+            default_levels(),
+            ConstantScorer(1.0),
+            label_field="name",
+            policy=ExecutionPolicy(),
+        )
+        assert not policed.degraded
+        assert policed.best.entities == plain.best.entities
+
+
+class TestAnytimeDegradation:
+    def test_expired_deadline_degrades_pruned_dedup(self, tiny_store):
+        result = pruned_dedup(
+            tiny_store,
+            2,
+            default_levels(),
+            policy=ExecutionPolicy(deadline_seconds=0.0),
+        )
+        assert result.degraded
+        assert result.degraded_reason == REASON_DEADLINE
+        # Last consistent state: nothing collapsed yet.
+        assert len(result.groups) == len(tiny_store)
+        assert result.stage_records[-1].completed is False
+
+    def test_stage_budget_degrades_with_partial_progress(self, tiny_store):
+        result = pruned_dedup(
+            tiny_store,
+            2,
+            default_levels(),
+            policy=ExecutionPolicy(max_stage_evaluations=1),
+        )
+        assert result.degraded
+        assert result.degraded_reason == REASON_STAGE_BUDGET
+        # The collapse stage needs no guarded evaluate calls (keys imply
+        # match), so the level-1 closure completed before exhaustion.
+        completed = [r for r in result.stage_records if r.completed]
+        assert [(r.level_name, r.stage) for r in completed][0][1] == "collapse"
+        assert len(result.groups) < len(tiny_store)
+
+    def test_degraded_groups_never_over_merge(self, tiny_store):
+        # Against the clean run's *collapse* partition (pruning only
+        # drops groups, never splits them): every degraded group must
+        # sit inside one clean group.
+        from repro.core.collapse import collapse
+
+        clean = collapse(
+            GroupSet.singletons(tiny_store), exact_name_predicate()
+        )
+        degraded = pruned_dedup(
+            tiny_store,
+            2,
+            default_levels(),
+            policy=ExecutionPolicy(max_stage_evaluations=1),
+        )
+        clean_members = [set(g.member_ids) for g in clean]
+        for group in degraded.groups:
+            members = set(group.member_ids)
+            assert any(members <= other for other in clean_members)
+
+    def test_topk_count_query_degrades_to_heaviest_groups(self, tiny_store):
+        result = topk_count_query(
+            tiny_store,
+            2,
+            default_levels(),
+            ConstantScorer(),
+            label_field="name",
+            policy=ExecutionPolicy(deadline_seconds=0.0),
+        )
+        assert result.degraded
+        assert result.degraded_reason == REASON_DEADLINE
+        assert len(result.answers) == 1
+        assert len(result.best.entities) <= 2
+        weights = [e.weight for e in result.best.entities]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_scoring_stage_shares_the_deadline(self):
+        # Pruning is cheap here (collapse needs no evaluate calls and
+        # the necessary graph is small); the scorer stalls past the
+        # query deadline, so exhaustion must surface during scoring.
+        store = make_store(["a x", "b x", "c x", "d x", "e x", "f x"])
+
+        class StallingScorer(PairwiseScorer):
+            def score(self, a, b):
+                time.sleep(0.4)
+                return 1.0
+
+        result = topk_count_query(
+            store,
+            2,
+            default_levels(),
+            StallingScorer(),
+            label_field="name",
+            policy=ExecutionPolicy(deadline_seconds=0.3),
+        )
+        assert result.degraded
+        assert result.degraded_reason == REASON_DEADLINE
+        scoring = [
+            r for r in result.pruning.stage_records if r.level_name == "scoring"
+        ]
+        assert scoring and scoring[-1].completed is False
+
+    def test_rank_query_degrades(self, tiny_store):
+        result = topk_rank_query(
+            tiny_store,
+            2,
+            default_levels(),
+            policy=ExecutionPolicy(deadline_seconds=0.0),
+        )
+        assert result.degraded
+        assert result.degraded_reason == REASON_DEADLINE
+        assert not result.certain
+        assert all(not entry.resolved for entry in result.ranking)
+
+    def test_threshold_query_degrades(self, tiny_store):
+        result = thresholded_rank_query(
+            tiny_store,
+            2.0,
+            default_levels(),
+            policy=ExecutionPolicy(deadline_seconds=0.0),
+        )
+        assert result.degraded
+        assert not result.certain
+
+
+class TestKeyingCompromise:
+    def test_necessary_keying_failure_stands_pruning_down(self):
+        # "poison" records raise inside the necessary predicate's
+        # blocking_keys: the N-graph may be missing edges, so the level
+        # must not prune anything (bound forced to 0).
+        store = make_store(
+            ["ann smith", "ann smith", "poison pill", "bob jones"]
+        )
+        levels = [PredicateLevel(exact_name_predicate(), keying_raiser())]
+        clean_groups = len(
+            pruned_dedup(store, 1, levels_without_faults(store)).groups
+        )
+        result = pruned_dedup(
+            store, 1, levels, policy=ExecutionPolicy()
+        )
+        assert not result.degraded
+        assert result.counters.keying_errors_contained > 0
+        assert result.stats[-1].bound == 0.0
+        assert result.stats[-1].certified is False
+        # Nothing pruned: every collapsed group survives.
+        assert len(result.groups) == 3 >= clean_groups
+
+    def test_rank_query_skips_rank_pruning_when_compromised(self):
+        store = make_store(
+            ["ann smith", "ann smith", "poison pill", "bob jones"]
+        )
+        levels = [PredicateLevel(exact_name_predicate(), keying_raiser())]
+        result = topk_rank_query(store, 1, levels, policy=ExecutionPolicy())
+        assert not result.degraded
+        assert result.n_extra_pruned == 0
+        assert all(not entry.resolved for entry in result.ranking)
+
+    def test_threshold_query_forfeits_certainty_when_compromised(self):
+        store = make_store(
+            ["ann smith", "ann smith", "poison pill", "bob jones"]
+        )
+        levels = [PredicateLevel(exact_name_predicate(), keying_raiser())]
+        result = thresholded_rank_query(
+            store, 2.0, levels, policy=ExecutionPolicy()
+        )
+        assert not result.degraded
+        assert result.certain is False
+        assert result.n_extra_pruned == 0
+
+    def test_guard_levels_and_detection(self):
+        state = armed_state()
+        [level] = guard_levels(default_levels(), state)
+        assert isinstance(level.sufficient, GuardedPredicate)
+        assert isinstance(level.necessary, GuardedPredicate)
+        assert not necessary_compromised(level)
+        store = make_store(["poison"])
+        guarded = PredicateLevel(
+            exact_name_predicate(),
+            GuardedPredicate(keying_raiser(), "necessary", state),
+        )
+        guarded.necessary.blocking_keys(store[0])
+        assert necessary_compromised(guarded)
+
+
+def levels_without_faults(store):
+    return [PredicateLevel(exact_name_predicate(), shared_word_predicate())]
+
+
+class TestIncrementalResilience:
+    def test_query_accepts_policy_and_degrades(self):
+        stream = IncrementalTopK(default_levels())
+        for name in ["ann smith", "ann smith", "bob jones"]:
+            stream.add({"name": name})
+        result = stream.query(1, policy=ExecutionPolicy(deadline_seconds=0.0))
+        assert result.degraded
+        assert result.degraded_reason == REASON_DEADLINE
+
+    def test_query_cache_is_per_policy(self):
+        stream = IncrementalTopK(default_levels())
+        stream.add({"name": "ann smith"})
+        degraded = stream.query(1, policy=ExecutionPolicy(deadline_seconds=0.0))
+        clean = stream.query(1)
+        assert degraded.degraded and not clean.degraded
+        # Both results stay cached independently.
+        assert stream.query(1) is clean
+        assert (
+            stream.query(1, policy=ExecutionPolicy(deadline_seconds=0.0))
+            is degraded
+        )
+
+    def test_policy_without_faults_matches_plain_query(self):
+        plain = IncrementalTopK(default_levels())
+        policed = IncrementalTopK(default_levels())
+        names = ["ann smith", "ann smith", "a smith", "bob jones", "bob jones"]
+        for name in names:
+            plain.add({"name": name})
+            policed.add({"name": name})
+        a = plain.query(2)
+        b = policed.query(2, policy=ExecutionPolicy())
+        assert not b.degraded
+        assert a.groups.weights() == b.groups.weights()
+
+
+class TestQuarantine:
+    def test_keying_poison_goes_to_dead_letters(self):
+        stream = IncrementalTopK(
+            [PredicateLevel(keying_raiser(), shared_word_predicate())]
+        )
+        assert stream.add({"name": "fine record"}) == 0
+        assert stream.add({"name": "poison pill"}) == -1
+        assert stream.add({"name": "fine record"}) == 1
+        assert len(stream) == 2
+        [letter] = stream.dead_letters
+        assert letter.stage == "keying"
+        assert letter.fields == {"name": "poison pill"}
+        assert "keying exploded" in letter.error
+        assert stream.verification.counters.records_quarantined == 1
+
+    def test_evaluate_poison_goes_to_dead_letters(self):
+        def explode_on_poison(a, b):
+            if "poison" in a["name"] or "poison" in b["name"]:
+                raise RuntimeError("evaluate exploded")
+            return a["name"] == b["name"]
+
+        sufficient = FunctionPredicate(
+            evaluate_fn=explode_on_poison,
+            keys_fn=lambda r: r["name"].split(),
+            name="eval-raiser",
+        )
+        stream = IncrementalTopK(
+            [PredicateLevel(sufficient, shared_word_predicate())]
+        )
+        stream.add({"name": "ann smith"})
+        assert stream.add({"name": "poison smith"}) == -1
+        [letter] = stream.dead_letters
+        assert letter.stage == "evaluate"
+        # The stream keeps answering queries.
+        result = stream.query(1)
+        assert len(result.groups) == 1
+
+    def test_quarantined_record_leaves_no_state_behind(self):
+        stream = IncrementalTopK(
+            [PredicateLevel(keying_raiser(), shared_word_predicate())]
+        )
+        stream.add({"name": "fine record"})
+        version_before = stream.version
+        stream.add({"name": "poison pill"})
+        assert stream.version == version_before
+        assert len(stream.current_store()) == 1
+        groups = stream.collapsed_groups()
+        assert {r for g in groups for r in g.member_ids} == {0}
+
+    def test_quarantine_disabled_propagates(self):
+        stream = IncrementalTopK(
+            [PredicateLevel(keying_raiser(), shared_word_predicate())],
+            quarantine=False,
+        )
+        with pytest.raises(ValueError, match="keying exploded"):
+            stream.add({"name": "poison pill"})
+
+
+class TestContainmentInsidePipelines:
+    def test_raising_necessary_never_prunes_answers(self, tiny_store):
+        # A necessary predicate that raises on every pair falls back to
+        # True everywhere: the N-graph becomes complete, bounds deflate,
+        # and nothing true can be pruned away.
+        levels = [PredicateLevel(exact_name_predicate(), raising_predicate())]
+        result = pruned_dedup(
+            tiny_store, 2, levels, policy=ExecutionPolicy()
+        )
+        assert not result.degraded
+        assert result.counters.predicate_errors_contained > 0
+        clean = pruned_dedup(tiny_store, 2, levels_without_faults(tiny_store))
+        surviving = {
+            r for g in result.groups for r in g.member_ids
+        }
+        clean_surviving = {r for g in clean.groups for r in g.member_ids}
+        assert clean_surviving <= surviving
+
+    def test_raising_sufficient_never_merges(self, tiny_store):
+        # A sufficient predicate that raises on every pair falls back to
+        # False everywhere: no record can be merged with any other.
+        levels = [PredicateLevel(raising_predicate(), shared_word_predicate())]
+        result = pruned_dedup(
+            tiny_store, len(tiny_store), levels, policy=ExecutionPolicy()
+        )
+        assert not result.degraded
+        assert all(group.size == 1 for group in result.groups)
+
+    def test_on_error_raise_policy_propagates_from_pipeline(self, tiny_store):
+        levels = [PredicateLevel(raising_predicate(), shared_word_predicate())]
+        with pytest.raises(RuntimeError, match="predicate exploded"):
+            pruned_dedup(
+                tiny_store,
+                2,
+                levels,
+                policy=ExecutionPolicy(on_error="raise"),
+            )
+
+
+class TestVerdictCacheFifo:
+    def test_stream_past_limit_matches_batch(self):
+        names = [f"entity {i % 7} common" for i in range(40)]
+        limited = IncrementalTopK(default_levels(), verdict_cache_limit=5)
+        for name in names:
+            limited.add({"name": name})
+        batch = pruned_dedup(make_store(names), 3, default_levels())
+        streamed = limited.query(3)
+        assert sorted(g.weight for g in streamed.groups) == sorted(
+            g.weight for g in batch.groups
+        )
+
+    def test_singleton_groupset_helper(self, tiny_store):
+        # Guard the invariant the degraded paths rely on: singleton
+        # group sets cover every record exactly once.
+        groups = GroupSet.singletons(tiny_store)
+        assert sorted(r for g in groups for r in g.member_ids) == list(
+            range(len(tiny_store))
+        )

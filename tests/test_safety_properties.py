@@ -14,7 +14,9 @@ from hypothesis import strategies as st
 from repro.core.incremental import IncrementalTopK
 from repro.core.pruned_dedup import pruned_dedup
 from repro.core.rank_query import topk_rank_query
+from repro.core.resilience import ExecutionPolicy
 from repro.predicates.base import PredicateLevel
+from repro.testing.chaos import FaultPlan, chaos_levels
 from tests.conftest import exact_name_predicate, make_store, shared_word_predicate
 
 
@@ -94,6 +96,88 @@ class TestPruningSafety:
         covered = result.groups.covered_record_ids()
         assert len(covered) == len(set(covered))
         assert set(covered) <= set(range(len(store)))
+
+
+class TestContainmentSafetyProperties:
+    """Role-safe fallbacks stay safe under arbitrary injected faults.
+
+    The chaos wrappers raise deterministically per (seed, pair); the
+    guards substitute False for a failing sufficient predicate and True
+    for a failing necessary one.  Whatever the fault schedule, that must
+    never merge across entities nor prune the true Top-K away.
+    """
+
+    @given(
+        honest_instances(),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.05, max_value=0.9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sufficient_faults_never_merge_across_entities(
+        self, instance, seed, error_rate
+    ):
+        names, labels = instance
+        plan = FaultPlan(seed=seed, error_rate=error_rate)
+        faulty = chaos_levels(level(), plan, roles="sufficient")
+        result = pruned_dedup(
+            make_store(names), 2, faulty, policy=ExecutionPolicy()
+        )
+        for group in result.groups:
+            entities = {labels[record_id] for record_id in group.member_ids}
+            assert len(entities) == 1
+
+    @given(
+        honest_instances(),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.05, max_value=0.9),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_necessary_faults_never_lose_true_topk(
+        self, instance, seed, error_rate, k
+    ):
+        names, labels = instance
+        plan = FaultPlan(seed=seed, error_rate=error_rate)
+        faulty = chaos_levels(level(), plan, roles="necessary")
+        result = pruned_dedup(
+            make_store(names), k, faulty, policy=ExecutionPolicy()
+        )
+        surviving_entities = {
+            labels[record_id]
+            for group in result.groups
+            for record_id in group.member_ids
+        }
+        for entity in true_topk_entities(names, labels, k):
+            assert entity in surviving_entities
+
+    @given(
+        honest_instances(),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_keying_faults_never_lose_records_or_topk(
+        self, instance, seed, rate
+    ):
+        # Keying failures on the necessary predicate compromise the
+        # N-graph; the pipeline must stand pruning down rather than
+        # over-prune (collapse keying failures just merge less).
+        names, labels = instance
+        plan = FaultPlan(seed=seed, keying_error_rate=rate)
+        faulty = chaos_levels(level(), plan, roles="both")
+        result = pruned_dedup(
+            make_store(names), 2, faulty, policy=ExecutionPolicy()
+        )
+        surviving_entities = {
+            labels[record_id]
+            for group in result.groups
+            for record_id in group.member_ids
+        }
+        for entity in true_topk_entities(names, labels, 2):
+            assert entity in surviving_entities
+        for group in result.groups:
+            entities = {labels[record_id] for record_id in group.member_ids}
+            assert len(entities) == 1
 
 
 class TestIncrementalMatchesBatchProperty:
