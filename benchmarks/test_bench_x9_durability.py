@@ -1,0 +1,41 @@
+"""X9: WAL insert overhead and crash-recovery cost (docs/robustness.md).
+
+Measures what durability costs on insert (in-memory vs WAL vs
+WAL+fsync, 10k inserts over 500 entities) and what recovery costs for a
+10k-entry log with and without a checkpoint bounding the replayed WAL
+tail.  Every durable/recovered state is checked structurally against
+the uninterrupted in-memory engine.
+"""
+
+from repro.experiments import (
+    durability_checks,
+    format_table,
+    run_durability_overhead,
+    run_recovery_cost,
+)
+
+
+def test_x9_durability_overhead_and_recovery(benchmark, record_table, tmp_path):
+    def sweep():
+        overhead = run_durability_overhead(
+            n_inserts=10_000, state_root=tmp_path / "overhead"
+        )
+        recovery = run_recovery_cost(
+            n_inserts=10_000, state_root=tmp_path / "recovery"
+        )
+        return overhead, recovery
+
+    overhead_rows, recovery_rows = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    record_table(
+        format_table(
+            overhead_rows, title="X9 — WAL insert overhead (10k inserts)"
+        )
+        + "\n\n"
+        + format_table(
+            recovery_rows, title="X9 — recovery cost (10k-entry stream)"
+        )
+    )
+    checks = durability_checks(overhead_rows, recovery_rows)
+    assert all(checks.values()), (checks, overhead_rows, recovery_rows)

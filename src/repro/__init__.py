@@ -15,6 +15,7 @@ Public entry points:
 """
 
 from .core import (
+    DurabilityPolicy,
     EntityGroup,
     ExecutionPolicy,
     IncrementalTopK,
@@ -32,6 +33,7 @@ from .predicates import PredicateLevel
 __version__ = "1.0.0"
 
 __all__ = [
+    "DurabilityPolicy",
     "EntityGroup",
     "ExecutionPolicy",
     "IncrementalTopK",

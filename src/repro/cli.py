@@ -5,6 +5,10 @@ Usage::
     python -m repro topk      --input mentions.csv --field name --k 5
     python -m repro rank      --input mentions.csv --field name --k 5
     python -m repro threshold --input mentions.csv --field name --min-weight 40
+    python -m repro stream    --input mentions.csv --field name --k 5 \\
+                              --state-dir state/ --checkpoint-every 1000
+    python -m repro checkpoint --state-dir state/ --field name
+    python -m repro restore    --state-dir state/ --field name
 
 The CSV needs a header row.  ``--field`` names the entity-mention column;
 ``--weight-field`` (optional) names a numeric per-record weight.  The
@@ -22,6 +26,8 @@ import math
 import sys
 from collections.abc import Sequence
 
+from .core.incremental import IncrementalTopK
+from .core.persistence import has_state
 from .core.pruned_dedup import PrunedDedupResult
 from .core.rank_query import thresholded_rank_query, topk_rank_query
 from .core.records import RecordStore
@@ -37,19 +43,24 @@ from .similarity.vectorize import PairFeaturizer
 def load_csv(
     path: str, field: str, weight_field: str | None
 ) -> RecordStore:
-    """Load *path* into a RecordStore; validates the named columns."""
+    """Load *path* into a RecordStore; validates the named columns.
+
+    Malformed input raises :class:`ValueError` (``main`` turns it —
+    and I/O errors — into a one-line ``error:`` message and exit 2
+    instead of a traceback).
+    """
     rows: list[dict[str, str]] = []
     weights: list[float] = []
     with open(path, newline="") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None or field not in reader.fieldnames:
-            raise SystemExit(
-                f"error: column {field!r} not found in {path} "
+            raise ValueError(
+                f"column {field!r} not found in {path} "
                 f"(columns: {reader.fieldnames})"
             )
         if weight_field is not None and weight_field not in reader.fieldnames:
-            raise SystemExit(
-                f"error: weight column {weight_field!r} not found in {path}"
+            raise ValueError(
+                f"weight column {weight_field!r} not found in {path}"
             )
         for row in reader:
             rows.append({k: (v or "") for k, v in row.items()})
@@ -59,20 +70,21 @@ def load_csv(
                 try:
                     weight = float(row[weight_field])
                 except ValueError:
-                    raise SystemExit(
-                        f"error: non-numeric weight {row[weight_field]!r}"
+                    raise ValueError(
+                        f"non-numeric weight {row[weight_field]!r} "
+                        f"(row {len(rows)} of {path})"
                     ) from None
                 if not math.isfinite(weight):
                     # nan/inf weights silently poison every weight sum,
                     # bound, and comparison downstream — reject up front.
-                    raise SystemExit(
-                        f"error: non-finite weight {row[weight_field]!r} "
+                    raise ValueError(
+                        f"non-finite weight {row[weight_field]!r} "
                         f"(row {len(rows)} of {path}); weights must be "
                         f"finite numbers"
                     )
                 weights.append(weight)
     if not rows:
-        raise SystemExit(f"error: {path} contains no data rows")
+        raise ValueError(f"{path} contains no data rows")
     return RecordStore.from_rows(rows, weights=weights)
 
 
@@ -186,6 +198,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_arguments(threshold)
     threshold.add_argument("--min-weight", type=float, required=True)
+
+    stream = commands.add_parser(
+        "stream",
+        help="feed records into a (durable) incremental engine and query it",
+    )
+    _common_arguments(stream)
+    stream.add_argument("--k", type=int, default=10)
+    stream.add_argument(
+        "--state-dir",
+        default=None,
+        help="durable state directory: inserts are WAL-journaled and the "
+        "stream resumes from existing state on the next run (omit for a "
+        "purely in-memory stream)",
+    )
+    stream.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="snapshot the stream state after every N inserts and once "
+        "at the end (0 = never; requires --state-dir)",
+    )
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="snapshot a stream state directory and prune its WAL",
+    )
+    checkpoint.add_argument("--state-dir", required=True)
+    checkpoint.add_argument(
+        "--field", required=True, help="entity-mention column name"
+    )
+    checkpoint.add_argument(
+        "--ngram-threshold",
+        type=float,
+        default=0.6,
+        help="necessary-predicate 3-gram overlap threshold (default 0.6)",
+    )
+
+    restore = commands.add_parser(
+        "restore",
+        help="recover a stream state directory and report what was rebuilt",
+    )
+    restore.add_argument("--state-dir", required=True)
+    restore.add_argument(
+        "--field", required=True, help="entity-mention column name"
+    )
+    restore.add_argument(
+        "--ngram-threshold",
+        type=float,
+        default=0.6,
+        help="necessary-predicate 3-gram overlap threshold (default 0.6)",
+    )
 
     generate = commands.add_parser(
         "generate", help="write a synthetic labeled dataset to CSV"
@@ -344,6 +408,118 @@ def run_threshold(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_recovery(engine: IncrementalTopK) -> None:
+    info = engine.last_recovery
+    if info is None:
+        return
+    source = (
+        f"checkpoint {info.checkpoint_path.name} "
+        f"({info.checkpoint_entries} entries)"
+        if info.checkpoint_path is not None
+        else "empty state (no checkpoint)"
+    )
+    print(
+        f"restored from {source}, replayed {info.entries_replayed} WAL "
+        f"entries"
+        + (
+            f", absorbed {info.torn_tail_bytes}-byte torn tail"
+            if info.torn_tail_bytes
+            else ""
+        )
+        + (
+            f", skipped {info.corrupt_checkpoints_skipped} corrupt "
+            f"checkpoint(s)"
+            if info.corrupt_checkpoints_skipped
+            else ""
+        ),
+        file=sys.stderr,
+    )
+
+
+def _open_stream_engine(
+    state_dir: str, field: str, ngram_threshold: float
+) -> IncrementalTopK:
+    """Restore an engine from *state_dir*, or start a fresh durable one."""
+    levels = generic_levels(field, ngram_threshold)
+    if has_state(state_dir):
+        engine = IncrementalTopK.restore(state_dir, levels)
+        _print_recovery(engine)
+        return engine
+    return IncrementalTopK(levels, durability=state_dir)
+
+
+def run_stream(args: argparse.Namespace) -> int:
+    if args.checkpoint_every < 0:
+        raise ValueError("--checkpoint-every must be >= 0")
+    if args.checkpoint_every and args.state_dir is None:
+        raise ValueError("--checkpoint-every requires --state-dir")
+    if args.state_dir is not None:
+        engine = _open_stream_engine(
+            args.state_dir, args.field, args.ngram_threshold
+        )
+    else:
+        engine = IncrementalTopK(
+            generic_levels(args.field, args.ngram_threshold)
+        )
+    try:
+        store = load_csv(args.input, args.field, args.weight_field)
+        for position, record in enumerate(store, start=1):
+            engine.add(record.fields, record.weight)
+            if args.checkpoint_every and position % args.checkpoint_every == 0:
+                engine.checkpoint()
+        if args.checkpoint_every:
+            engine.checkpoint()
+        result = engine.query(args.k, policy=policy_from_args(args))
+        if result.degraded:
+            _warn_degraded(result.degraded_reason)
+        for group in result.groups[: args.k]:
+            label = engine.current_store()[group.representative_id][args.field]
+            print(f"{group.weight:12.2f}  {label}")
+        if engine.dead_letters:
+            print(
+                f"warning: {len(engine.dead_letters)} record(s) quarantined "
+                f"({engine.dead_letters_dropped} older dropped)",
+                file=sys.stderr,
+            )
+        if args.stats:
+            print_stats(result.counters)
+    finally:
+        engine.close()
+    return 0
+
+
+def run_checkpoint(args: argparse.Namespace) -> int:
+    engine = _open_stream_engine(
+        args.state_dir, args.field, args.ngram_threshold
+    )
+    try:
+        path = engine.checkpoint()
+        print(
+            f"checkpoint {path.name}: {engine.entries_applied} entries, "
+            f"{len(engine)} records, {len(engine.collapsed_groups())} groups"
+        )
+    finally:
+        engine.close()
+    return 0
+
+
+def run_restore(args: argparse.Namespace) -> int:
+    engine = IncrementalTopK.restore(
+        args.state_dir, generic_levels(args.field, args.ngram_threshold)
+    )
+    try:
+        _print_recovery(engine)
+        print(
+            f"state ok: {engine.entries_applied} entries, {len(engine)} "
+            f"records, {len(engine.collapsed_groups())} groups, "
+            f"{len(engine.dead_letters)} dead letters "
+            f"({engine.dead_letters_dropped} dropped); audit passed"
+        )
+    finally:
+        engine.close()
+    return 0
+
+
 def run_generate(args: argparse.Namespace) -> int:
     from .datasets import (
         generate_addresses,
@@ -380,9 +556,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "topk": run_topk,
         "rank": run_rank,
         "threshold": run_threshold,
+        "stream": run_stream,
+        "checkpoint": run_checkpoint,
+        "restore": run_restore,
         "generate": run_generate,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ValueError, OSError) as exc:
+        # Bad input or a damaged state directory is an operator problem,
+        # not a bug — one line on stderr and exit 2, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

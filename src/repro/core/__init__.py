@@ -2,6 +2,16 @@
 
 from .collapse import collapse, collapse_records
 from .incremental import DeadLetter, IncrementalTopK
+from .persistence import (
+    CheckpointError,
+    DurabilityPolicy,
+    DurableStateStore,
+    PersistenceError,
+    RecoveryInfo,
+    StateAuditError,
+    WalCorruptionError,
+    has_state,
+)
 from .lower_bound import (
     LowerBoundEstimate,
     estimate_lower_bound,
@@ -41,7 +51,10 @@ from .topk import (
 )
 
 __all__ = [
+    "CheckpointError",
     "DeadLetter",
+    "DurabilityPolicy",
+    "DurableStateStore",
     "EntityGroup",
     "ExecutionPolicy",
     "ExecutionState",
@@ -52,10 +65,12 @@ __all__ = [
     "GroupSet",
     "LevelStats",
     "LowerBoundEstimate",
+    "PersistenceError",
     "PipelineCounters",
     "PruneResult",
     "PrunedDedupResult",
     "RankQueryResult",
+    "RecoveryInfo",
     "RankedAnswer",
     "RankedGroup",
     "Record",
@@ -63,14 +78,17 @@ __all__ = [
     "ResilienceExhausted",
     "StageRecord",
     "StageRunner",
+    "StateAuditError",
     "TopKQueryResult",
     "VerificationContext",
+    "WalCorruptionError",
     "collapse",
     "collapse_records",
     "estimate_lower_bound",
     "estimate_lower_bound_naive",
     "group_score_matrix",
     "guard_levels",
+    "has_state",
     "merge_groups",
     "prune",
     "pruned_dedup",

@@ -18,19 +18,39 @@ policies: a query armed with an
 of hanging.
 
 Streams are hardened against poison records: an insert whose keying or
-pairwise verification raises is **quarantined** into an inspectable
-dead-letter list (:attr:`IncrementalTopK.dead_letters`) instead of
-stopping the stream or corrupting the maintained closure.
+pairwise verification raises is **quarantined** into an inspectable,
+bounded dead-letter list (:attr:`IncrementalTopK.dead_letters`) instead
+of stopping the stream or corrupting the maintained closure.
+
+Stream state can be made **durable** (:mod:`repro.core.persistence`):
+with a state directory configured, every ``add`` is journaled to a
+write-ahead log *before* engine state mutates, :meth:`checkpoint`
+snapshots the closure atomically, and :meth:`restore` rebuilds the
+engine after a crash to exactly the state of replaying the surviving
+prefix of inserts — validated by :meth:`audit` before being accepted.
+With no state directory, behaviour is bit-identical to the in-memory
+engine.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+import math
+from collections import defaultdict, deque
 from collections.abc import Hashable, Mapping
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..graphs.union_find import UnionFind
 from ..predicates.base import PredicateLevel
+from .persistence import (
+    DurabilityPolicy,
+    DurableStateStore,
+    PersistenceError,
+    RecoveryInfo,
+    StateAuditError,
+    WalCorruptionError,
+    as_policy,
+)
 from .pruned_dedup import PrunedDedupResult, run_level_pipeline
 from .records import Group, GroupSet, Record, RecordStore, merge_groups
 from .resilience import ExecutionPolicy
@@ -56,6 +76,23 @@ class DeadLetter:
     stage: str
 
 
+def _walk_root(parent: list[int], record_id: int) -> int:
+    """Bounded, non-mutating root walk (safe on corrupt parent arrays)."""
+    node = record_id
+    for _ in range(len(parent) + 1):
+        if not 0 <= node < len(parent):
+            raise StateAuditError(
+                f"union-find parent of {record_id} points out of range "
+                f"({node})"
+            )
+        if parent[node] == node:
+            return node
+        node = parent[node]
+    raise StateAuditError(
+        f"union-find parent chain from {record_id} does not terminate (cycle)"
+    )
+
+
 class IncrementalTopK:
     """Maintain Top-K count query state over an insert-only record stream.
 
@@ -78,6 +115,15 @@ class IncrementalTopK:
             :attr:`dead_letters` (the default — one poison record cannot
             stop the stream).  With False, such exceptions propagate to
             the ``add`` caller.
+        dead_letter_limit: Retain at most this many quarantined records
+            (FIFO: the oldest are evicted first, counted in
+            :attr:`dead_letters_dropped`) — a long hostile stream must
+            not grow memory without bound.
+        durability: A state directory (or full
+            :class:`~repro.core.persistence.DurabilityPolicy`) to
+            journal inserts into.  Must not already hold stream state —
+            resume an existing directory with :meth:`restore` instead.
+            None (the default) keeps the engine purely in-memory.
     """
 
     def __init__(
@@ -86,9 +132,15 @@ class IncrementalTopK:
         max_block_verifications: int = 64,
         verdict_cache_limit: int = 2_000_000,
         quarantine: bool = True,
+        dead_letter_limit: int = 1000,
+        durability: DurabilityPolicy | str | Path | None = None,
     ):
         if not levels:
             raise ValueError("need at least one predicate level")
+        if dead_letter_limit < 0:
+            raise ValueError(
+                f"dead_letter_limit must be >= 0, got {dead_letter_limit}"
+            )
         self._levels = levels
         self._max_verifications = max_block_verifications
         self._quarantine = quarantine
@@ -96,13 +148,23 @@ class IncrementalTopK:
         self._uf = UnionFind(0)
         self._key_members: dict[Hashable, list[int]] = defaultdict(list)
         self._version = 0
+        self._entries_applied = 0
         self._query_cache: dict[
             tuple[int, ExecutionPolicy | None], tuple[int, PrunedDedupResult]
         ] = {}
-        self._dead_letters: list[DeadLetter] = []
+        self._dead_letters: deque[DeadLetter] = deque()
+        self._dead_letter_limit = dead_letter_limit
+        self._dead_letters_dropped = 0
         self._verification = VerificationContext(
             verdict_cache_limit=verdict_cache_limit
         )
+        self.last_recovery: RecoveryInfo | None = None
+        policy = as_policy(durability)
+        if policy is None:
+            self._durable: DurableStateStore | None = None
+        else:
+            self._durable = DurableStateStore(policy)
+            self._durable.open_fresh()
 
     @property
     def verification(self) -> VerificationContext:
@@ -114,6 +176,11 @@ class IncrementalTopK:
         """Quarantined records, in arrival order (inspect and replay)."""
         return list(self._dead_letters)
 
+    @property
+    def dead_letters_dropped(self) -> int:
+        """Quarantined records evicted from the bounded dead-letter list."""
+        return self._dead_letters_dropped
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -121,6 +188,17 @@ class IncrementalTopK:
     def version(self) -> int:
         """Monotone counter bumped on every insert."""
         return self._version
+
+    @property
+    def entries_applied(self) -> int:
+        """Insert *attempts* applied (quarantined ones included) — the
+        engine's position in its write-ahead log."""
+        return self._entries_applied
+
+    @property
+    def durable(self) -> bool:
+        """True when inserts are journaled to a state directory."""
+        return self._durable is not None
 
     def add(self, fields: Mapping[str, str], weight: float = 1.0) -> int:
         """Insert one record; return its id (or -1 when quarantined).
@@ -131,7 +209,21 @@ class IncrementalTopK:
         keying or verification raises is quarantined into
         :attr:`dead_letters` before any engine state is touched, so the
         stream and the maintained closure stay intact.
+
+        With durability configured, the insert is appended to the
+        write-ahead log *before* any engine state mutates — a crash at
+        any point loses at most inserts whose WAL entries did not
+        survive, never the applied prefix.
         """
+        if self._durable is not None:
+            self._durable.append(
+                {"op": "add", "fields": dict(fields), "weight": weight}
+            )
+        return self._apply_add(fields, weight)
+
+    def _apply_add(self, fields: Mapping[str, str], weight: float) -> int:
+        """Mutate engine state for one insert (journaling already done)."""
+        self._entries_applied += 1
         record = Record(
             record_id=len(self._records), fields=dict(fields), weight=weight
         )
@@ -185,6 +277,9 @@ class IncrementalTopK:
                 fields=dict(fields), weight=weight, error=repr(exc), stage=stage
             )
         )
+        while len(self._dead_letters) > self._dead_letter_limit:
+            self._dead_letters.popleft()
+            self._dead_letters_dropped += 1
         self._verification.counters.records_quarantined += 1
 
     def add_store(self, store: RecordStore) -> None:
@@ -249,3 +344,320 @@ class IncrementalTopK:
         )
         self._query_cache[cache_key] = (self._version, result)
         return result
+
+    # -- durability ----------------------------------------------------
+
+    def checkpoint(self) -> Path:
+        """Snapshot the full stream state into the state directory.
+
+        The snapshot (record store, union-find closure, per-group
+        weights, dead letters) is written atomically; WAL segments and
+        checkpoints subsumed by the retention policy are pruned.
+        Returns the checkpoint's path.  Requires durability.
+        """
+        if self._durable is None:
+            raise PersistenceError(
+                "checkpoint() requires durability: construct the engine "
+                "with a state directory (durability=...)"
+            )
+        group_weights: dict[int, float] = defaultdict(float)
+        for record in self._records:
+            group_weights[self._uf.find(record.record_id)] += record.weight
+        parent, size, n_components = self._uf.state()
+        header = {
+            "engine_version": self._version,
+            "entries_applied": self._entries_applied,
+            "n_records": len(self._records),
+        }
+        sections: dict[str, object] = {
+            "records": [
+                {"fields": dict(r.fields), "weight": r.weight}
+                for r in self._records
+            ],
+            "union_find": {
+                "parent": parent,
+                "size": size,
+                "n_components": n_components,
+            },
+            "groups": sorted(group_weights.items()),
+            "dead_letters": {
+                "letters": [
+                    {
+                        "fields": dict(letter.fields),
+                        "weight": letter.weight,
+                        "error": letter.error,
+                        "stage": letter.stage,
+                    }
+                    for letter in self._dead_letters
+                ],
+                "dropped": self._dead_letters_dropped,
+                "limit": self._dead_letter_limit,
+            },
+        }
+        path = self._durable.write_checkpoint(header, sections)
+        self._durable.prune()
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        state_dir: str | Path | DurabilityPolicy,
+        levels: list[PredicateLevel],
+        *,
+        max_block_verifications: int = 64,
+        verdict_cache_limit: int = 2_000_000,
+        quarantine: bool = True,
+        dead_letter_limit: int = 1000,
+    ) -> "IncrementalTopK":
+        """Rebuild an engine from a state directory after a crash.
+
+        Loads the newest checkpoint that validates (corrupt newer ones
+        fall back to older), rebuilds the blocking-key index from the
+        record store, replays the surviving WAL tail, absorbs a torn or
+        corrupt *trailing* entry (the signature of a crash mid-append)
+        and raises :class:`~repro.core.persistence.WalCorruptionError`
+        on mid-log damage.  The recovered state must pass
+        :meth:`audit` before it is accepted; what recovery did is
+        recorded in :attr:`last_recovery`.  The returned engine keeps
+        journaling into the same directory.
+
+        *levels* must be the same predicate suite the stream was built
+        with (predicates are code and are not serialized); recovery
+        equality additionally assumes the suite is deterministic.
+        """
+        policy = as_policy(state_dir)
+        store = DurableStateStore(policy)
+        if not store.has_state():
+            raise PersistenceError(
+                f"{policy.path} holds no stream state to restore"
+            )
+        engine = cls(
+            levels,
+            max_block_verifications=max_block_verifications,
+            verdict_cache_limit=verdict_cache_limit,
+            quarantine=quarantine,
+            dead_letter_limit=dead_letter_limit,
+            durability=None,
+        )
+        loaded = store.load_latest_checkpoint()
+        checkpoint_path: Path | None = None
+        checkpoint_entries = 0
+        corrupt_skipped = 0
+        if loaded is not None:
+            header, sections, checkpoint_path, corrupt_skipped = loaded
+            engine._install_checkpoint(header, sections)
+            checkpoint_entries = engine._entries_applied
+        log = store.recover_log()
+        if log.segments and log.first_index > checkpoint_entries:
+            raise WalCorruptionError(
+                f"WAL starts at entry {log.first_index} but the newest "
+                f"valid checkpoint covers only {checkpoint_entries} — "
+                f"intervening segments are missing"
+            )
+        replayed = 0
+        for index, payload in log.entries():
+            if index < checkpoint_entries:
+                continue
+            if index != engine._entries_applied:
+                raise WalCorruptionError(
+                    f"WAL entry index {index} does not follow applied "
+                    f"count {engine._entries_applied}"
+                )
+            if payload.get("op") != "add" or "fields" not in payload:
+                raise WalCorruptionError(
+                    f"WAL entry {index} has unknown shape: "
+                    f"{sorted(payload)!r}"
+                )
+            engine._apply_add(payload["fields"], payload.get("weight", 1.0))
+            replayed += 1
+        problems = engine.audit(strict=False)
+        if problems:
+            raise StateAuditError(
+                "recovered state failed audit: " + "; ".join(problems)
+            )
+        store.resume_appends(log, engine._entries_applied)
+        engine._durable = store
+        engine.last_recovery = RecoveryInfo(
+            checkpoint_path=checkpoint_path,
+            checkpoint_entries=checkpoint_entries,
+            entries_replayed=replayed,
+            torn_tail_bytes=log.torn_tail_bytes,
+            corrupt_checkpoints_skipped=corrupt_skipped,
+        )
+        return engine
+
+    def _install_checkpoint(
+        self, header: dict, sections: dict[str, object]
+    ) -> None:
+        """Load a validated checkpoint's sections into this (empty) engine."""
+        from .persistence import CheckpointError
+
+        try:
+            records = sections["records"]
+            uf_state = sections["union_find"]
+            groups = sections["groups"]
+            dead = sections["dead_letters"]
+            self._records = [
+                Record(
+                    record_id=i,
+                    fields=dict(entry["fields"]),
+                    weight=entry["weight"],
+                )
+                for i, entry in enumerate(records)
+            ]
+            self._uf = UnionFind.from_state(
+                uf_state["parent"], uf_state["size"], uf_state["n_components"]
+            )
+            self._dead_letters = deque(
+                DeadLetter(
+                    fields=dict(entry["fields"]),
+                    weight=entry["weight"],
+                    error=entry["error"],
+                    stage=entry["stage"],
+                )
+                for entry in dead["letters"]
+            )
+            self._dead_letters_dropped = int(dead["dropped"])
+            self._version = int(header["engine_version"])
+            self._entries_applied = int(header["entries_applied"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint sections are malformed: {exc!r}"
+            ) from exc
+        if len(self._records) != int(header.get("n_records", len(self._records))):
+            raise CheckpointError(
+                f"checkpoint header declares {header.get('n_records')} "
+                f"records but the records section holds {len(self._records)}"
+            )
+        if len(self._uf) != len(self._records):
+            raise CheckpointError(
+                f"union-find covers {len(self._uf)} elements but the store "
+                f"holds {len(self._records)} records"
+            )
+        # Cross-check the persisted per-group weights against the
+        # record store before trusting the closure at all.
+        parent, _size, _n = self._uf.state()
+        recomputed: dict[int, float] = defaultdict(float)
+        for record in self._records:
+            recomputed[_walk_root(parent, record.record_id)] += record.weight
+        persisted = {int(root): weight for root, weight in groups}
+        if set(persisted) != set(recomputed) or any(
+            not math.isclose(persisted[root], recomputed[root], rel_tol=1e-9)
+            for root in persisted
+        ):
+            raise StateAuditError(
+                "checkpointed group weights do not sum to member weights"
+            )
+        # The blocking-key index is cheap to rebuild and deliberately
+        # not persisted; re-key in id order so the per-key member lists
+        # match the original insertion order exactly.
+        sufficient = self._levels[0].sufficient
+        self._key_members = defaultdict(list)
+        for record in self._records:
+            try:
+                keys = set(sufficient.blocking_keys(record))
+            except Exception as exc:
+                raise StateAuditError(
+                    f"blocking-key rebuild failed for record "
+                    f"{record.record_id}: {exc!r} (stored records keyed "
+                    f"successfully when inserted — is the predicate suite "
+                    f"deterministic and unchanged?)"
+                ) from exc
+            for key in keys:
+                self._key_members[key].append(record.record_id)
+
+    def audit(self, strict: bool = True) -> list[str]:
+        """Self-check the closure invariants of the live state.
+
+        Verifies that every record is covered by the union-find (and
+        every parent chain terminates acyclically in range), that
+        component sizes and the component count are consistent, that
+        group weights sum to member weights with finite values, that
+        the blocking-key index references valid record ids in insertion
+        order, and that the dead-letter bound holds.
+
+        Returns the list of problems found (empty when healthy).  With
+        ``strict`` (the default) a non-empty list raises
+        :class:`~repro.core.persistence.StateAuditError` instead.
+        """
+        problems: list[str] = []
+        parent, size, n_components = self._uf.state()
+        n = len(self._records)
+        if len(parent) != n:
+            problems.append(
+                f"union-find covers {len(parent)} elements but the store "
+                f"holds {n} records"
+            )
+        roots: dict[int, int] = defaultdict(int)  # root -> member count
+        weights: dict[int, float] = defaultdict(float)
+        for record_id in range(min(n, len(parent))):
+            node = record_id
+            steps = 0
+            while True:
+                if not 0 <= node < len(parent):
+                    problems.append(
+                        f"parent chain from record {record_id} leaves the "
+                        f"valid range at {node}"
+                    )
+                    node = None
+                    break
+                if parent[node] == node:
+                    break
+                node = parent[node]
+                steps += 1
+                if steps > len(parent):
+                    problems.append(
+                        f"parent chain from record {record_id} cycles"
+                    )
+                    node = None
+                    break
+            if node is None:
+                continue
+            roots[node] += 1
+            weights[node] += self._records[record_id].weight
+        if len(parent) == n:
+            if n_components != len(roots):
+                problems.append(
+                    f"n_components says {n_components} but {len(roots)} "
+                    f"roots are reachable"
+                )
+            for root, members in roots.items():
+                if root < len(size) and size[root] != members:
+                    problems.append(
+                        f"component at root {root} has {members} members "
+                        f"but size[{root}] == {size[root]}"
+                    )
+        for root, weight in weights.items():
+            if not math.isfinite(weight):
+                problems.append(f"group at root {root} has non-finite weight")
+        total_group = sum(weights.values())
+        total_records = sum(r.weight for r in self._records)
+        if not math.isclose(total_group, total_records, rel_tol=1e-9, abs_tol=1e-9):
+            problems.append(
+                f"group weights sum to {total_group} but record weights "
+                f"sum to {total_records}"
+            )
+        for key, members in self._key_members.items():
+            if any(not 0 <= m < n for m in members):
+                problems.append(
+                    f"key index entry {key!r} references an invalid record id"
+                )
+            elif any(a >= b for a, b in zip(members, members[1:])):
+                problems.append(
+                    f"key index entry {key!r} is not in insertion order"
+                )
+        if len(self._dead_letters) > self._dead_letter_limit:
+            problems.append(
+                f"dead-letter list holds {len(self._dead_letters)} entries, "
+                f"over the limit of {self._dead_letter_limit}"
+            )
+        if strict and problems:
+            raise StateAuditError(
+                "state audit failed: " + "; ".join(problems)
+            )
+        return problems
+
+    def close(self) -> None:
+        """Release the WAL file handle (no-op without durability)."""
+        if self._durable is not None:
+            self._durable.close()

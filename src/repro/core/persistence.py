@@ -1,0 +1,520 @@
+"""Durable stream state: checkpoints + write-ahead log for IncrementalTopK.
+
+The incremental engine exists to avoid re-tokenizing and re-unioning
+history on every query — but a process death used to lose the whole
+maintained sufficient-predicate closure, forcing exactly that replay.
+This module makes stream state recoverable with the discipline of
+log-structured stores:
+
+* **Write-ahead log** — every ``add`` appends a length-prefixed,
+  CRC32-checksummed JSON record *before* engine state mutates, into
+  segment files (``wal-<first_entry>.log``) rotated at a configurable
+  size.  A crash can therefore only ever lose the suffix of inserts
+  whose WAL entries did not survive — never corrupt the applied prefix.
+* **Checkpoints** — versioned snapshot files
+  (``checkpoint-<entries>.ckpt``) of the record store, union-find
+  closure, per-group weights and dead letters, written atomically
+  (tmp file + fsync + rename + directory fsync) as framed sections,
+  each carrying its own CRC32, behind a format-version header.
+  Segments fully subsumed by a retained checkpoint are deleted.
+* **Recovery** — load the newest *valid* checkpoint (corrupt ones fall
+  back to older), replay the WAL tail, stop cleanly at a torn or
+  corrupt **trailing** entry (the signature of a crash mid-append) and
+  raise :class:`WalCorruptionError` on **mid-log** damage (an invalid
+  entry with intact data after it, a missing segment, or an index gap
+  — real damage, not a crash).
+
+The index side of the state (the blocking-key inverted lists) is
+deliberately *not* persisted: as in the Sarawagi–Kirpal set-join
+infrastructure, indexes are cheap to rebuild from the record store,
+while the closure — the expensive pairwise-verified part — is exactly
+what the checkpoint preserves.
+
+File formats are private to this module; the public surface is
+:class:`DurabilityPolicy`, :class:`DurableStateStore`,
+:func:`has_state` and the error types.  See ``docs/robustness.md``
+("Durability") for the recovery contract and fsync caveats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+FORMAT_VERSION = 1
+CHECKPOINT_MAGIC = "repro-checkpoint"
+
+_FRAME = struct.Struct(">II")  # payload byte length, CRC32 of the payload
+_WAL_PREFIX = "wal-"
+_WAL_SUFFIX = ".log"
+_CKPT_PREFIX = "checkpoint-"
+_CKPT_SUFFIX = ".ckpt"
+_INDEX_DIGITS = 12
+# A WAL entry is one JSON-encoded insert; anything claiming to be larger
+# than this is a corrupted length field, not a real record.
+MAX_ENTRY_BYTES = 32 * 1024 * 1024
+
+
+class PersistenceError(ValueError):
+    """Base error for durable-state problems (a ValueError: bad data)."""
+
+
+class CheckpointError(PersistenceError):
+    """A checkpoint file is structurally invalid or fails its checksums."""
+
+
+class WalCorruptionError(PersistenceError):
+    """The WAL is damaged *mid-log*: an invalid entry with intact data
+    after it, a segment gap, or an index mismatch.  Unlike a torn tail
+    (which recovery absorbs silently), this indicates real damage."""
+
+
+class StateAuditError(PersistenceError):
+    """Recovered (or live) engine state violates a closure invariant."""
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """Configuration of the durable state directory.
+
+    Attributes:
+        state_dir: Directory holding WAL segments and checkpoints
+            (created on first use).
+        segment_bytes: Rotate to a new WAL segment once the current one
+            reaches this size.
+        fsync: Fsync the WAL after every append (durable against OS
+            crash, not just process crash).  With False, appends are
+            flushed to the OS but an OS/power failure may lose a
+            recent suffix — recovery semantics are unchanged either
+            way (the surviving prefix is restored exactly).
+        keep_checkpoints: Retain this many newest checkpoints; WAL
+            segments are only pruned once subsumed by the *oldest*
+            retained checkpoint, so every retained checkpoint stays a
+            usable fallback.
+    """
+
+    state_dir: str | Path
+    segment_bytes: int = 4 * 1024 * 1024
+    fsync: bool = True
+    keep_checkpoints: int = 2
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes < 1:
+            raise ValueError(
+                f"segment_bytes must be positive, got {self.segment_bytes}"
+            )
+        if self.keep_checkpoints < 1:
+            raise ValueError(
+                f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}"
+            )
+
+    @property
+    def path(self) -> Path:
+        return Path(self.state_dir)
+
+
+def as_policy(
+    durability: DurabilityPolicy | str | Path | None,
+) -> DurabilityPolicy | None:
+    """Coerce a state-dir path (or policy, or None) to a policy."""
+    if durability is None or isinstance(durability, DurabilityPolicy):
+        return durability
+    return DurabilityPolicy(state_dir=durability)
+
+
+def has_state(state_dir: str | Path) -> bool:
+    """Return True when *state_dir* holds any WAL segment or checkpoint."""
+    directory = Path(state_dir)
+    if not directory.is_dir():
+        return False
+    for entry in directory.iterdir():
+        name = entry.name
+        if name.startswith(_WAL_PREFIX) and name.endswith(_WAL_SUFFIX):
+            return True
+        if name.startswith(_CKPT_PREFIX) and name.endswith(_CKPT_SUFFIX):
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class RecoveryInfo:
+    """What a :meth:`IncrementalTopK.restore` actually did.
+
+    Attributes:
+        checkpoint_path: The checkpoint the state was seeded from
+            (None when recovery replayed the WAL from scratch).
+        checkpoint_entries: WAL entries subsumed by that checkpoint.
+        entries_replayed: WAL entries applied on top of the checkpoint.
+        torn_tail_bytes: Bytes dropped from the final segment because
+            the last entry was torn or corrupt (0 for a clean log).
+        corrupt_checkpoints_skipped: Newer checkpoint files that failed
+            validation and were passed over.
+    """
+
+    checkpoint_path: Path | None
+    checkpoint_entries: int
+    entries_replayed: int
+    torn_tail_bytes: int
+    corrupt_checkpoints_skipped: int
+
+
+@dataclass(frozen=True)
+class _ScannedSegment:
+    """One WAL segment's parse result."""
+
+    path: Path
+    first_index: int
+    payloads: list[dict]
+    spans: list[tuple[int, int]]  # (start, end) byte offsets per entry
+    valid_end: int  # byte offset of the last intact entry's end
+    torn_reason: str | None  # why scanning stopped early (final segment)
+    file_size: int = 0  # segment size at scan time
+
+
+@dataclass(frozen=True)
+class _RecoveredLog:
+    """The surviving WAL contents, in global entry order."""
+
+    segments: list[_ScannedSegment] = field(default_factory=list)
+
+    @property
+    def first_index(self) -> int:
+        return self.segments[0].first_index if self.segments else 0
+
+    @property
+    def end_index(self) -> int:
+        if not self.segments:
+            return 0
+        last = self.segments[-1]
+        return last.first_index + len(last.payloads)
+
+    def entries(self) -> list[tuple[int, dict]]:
+        out: list[tuple[int, dict]] = []
+        for segment in self.segments:
+            for offset, payload in enumerate(segment.payloads):
+                out.append((segment.first_index + offset, payload))
+        return out
+
+    @property
+    def torn_tail_bytes(self) -> int:
+        if not self.segments:
+            return 0
+        last = self.segments[-1]
+        return last.file_size - last.valid_end
+
+
+def _frame(payload: dict) -> bytes:
+    blob = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(blob), zlib.crc32(blob) & 0xFFFFFFFF) + blob
+
+
+def _fsync_dir(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _scan_segment(path: Path, first_index: int, *, final: bool) -> _ScannedSegment:
+    """Parse one segment; absorb a torn/corrupt tail only when *final*.
+
+    Raises :class:`WalCorruptionError` for any invalid entry that is
+    not the trailing entry of the final segment — data after the damage
+    proves the log was written past this point, so the damage is real.
+    """
+    data = path.read_bytes()
+    payloads: list[dict] = []
+    spans: list[tuple[int, int]] = []
+    pos = 0
+
+    def _fail(reason: str, *, trailing: bool) -> _ScannedSegment:
+        if final and trailing:
+            return _ScannedSegment(
+                path, first_index, payloads, spans, pos, reason, len(data)
+            )
+        raise WalCorruptionError(
+            f"{path.name}: {reason} at byte {pos} with "
+            f"{'data following' if final else 'later segments present'} — "
+            f"mid-log corruption, not a torn tail"
+        )
+
+    while pos < len(data):
+        if len(data) - pos < _FRAME.size:
+            return _fail("truncated entry header", trailing=True)
+        length, crc = _FRAME.unpack_from(data, pos)
+        end = pos + _FRAME.size + length
+        if length > MAX_ENTRY_BYTES or end > len(data):
+            # An absurd length and an overrunning length are both
+            # indistinguishable from a torn final append.
+            return _fail("truncated or length-corrupt entry", trailing=True)
+        blob = data[pos + _FRAME.size : end]
+        if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+            return _fail("entry checksum mismatch", trailing=end >= len(data))
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return _fail("entry is not valid JSON", trailing=end >= len(data))
+        if not isinstance(payload, dict):
+            return _fail("entry is not a JSON object", trailing=end >= len(data))
+        payloads.append(payload)
+        spans.append((pos, end))
+        pos = end
+    return _ScannedSegment(path, first_index, payloads, spans, pos, None, len(data))
+
+
+def wal_entry_spans(
+    state_dir: str | Path,
+) -> list[tuple[Path, int, list[tuple[int, int]]]]:
+    """Return ``(segment_path, first_entry_index, [(start, end), ...])``
+    for every WAL segment of *state_dir*, in log order.
+
+    Strict: any framing damage raises.  Used by the crash-point test
+    harness to enumerate truncation offsets on a pristine log.
+    """
+    directory = Path(state_dir)
+    out: list[tuple[Path, int, list[tuple[int, int]]]] = []
+    for first_index, path in _list_indexed(directory, _WAL_PREFIX, _WAL_SUFFIX):
+        scanned = _scan_segment(path, first_index, final=False)
+        out.append((path, first_index, scanned.spans))
+    return out
+
+
+def _list_indexed(
+    directory: Path, prefix: str, suffix: str
+) -> list[tuple[int, Path]]:
+    """List ``<prefix><index><suffix>`` files sorted by index."""
+    found: list[tuple[int, Path]] = []
+    if not directory.is_dir():
+        return found
+    for entry in directory.iterdir():
+        name = entry.name
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        digits = name[len(prefix) : -len(suffix)]
+        if not digits.isdigit():
+            raise PersistenceError(f"unparseable state file name: {name}")
+        found.append((int(digits), entry))
+    found.sort()
+    return found
+
+
+class DurableStateStore:
+    """Manages one state directory: WAL segments plus checkpoints.
+
+    The store is a mechanism, not a policy: :class:`IncrementalTopK`
+    decides *what* to journal and snapshot; this class owns framing,
+    atomicity, rotation, pruning and recovery scanning.
+    """
+
+    def __init__(self, policy: DurabilityPolicy):
+        self.policy = policy
+        self.directory = policy.path
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._segment_handle = None
+        self._segment_path: Path | None = None
+        self._segment_size = 0
+        self._next_index = 0
+
+    # -- lifecycle ----------------------------------------------------
+
+    def has_state(self) -> bool:
+        return has_state(self.directory)
+
+    def open_fresh(self) -> None:
+        """Arm the store for a brand-new stream; refuse to overwrite."""
+        if self.has_state():
+            raise PersistenceError(
+                f"{self.directory} already holds stream state; use "
+                f"IncrementalTopK.restore() to resume it"
+            )
+        self._next_index = 0
+
+    def close(self) -> None:
+        if self._segment_handle is not None:
+            self._segment_handle.close()
+            self._segment_handle = None
+            self._segment_path = None
+
+    @property
+    def next_index(self) -> int:
+        """Global index the next appended entry will receive."""
+        return self._next_index
+
+    # -- write-ahead log ----------------------------------------------
+
+    def append(self, payload: dict) -> None:
+        """Append one framed entry, rotating segments as configured."""
+        if (
+            self._segment_handle is not None
+            and self._segment_size >= self.policy.segment_bytes
+        ):
+            self.close()
+        if self._segment_handle is None:
+            self._start_segment(self._next_index)
+        blob = _frame(payload)
+        self._segment_handle.write(blob)
+        self._segment_handle.flush()
+        if self.policy.fsync:
+            os.fsync(self._segment_handle.fileno())
+        self._segment_size += len(blob)
+        self._next_index += 1
+
+    def _start_segment(self, first_index: int) -> None:
+        path = self.directory / (
+            f"{_WAL_PREFIX}{first_index:0{_INDEX_DIGITS}d}{_WAL_SUFFIX}"
+        )
+        self._segment_handle = open(path, "ab")
+        self._segment_path = path
+        self._segment_size = path.stat().st_size
+        _fsync_dir(self.directory)
+
+    def recover_log(self) -> _RecoveredLog:
+        """Scan every surviving segment, validating contiguity.
+
+        Only the final segment may end in a torn/corrupt entry; damage
+        anywhere else raises :class:`WalCorruptionError`.
+        """
+        listed = _list_indexed(self.directory, _WAL_PREFIX, _WAL_SUFFIX)
+        segments: list[_ScannedSegment] = []
+        expected: int | None = None
+        for position, (first_index, path) in enumerate(listed):
+            if expected is not None and first_index != expected:
+                raise WalCorruptionError(
+                    f"WAL segment gap: expected entry {expected} next but "
+                    f"{path.name} starts at {first_index}"
+                )
+            scanned = _scan_segment(
+                path, first_index, final=position == len(listed) - 1
+            )
+            segments.append(scanned)
+            expected = first_index + len(scanned.payloads)
+        return _RecoveredLog(segments)
+
+    def resume_appends(self, log: _RecoveredLog, entries_applied: int) -> None:
+        """Position the store to append entry *entries_applied* next.
+
+        Truncates a torn tail off the final segment and deletes stale
+        segments wholly behind the restored state (possible when a
+        checkpoint outlived the log's tail), so the on-disk entry
+        numbering stays contiguous with what recovery restored.
+        """
+        self.close()
+        if log.segments:
+            last = log.segments[-1]
+            if last.torn_reason is not None:
+                with open(last.path, "r+b") as handle:
+                    handle.truncate(last.valid_end)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        if log.end_index < entries_applied:
+            # The newest checkpoint is ahead of the surviving log:
+            # every segment is subsumed; clear them so the next append
+            # starts a fresh, correctly-numbered segment.
+            for segment in log.segments:
+                segment.path.unlink()
+            _fsync_dir(self.directory)
+        self._next_index = max(log.end_index, entries_applied)
+
+    # -- checkpoints --------------------------------------------------
+
+    def write_checkpoint(self, header: dict, sections: dict[str, object]) -> Path:
+        """Atomically write a sectioned, per-section-checksummed snapshot."""
+        header = dict(header)
+        header["magic"] = CHECKPOINT_MAGIC
+        header["format_version"] = FORMAT_VERSION
+        header["sections"] = list(sections)
+        blob = bytearray(_frame(header))
+        for name, data in sections.items():
+            blob += _frame({"section": name, "data": data})
+        entries = int(header["entries_applied"])
+        path = self.directory / (
+            f"{_CKPT_PREFIX}{entries:0{_INDEX_DIGITS}d}{_CKPT_SUFFIX}"
+        )
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(self.directory)
+        return path
+
+    @staticmethod
+    def read_checkpoint(path: Path) -> tuple[dict, dict[str, object]]:
+        """Parse and fully validate one checkpoint file."""
+        try:
+            scanned = _scan_segment(path, 0, final=False)
+        except WalCorruptionError as exc:
+            raise CheckpointError(f"{path.name}: {exc}") from None
+        frames = scanned.payloads
+        if not frames:
+            raise CheckpointError(f"{path.name}: empty checkpoint")
+        header = frames[0]
+        if header.get("magic") != CHECKPOINT_MAGIC:
+            raise CheckpointError(f"{path.name}: bad magic in header")
+        if header.get("format_version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"{path.name}: unsupported format version "
+                f"{header.get('format_version')!r} (expected {FORMAT_VERSION})"
+            )
+        sections: dict[str, object] = {}
+        for frame_payload in frames[1:]:
+            name = frame_payload.get("section")
+            if not isinstance(name, str) or "data" not in frame_payload:
+                raise CheckpointError(f"{path.name}: malformed section frame")
+            sections[name] = frame_payload["data"]
+        declared = header.get("sections")
+        if declared != list(sections):
+            raise CheckpointError(
+                f"{path.name}: header declares sections {declared!r} but "
+                f"file holds {list(sections)!r}"
+            )
+        return header, sections
+
+    def load_latest_checkpoint(
+        self,
+    ) -> tuple[dict, dict[str, object], Path, int] | None:
+        """Return the newest checkpoint that validates, or None.
+
+        Corrupt newer checkpoints are skipped (their count is returned
+        as the 4th element) — a torn checkpoint write must never make
+        older durable state unreachable.
+        """
+        skipped = 0
+        for _entries, path in reversed(
+            _list_indexed(self.directory, _CKPT_PREFIX, _CKPT_SUFFIX)
+        ):
+            try:
+                header, sections = self.read_checkpoint(path)
+            except CheckpointError:
+                skipped += 1
+                continue
+            return header, sections, path, skipped
+        return None
+
+    def prune(self) -> None:
+        """Drop checkpoints beyond the retention count, then WAL
+        segments wholly subsumed by the oldest *retained* checkpoint."""
+        checkpoints = _list_indexed(self.directory, _CKPT_PREFIX, _CKPT_SUFFIX)
+        retained = checkpoints[-self.policy.keep_checkpoints :]
+        for _entries, path in checkpoints[: -self.policy.keep_checkpoints]:
+            path.unlink()
+        if not retained:
+            return
+        floor = retained[0][0]
+        segments = _list_indexed(self.directory, _WAL_PREFIX, _WAL_SUFFIX)
+        for position, (first_index, path) in enumerate(segments):
+            if position + 1 < len(segments):
+                end = segments[position + 1][0]
+            else:
+                end = self._next_index
+            if end <= floor:
+                if path == self._segment_path:
+                    self.close()
+                path.unlink()
+        _fsync_dir(self.directory)

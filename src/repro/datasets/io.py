@@ -10,6 +10,7 @@ machinery unchanged.
 from __future__ import annotations
 
 import csv
+import math
 
 from ..core.records import RecordStore
 from .base import SyntheticDataset
@@ -52,7 +53,23 @@ def load_dataset(path: str) -> SyntheticDataset:
         for row in reader:
             raw_labels.append(row.pop(LABEL_COLUMN))
             if has_weight:
-                weights.append(float(row.pop(WEIGHT_COLUMN)))
+                raw_weight = row.pop(WEIGHT_COLUMN)
+                try:
+                    weight = float(raw_weight)
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"malformed weight {raw_weight!r} "
+                        f"(row {len(rows) + 1} of {path})"
+                    ) from None
+                if not math.isfinite(weight):
+                    # nan/inf weights silently poison every weight sum,
+                    # bound, and comparison downstream — reject up front.
+                    raise ValueError(
+                        f"non-finite weight {raw_weight!r} "
+                        f"(row {len(rows) + 1} of {path}); weights must "
+                        f"be finite numbers"
+                    )
+                weights.append(weight)
             else:
                 weights.append(1.0)
             rows.append({k: (v or "") for k, v in row.items()})

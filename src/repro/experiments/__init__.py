@@ -6,6 +6,8 @@ One module per artifact family:
 * :mod:`~repro.experiments.timing` — Figure 6;
 * :mod:`~repro.experiments.accuracy` — Figure 7 and Table 1;
 * :mod:`~repro.experiments.ablations` — the DESIGN.md X1-X4 ablations;
+* :mod:`~repro.experiments.durability` — the X9 WAL-overhead and
+  crash-recovery measurements;
 * :mod:`~repro.experiments.harness` — shared dataset/predicate/scorer setup;
 * :mod:`~repro.experiments.report` — plain-text table rendering.
 """
@@ -29,6 +31,11 @@ from .accuracy import (
     table1,
 )
 from .chaos import chaos_checks, run_chaos_sweep
+from .durability import (
+    durability_checks,
+    run_durability_overhead,
+    run_recovery_cost,
+)
 from .fidelity import fidelity_checks, run_fidelity_sweep
 from .harness import (
     DEFAULT_SCALE,
@@ -61,6 +68,7 @@ __all__ = [
     "chaos_checks",
     "citation_pipeline",
     "cpn_vs_naive_checks",
+    "durability_checks",
     "fidelity_checks",
     "figure7_cases",
     "format_table",
@@ -70,6 +78,7 @@ __all__ = [
     "run_chaos_sweep",
     "run_cpn_vs_naive",
     "run_cpn_vs_naive_constructed",
+    "run_durability_overhead",
     "run_fidelity_sweep",
     "run_figure7",
     "run_prune_iterations_ablation",
@@ -77,6 +86,7 @@ __all__ = [
     "run_noise_sweep",
     "run_pruning_only_timing",
     "run_pruning_table",
+    "run_recovery_cost",
     "run_scaling_sweep",
     "run_rank_query_ablation",
     "run_segmentation_vs_hierarchy",

@@ -43,6 +43,37 @@ class UnionFind:
         self._n_components += 1
         return new_id
 
+    def state(self) -> tuple[list[int], list[int], int]:
+        """Snapshot ``(parent, size, n_components)`` for persistence.
+
+        The returned lists are copies; restoring them via
+        :meth:`from_state` reproduces the structure exactly (including
+        any path compression already applied).
+        """
+        return list(self._parent), list(self._size), self._n_components
+
+    @classmethod
+    def from_state(
+        cls, parent: list[int], size: list[int], n_components: int
+    ) -> "UnionFind":
+        """Rebuild a structure from a :meth:`state` snapshot.
+
+        Only shape is validated here; deep invariants (acyclicity,
+        size/component consistency) are the caller's audit's job —
+        a checkpoint may legitimately be damaged and must be loadable
+        enough to be *checked*.
+        """
+        if len(parent) != len(size):
+            raise ValueError(
+                f"parent and size arrays differ in length "
+                f"({len(parent)} vs {len(size)})"
+            )
+        uf = cls(0)
+        uf._parent = list(parent)
+        uf._size = list(size)
+        uf._n_components = n_components
+        return uf
+
     def find(self, x: int) -> int:
         """Return the canonical root of *x*'s component."""
         root = x

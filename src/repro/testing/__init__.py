@@ -3,6 +3,12 @@
 :mod:`repro.testing.chaos` is the seeded fault-injection harness used by
 the chaos test suite and the x8 benchmark to exercise the resilience
 layer (:mod:`repro.core.resilience`) under deterministic failures.
+
+:mod:`repro.testing.crashpoints` is the crash-point injection harness
+used by the crash-recovery suite and the x9 benchmark to exercise the
+durability layer (:mod:`repro.core.persistence`): it truncates the
+write-ahead log at every entry boundary (and inside entries) and checks
+recovery restores exactly the surviving prefix.
 """
 
 from .chaos import (
@@ -12,11 +18,29 @@ from .chaos import (
     FaultPlan,
     chaos_levels,
 )
+from .crashpoints import (
+    CrashPoint,
+    CrashPointResult,
+    enumerate_crash_points,
+    reference_fingerprints,
+    run_crash_sweep,
+    simulate_crash,
+    stream_fingerprint,
+    write_stream,
+)
 
 __all__ = [
     "ChaosError",
     "ChaosPredicate",
     "ChaosScorer",
+    "CrashPoint",
+    "CrashPointResult",
     "FaultPlan",
     "chaos_levels",
+    "enumerate_crash_points",
+    "reference_fingerprints",
+    "run_crash_sweep",
+    "simulate_crash",
+    "stream_fingerprint",
+    "write_stream",
 ]

@@ -37,23 +37,23 @@ class TestLoadCsv:
         assert store.total_weight() == 6.0
 
     def test_missing_column(self, mentions_csv):
-        with pytest.raises(SystemExit):
+        with pytest.raises(ValueError):
             load_csv(mentions_csv, "nope", None)
 
     def test_missing_weight_column(self, mentions_csv):
-        with pytest.raises(SystemExit):
+        with pytest.raises(ValueError):
             load_csv(mentions_csv, "name", "nope")
 
     def test_bad_weight_value(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("name,w\nann,notanumber\n")
-        with pytest.raises(SystemExit):
+        with pytest.raises(ValueError, match="row 1"):
             load_csv(str(path), "name", "w")
 
     def test_empty_file(self, tmp_path):
         path = tmp_path / "empty.csv"
         path.write_text("name\n")
-        with pytest.raises(SystemExit):
+        with pytest.raises(ValueError):
             load_csv(str(path), "name", None)
 
     @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "NaN", "Infinity"])
@@ -62,7 +62,7 @@ class TestLoadCsv:
         # poisons every weight sum and bound downstream.
         path = tmp_path / "nonfinite.csv"
         path.write_text(f"name,w\nann,{bad}\n")
-        with pytest.raises(SystemExit, match="non-finite"):
+        with pytest.raises(ValueError, match="non-finite"):
             load_csv(str(path), "name", "w")
 
     def test_finite_weights_still_accepted(self, tmp_path):
@@ -295,6 +295,153 @@ class TestStatsFlag:
         )
         assert code == 0
         assert "verification stats" not in capsys.readouterr().err
+
+
+class TestErrorExitCodes:
+    """Operator mistakes exit 2 with one ``error:`` line, no traceback."""
+
+    def test_missing_input_file(self, tmp_path, capsys):
+        code = main(
+            ["topk", "--input", str(tmp_path / "nope.csv"), "--field", "name"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1
+
+    def test_missing_column(self, mentions_csv, capsys):
+        code = main(["topk", "--input", mentions_csv, "--field", "nope"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nope" in err
+
+    def test_non_finite_weight(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,w\nann,1\nbob,inf\n")
+        code = main(
+            [
+                "topk",
+                "--input",
+                str(path),
+                "--field",
+                "name",
+                "--weight-field",
+                "w",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "row 2" in err
+
+    def test_checkpoint_every_requires_state_dir(self, mentions_csv, capsys):
+        code = main(
+            [
+                "stream",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--checkpoint-every",
+                "5",
+            ]
+        )
+        assert code == 2
+        assert "--state-dir" in capsys.readouterr().err
+
+    def test_restore_without_state(self, tmp_path, capsys):
+        code = main(
+            [
+                "restore",
+                "--state-dir",
+                str(tmp_path / "void"),
+                "--field",
+                "name",
+            ]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestStream:
+    def _stream_args(self, mentions_csv, *extra):
+        return [
+            "stream",
+            "--input",
+            mentions_csv,
+            "--field",
+            "name",
+            "--weight-field",
+            "count",
+            "--k",
+            "2",
+            *extra,
+        ]
+
+    def test_in_memory_stream(self, mentions_csv, capsys):
+        code = main(self._stream_args(mentions_csv))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ann smith" in out
+        assert "bob jones" in out
+        assert "cara lee" not in out
+
+    def test_durable_stream_resumes_across_runs(
+        self, mentions_csv, tmp_path, capsys
+    ):
+        state = str(tmp_path / "state")
+        code = main(
+            self._stream_args(
+                mentions_csv, "--state-dir", state, "--checkpoint-every", "4"
+            )
+        )
+        assert code == 0
+        assert "5.00" in capsys.readouterr().out
+        # A second run restores the first run's state and doubles the
+        # group weights by feeding the same CSV again.
+        code = main(self._stream_args(mentions_csv, "--state-dir", state))
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "10.00" in captured.out
+        assert "restored from" in captured.err
+
+    def test_durable_stream_without_checkpoint_recovers_from_wal(
+        self, mentions_csv, tmp_path, capsys
+    ):
+        state = str(tmp_path / "state")
+        assert main(self._stream_args(mentions_csv, "--state-dir", state)) == 0
+        capsys.readouterr()
+        code = main(["restore", "--state-dir", state, "--field", "name"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "state ok" in captured.out
+        assert "6 entries" in captured.out
+        assert "no checkpoint" in captured.err
+
+    def test_checkpoint_verb_snapshots_state(
+        self, mentions_csv, tmp_path, capsys
+    ):
+        state = str(tmp_path / "state")
+        assert main(self._stream_args(mentions_csv, "--state-dir", state)) == 0
+        capsys.readouterr()
+        code = main(["checkpoint", "--state-dir", state, "--field", "name"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("checkpoint")
+        assert "6 entries" in out
+        code = main(["restore", "--state-dir", state, "--field", "name"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "state ok" in captured.out
+        assert "restored from checkpoint" in captured.err
+
+    def test_stream_stats_flag(self, mentions_csv, capsys):
+        code = main(self._stream_args(mentions_csv, "--stats"))
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "verification stats" in captured.err
+        assert "verification stats" not in captured.out
 
 
 class TestResilienceFlags:

@@ -40,6 +40,29 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             load_dataset(str(path))
 
+    def test_malformed_weight_names_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "name,weight,gold_entity\nann,1.0,e1\nbob,oops,e2\n"
+        )
+        with pytest.raises(ValueError, match=r"malformed weight 'oops' \(row 2"):
+            load_dataset(str(path))
+
+    @pytest.mark.parametrize("bad", ["nan", "inf", "-inf", "NaN", "Infinity"])
+    def test_non_finite_weight_rejected(self, tmp_path, bad):
+        # float() happily parses these, but a nan/inf weight silently
+        # poisons every weight sum and bound downstream.
+        path = tmp_path / "nonfinite.csv"
+        path.write_text(f"name,weight,gold_entity\nann,{bad},e1\n")
+        with pytest.raises(ValueError, match=r"non-finite weight .* \(row 1"):
+            load_dataset(str(path))
+
+    def test_empty_weight_cell_rejected(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("name,weight,gold_entity\nann,,e1\n")
+        with pytest.raises(ValueError, match="row 1"):
+            load_dataset(str(path))
+
     def test_cli_generate_output_loadable(self, tmp_path):
         from repro.cli import main
 
