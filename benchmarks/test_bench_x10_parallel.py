@@ -1,0 +1,29 @@
+"""X10: sharded parallel pipeline speedup vs. worker count (docs/performance.md).
+
+Runs the fig2-scale citations pruning query serially and at 2 and 4
+workers, recording wall-clock seconds, speedup over serial, and whether
+the group partition is bit-identical to the serial baseline (it must
+always be).  The >= 1.5x speedup expectation at 4 workers is asserted
+by ``parallel_scaling_checks`` only on hosts that actually have >= 4
+CPUs — elsewhere the row is still recorded so the table shows what the
+hardware allowed.
+"""
+
+from repro.experiments import (
+    format_table,
+    parallel_scaling_checks,
+    run_parallel_speedup,
+)
+
+
+def test_x10_parallel_speedup(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_parallel_speedup(worker_counts=(1, 2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(rows, title="X10 — parallel speedup (citations)")
+    )
+    checks = parallel_scaling_checks(rows)
+    assert all(checks.values()), (checks, rows)

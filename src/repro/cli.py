@@ -169,6 +169,15 @@ def _common_arguments(parser: argparse.ArgumentParser) -> None:
         "role-safe fallback verdicts ('degrade') or propagate them "
         "('raise'); implies resilient execution even without --deadline",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sharded parallel dedup pipeline; "
+        "results are bit-identical to serial execution (default: "
+        "$REPRO_WORKERS or 1)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -354,6 +363,7 @@ def run_topk(args: argparse.Namespace) -> int:
         r=args.r,
         label_field=args.field,
         policy=policy_from_args(args),
+        workers=args.workers,
     )
     if result.degraded:
         _warn_degraded(result.degraded_reason)
@@ -375,7 +385,13 @@ def run_topk(args: argparse.Namespace) -> int:
 def run_rank(args: argparse.Namespace) -> int:
     store = load_csv(args.input, args.field, args.weight_field)
     levels = generic_levels(args.field, args.ngram_threshold)
-    result = topk_rank_query(store, args.k, levels, policy=policy_from_args(args))
+    result = topk_rank_query(
+        store,
+        args.k,
+        levels,
+        policy=policy_from_args(args),
+        workers=args.workers,
+    )
     if result.degraded:
         _warn_degraded(result.degraded_reason)
     for entry in result.ranking[: args.k]:
@@ -394,7 +410,11 @@ def run_threshold(args: argparse.Namespace) -> int:
     store = load_csv(args.input, args.field, args.weight_field)
     levels = generic_levels(args.field, args.ngram_threshold)
     result = thresholded_rank_query(
-        store, args.min_weight, levels, policy=policy_from_args(args)
+        store,
+        args.min_weight,
+        levels,
+        policy=policy_from_args(args),
+        workers=args.workers,
     )
     if result.degraded:
         _warn_degraded(result.degraded_reason)
@@ -469,7 +489,9 @@ def run_stream(args: argparse.Namespace) -> int:
                 engine.checkpoint()
         if args.checkpoint_every:
             engine.checkpoint()
-        result = engine.query(args.k, policy=policy_from_args(args))
+        result = engine.query(
+            args.k, policy=policy_from_args(args), workers=args.workers
+        )
         if result.degraded:
             _warn_degraded(result.degraded_reason)
         for group in result.groups[: args.k]:
@@ -568,6 +590,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         # not a bug — one line on stderr and exit 2, never a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Ctrl-C mid-query: flush whatever already reached the streams
+        # so partial output (answers on stdout, --stats on stderr) ends
+        # at a clean line boundary, say why we stopped, and exit with
+        # the conventional 128+SIGINT code instead of a traceback.
+        try:
+            sys.stdout.flush()
+        except OSError:
+            pass
+        print("\ninterrupted", file=sys.stderr, flush=True)
+        return 130
 
 
 if __name__ == "__main__":

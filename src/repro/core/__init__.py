@@ -17,6 +17,13 @@ from .lower_bound import (
     estimate_lower_bound,
     estimate_lower_bound_naive,
 )
+from .parallel import (
+    ShardPlan,
+    group_fingerprint,
+    parallel_collapse,
+    prime_neighbor_index,
+    resolve_workers,
+)
 from .prune import PruneResult, prune
 from .pruned_dedup import (
     LevelStats,
@@ -78,6 +85,7 @@ __all__ = [
     "ResilienceExhausted",
     "StageRecord",
     "StageRunner",
+    "ShardPlan",
     "StateAuditError",
     "TopKQueryResult",
     "VerificationContext",
@@ -86,12 +94,16 @@ __all__ = [
     "collapse_records",
     "estimate_lower_bound",
     "estimate_lower_bound_naive",
+    "group_fingerprint",
     "group_score_matrix",
     "guard_levels",
     "has_state",
     "merge_groups",
+    "parallel_collapse",
+    "prime_neighbor_index",
     "prune",
     "pruned_dedup",
+    "resolve_workers",
     "run_level_pipeline",
     "thresholded_rank_query",
     "topk_count_query",

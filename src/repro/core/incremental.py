@@ -51,6 +51,7 @@ from .persistence import (
     WalCorruptionError,
     as_policy,
 )
+from .parallel import resolve_workers
 from .pruned_dedup import PrunedDedupResult, run_level_pipeline
 from .records import Group, GroupSet, Record, RecordStore, merge_groups
 from .resilience import ExecutionPolicy
@@ -150,7 +151,8 @@ class IncrementalTopK:
         self._version = 0
         self._entries_applied = 0
         self._query_cache: dict[
-            tuple[int, ExecutionPolicy | None], tuple[int, PrunedDedupResult]
+            tuple[int, ExecutionPolicy | None, int],
+            tuple[int, PrunedDedupResult],
         ] = {}
         self._dead_letters: deque[DeadLetter] = deque()
         self._dead_letter_limit = dead_letter_limit
@@ -310,18 +312,22 @@ class IncrementalTopK:
         k: int,
         prune_iterations: int = 2,
         policy: ExecutionPolicy | None = None,
+        workers: int | None = None,
     ) -> PrunedDedupResult:
         """Answer the Top-K pruning query on the current stream state.
 
-        Results are cached per ``(k, policy)`` until the next insert.
-        With a *policy*, the query degrades anytime exactly like the
-        batch engine: on deadline/budget exhaustion it returns the best
-        answer derivable from the current collapsed state, flagged
-        ``degraded``.
+        Results are cached per ``(k, policy, workers)`` until the next
+        insert.  With a *policy*, the query degrades anytime exactly
+        like the batch engine: on deadline/budget exhaustion it returns
+        the best answer derivable from the current collapsed state,
+        flagged ``degraded``.  *workers* > 1 shards the level pipeline
+        (:mod:`repro.core.parallel`) with bit-identical results; ``None``
+        consults ``REPRO_WORKERS``.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        cache_key = (k, policy)
+        n_workers = resolve_workers(workers)
+        cache_key = (k, policy, n_workers)
         cached = self._query_cache.get(cache_key)
         if cached is not None and cached[0] == self._version:
             return cached[1]
@@ -341,6 +347,7 @@ class IncrementalTopK:
             skip_first_collapse=True,
             n_starting_records=d,
             before_run=before_run,
+            workers=n_workers,
         )
         self._query_cache[cache_key] = (self._version, result)
         return result

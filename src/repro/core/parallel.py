@@ -1,0 +1,513 @@
+"""Sharded parallel execution for the PrunedDedup hot stages.
+
+Figure 6's timing is dominated by S/N predicate evaluation inside two
+stages of Algorithm 2 — the sufficient-closure **collapse** and the
+necessary-predicate **neighbor verification** feeding the lower-bound
+and prune stages.  Both decompose over the blocking structure:
+
+* :meth:`ShardPlan.by_components` partitions group representatives by
+  connected components of the predicate's key-sharing graph.  Every
+  candidate pair lies inside one component, so per-shard transitive
+  closures compose exactly: the collapse stage runs :func:`~repro.predicates.blocking.closure`
+  per shard in worker processes and the parent folds the returned merge
+  edges into one union-find **in fixed shard order**, then regroups
+  exactly like the serial :func:`~repro.core.collapse.collapse` — the
+  resulting :class:`~repro.core.records.GroupSet` is bit-identical.
+* :meth:`ShardPlan.by_candidate_mass` balances *probes* instead:
+  neighbor lists are independent per probe, so the parent builds the
+  (one, shared) :class:`~repro.predicates.blocking.NeighborIndex`, the
+  workers verify disjoint probe batches against it, and the parent
+  primes the index's memo with the returned lists.  Downstream stages
+  (lower bound, prune, rank pruning) run unchanged and hit the memo.
+
+Both plans balance shards by estimated candidate-pair count (LPT
+bin-packing, deterministic tie-breaks).
+
+Worker processes are **forked**, not spawned: predicates routinely hold
+closures (:class:`~repro.predicates.base.FunctionPredicate`, chaos and
+resilience wrappers) that cannot be pickled, so the task payload is
+published in a module global immediately before the pool is created and
+inherited by the children.  Where ``fork`` is unavailable the layer
+falls back to serial execution — never to different results.
+
+Composition with :class:`~repro.core.resilience.ExecutionPolicy`:
+guarded predicates travel into the workers with their armed state, so
+deadline checks and role-safe fault containment apply inside each
+worker exactly as they would serially (``time.perf_counter`` is the
+system-wide CLOCK_MONOTONIC on the supported platforms, so an inherited
+deadline stays valid across ``fork``).  A worker that reports policy
+exhaustion degrades the whole stage — the serial semantics — while a
+worker that *dies* degrades only its shard: the parent recomputes that
+shard serially (counted in ``PipelineCounters.shards_degraded``) and
+the query completes with identical results.  Per-worker counter deltas
+(and ``GuardedPredicate.keying_failures``, which gates the pipelines'
+pruning stand-down) are merged back into the parent in shard order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+from collections import defaultdict
+from collections.abc import Hashable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from ..graphs.union_find import UnionFind
+from ..predicates.base import Predicate
+from ..predicates.blocking import NeighborIndex, build_key_index, closure
+from .collapse import collapse
+from .records import Group, GroupSet, Record, merge_groups
+from .resilience import GuardedPredicate, ResilienceExhausted
+from .verification import PipelineCounters, VerificationContext
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Below this many groups the fork + merge overhead outweighs any
+#: parallel speedup; stages run serially regardless of the worker knob.
+MIN_PARALLEL_GROUPS = 32
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve the effective worker count for a query run.
+
+    An explicit *workers* wins; ``None`` falls back to the
+    ``REPRO_WORKERS`` environment variable, then to 1 (serial).
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def fork_available() -> bool:
+    """True when forked worker processes are supported on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic partition of record positions into worker shards.
+
+    Attributes:
+        shards: Per-shard record positions, ascending within each shard.
+        shard_pairs: Estimated candidate-pair count per shard (the LPT
+            balancing weight).
+        isolated: Positions participating in no candidate pair; they
+            need no predicate work at all and are handled directly by
+            the parent (a collapse leaves them untouched, a neighbor
+            probe returns the empty list).
+    """
+
+    shards: tuple[tuple[int, ...], ...]
+    shard_pairs: tuple[int, ...]
+    isolated: tuple[int, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @classmethod
+    def by_components(
+        cls,
+        predicate: Predicate,
+        records: Sequence[Record],
+        max_shards: int,
+    ) -> "ShardPlan":
+        """Partition by connected components of *predicate*'s key graph.
+
+        Two records land in the same shard whenever any key chain links
+        them, so every candidate pair — and therefore every possible
+        closure merge — is local to one shard.  Components are packed
+        into at most *max_shards* shards by estimated pair count.
+        """
+        n = len(records)
+        uf = UnionFind(n)
+        index = build_key_index(predicate, records)
+        for positions in index.values():
+            if len(positions) < 2:
+                continue
+            first = positions[0]
+            for other in positions[1:]:
+                uf.union(first, other)
+        pairs_by_root: dict[int, int] = defaultdict(int)
+        for positions in index.values():
+            if len(positions) < 2:
+                continue
+            pairs_by_root[uf.find(positions[0])] += (
+                len(positions) * (len(positions) - 1) // 2
+            )
+        members: dict[int, list[int]] = defaultdict(list)
+        for position in range(n):
+            members[uf.find(position)].append(position)
+        components: list[tuple[int, list[int]]] = []
+        isolated: list[int] = []
+        for root, positions in members.items():
+            weight = pairs_by_root.get(root, 0)
+            if weight == 0:
+                isolated.extend(positions)
+            else:
+                components.append((weight, positions))
+        components.sort(key=lambda c: (-c[0], c[1][0]))
+        return cls._pack(components, isolated, max_shards)
+
+    @classmethod
+    def by_candidate_mass(
+        cls,
+        postings: dict[Hashable, list[int]],
+        n_records: int,
+        max_shards: int,
+    ) -> "ShardPlan":
+        """Balance individual probes by their candidate posting mass.
+
+        Used for neighbor verification, where each probe's list is
+        independent (the workers all read one shared index), so no
+        component constraint applies and per-record LPT packing gives
+        near-perfect balance even when one stop-key chains most records
+        into a single connected component.
+        """
+        mass = [0] * n_records
+        for positions in postings.values():
+            if len(positions) < 2:
+                continue
+            bump = len(positions) - 1
+            for position in positions:
+                mass[position] += bump
+        components = [(m, [p]) for p, m in enumerate(mass) if m > 0]
+        isolated = [p for p, m in enumerate(mass) if m == 0]
+        components.sort(key=lambda c: (-c[0], c[1][0]))
+        return cls._pack(components, isolated, max_shards)
+
+    @classmethod
+    def _pack(
+        cls,
+        components: list[tuple[int, list[int]]],
+        isolated: list[int],
+        max_shards: int,
+    ) -> "ShardPlan":
+        """LPT bin-packing of (weight, positions) components, heaviest
+        first, ties broken toward the lowest shard index — fully
+        deterministic for a deterministic component list."""
+        if not components or max_shards < 1:
+            return cls(
+                shards=(), shard_pairs=(), isolated=tuple(sorted(isolated))
+            )
+        n_shards = min(max_shards, len(components))
+        heap = [(0, index) for index in range(n_shards)]
+        bins: list[list[int]] = [[] for _ in range(n_shards)]
+        loads = [0] * n_shards
+        for weight, positions in components:
+            load, index = heapq.heappop(heap)
+            bins[index].extend(positions)
+            loads[index] = load + weight
+            heapq.heappush(heap, (load + weight, index))
+        return cls(
+            shards=tuple(tuple(sorted(b)) for b in bins),
+            shard_pairs=tuple(loads),
+            isolated=tuple(sorted(isolated)),
+        )
+
+
+def group_fingerprint(group_set: GroupSet) -> tuple:
+    """Canonical, order-insensitive identity of a group partition.
+
+    Two group sets with equal fingerprints have identical members,
+    weights (bit-exact floats), and elected representatives — the
+    equality the parallel path promises against the serial one.
+    """
+    return tuple(
+        sorted(
+            (
+                group.weight,
+                tuple(sorted(group.member_ids)),
+                group.representative_id,
+            )
+            for group in group_set
+        )
+    )
+
+
+# --------------------------------------------------------------------------
+# Worker-side machinery.  The payload is published in a module global and
+# inherited by forked children: predicates (lambdas, guards, chaos
+# wrappers) are not picklable, and the records/indexes are large enough
+# that copy-on-write inheritance beats serialization anyway.
+
+_PAYLOAD: dict | None = None
+
+
+def _keying_failures(predicate: Predicate) -> int:
+    return getattr(predicate, "keying_failures", 0)
+
+
+def _collapse_positions(
+    predicate: Predicate, records: Sequence[Record], positions: Sequence[int]
+) -> list[tuple[int, int]]:
+    """Run the S-closure over one shard; return merge edges in global
+    positions.  Deterministic: the closure partition is the transitive
+    closure of all true candidate pairs (order-independent), and edges
+    are emitted in ascending local position."""
+    local = [records[position] for position in positions]
+    uf = closure(predicate, local)
+    merges: list[tuple[int, int]] = []
+    for local_index in range(len(local)):
+        root = uf.find(local_index)
+        if root != local_index:
+            merges.append((positions[root], positions[local_index]))
+    return merges
+
+
+def _neighbor_lists(
+    index: NeighborIndex, records: Sequence[Record], positions: Sequence[int]
+) -> list[list[int]]:
+    """Verify the neighbor list of each probe in *positions* against the
+    shared index (member-probe semantics: the probe excludes itself)."""
+    return [
+        index.neighbors(records[position], exclude_position=position)
+        for position in positions
+    ]
+
+
+def _shard_entry(task: tuple[str, int]):
+    """Child-process entry point: run one shard, returning its data plus
+    the counter and keying-failure deltas it produced (fork gives each
+    child an independent copy of the shared counters, so deltas are the
+    only way work travels back to the parent)."""
+    kind, shard_index = task
+    payload = _PAYLOAD
+    assert payload is not None, "worker forked before the payload was set"
+    counters: PipelineCounters = payload["counters"]
+    predicate: Predicate = payload["predicate"]
+    records: Sequence[Record] = payload["records"]
+    positions = payload["plan"].shards[shard_index]
+    before = counters.snapshot()
+    keying_before = _keying_failures(predicate)
+    try:
+        if kind == "collapse":
+            data = _collapse_positions(predicate, records, positions)
+        else:
+            data = _neighbor_lists(payload["index"], records, positions)
+    except ResilienceExhausted as exc:
+        # Policy exhaustion inside a worker degrades the whole stage —
+        # exactly what the serial pipeline would do — so it is reported
+        # as data, not as a worker failure.
+        return ("exhausted", exc.reason)
+    delta = counters.delta(before)
+    return ("ok", (data, delta, _keying_failures(predicate) - keying_before))
+
+
+def _run_shards(payload: dict, plan: ShardPlan, workers: int) -> list:
+    """Fan the plan's shards out over a fresh fork pool.
+
+    Returns one entry per shard: the worker's ``("ok", ...)`` /
+    ``("exhausted", reason)`` result, or None when the worker died (the
+    caller recomputes such shards serially).  A fresh pool per stage is
+    required for correctness: forked children snapshot the payload
+    global at fork time, so a reused pool would serve stale payloads.
+    """
+    global _PAYLOAD
+    results: list = [None] * plan.n_shards
+    _PAYLOAD = payload
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, plan.n_shards), mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(_shard_entry, (payload["kind"], shard_index))
+                for shard_index in range(plan.n_shards)
+            ]
+            for shard_index, future in enumerate(futures):
+                try:
+                    results[shard_index] = future.result()
+                except Exception:
+                    # Worker process died (or its result failed to
+                    # travel): leave None, the parent recomputes it.
+                    results[shard_index] = None
+    except Exception:
+        # Pool-level failure: every unfinished shard falls back serially.
+        pass
+    finally:
+        _PAYLOAD = None
+    return results
+
+
+def _fold_shard_results(
+    results: list,
+    predicate: Predicate,
+    context: VerificationContext,
+    fallback: Callable[[int], object],
+) -> list:
+    """Merge worker results deterministically, in fixed shard order.
+
+    Counter and keying-failure deltas are applied for every completed
+    shard first; a reported policy exhaustion then aborts the stage
+    (serial semantics).  Only after that are dead-worker shards
+    recomputed serially in the parent via *fallback* — each counted as
+    one degraded shard.
+    """
+    folded: list = [None] * len(results)
+    failed: list[int] = []
+    exhausted: str | None = None
+    for shard_index, result in enumerate(results):
+        if result is None:
+            failed.append(shard_index)
+            continue
+        status, value = result
+        if status == "exhausted":
+            exhausted = value
+            continue
+        data, delta, keying_delta = value
+        context.counters.merge(delta)
+        if keying_delta and isinstance(predicate, GuardedPredicate):
+            predicate.keying_failures += keying_delta
+        folded[shard_index] = data
+    if exhausted is not None:
+        raise ResilienceExhausted(exhausted)
+    for shard_index in failed:
+        context.counters.shards_degraded += 1
+        folded[shard_index] = fallback(shard_index)
+    return folded
+
+
+# --------------------------------------------------------------------------
+# The two parallel stages.
+
+
+def parallel_collapse(
+    group_set: GroupSet,
+    sufficient: Predicate,
+    workers: int,
+    context: VerificationContext,
+) -> GroupSet:
+    """Collapse *group_set* under *sufficient*, sharded over *workers*.
+
+    Bit-identical to :func:`~repro.core.collapse.collapse`: the shard
+    plan keeps every S-candidate pair inside one shard, per-shard
+    closures therefore compose to exactly the global closure partition,
+    and the parent rebuilds the merged groups with the serial stage's
+    own position-ordered fold (same member order, same float summation
+    order, same representative election).
+
+    Falls back to the serial stage when parallelism cannot pay or is
+    unavailable: fewer than :data:`MIN_PARALLEL_GROUPS` groups, a
+    ``key_implies_match`` predicate (its closure does no predicate work
+    worth distributing), fewer than two populated shards, or no ``fork``
+    support.
+    """
+    if (
+        workers < 2
+        or len(group_set) < MIN_PARALLEL_GROUPS
+        or sufficient.key_implies_match
+        or not fork_available()
+    ):
+        return collapse(group_set, sufficient)
+    representatives = group_set.representatives()
+    plan = ShardPlan.by_components(sufficient, representatives, workers)
+    if plan.n_shards < 2:
+        return collapse(group_set, sufficient)
+
+    payload = {
+        "kind": "collapse",
+        "predicate": sufficient,
+        "records": representatives,
+        "plan": plan,
+        "counters": context.counters,
+    }
+    results = _run_shards(payload, plan, workers)
+    merge_lists = _fold_shard_results(
+        results,
+        sufficient,
+        context,
+        fallback=lambda shard_index: _collapse_positions(
+            sufficient, representatives, plan.shards[shard_index]
+        ),
+    )
+
+    uf = UnionFind(len(representatives))
+    for merges in merge_lists:
+        for a, b in merges:
+            uf.union(a, b)
+    by_root: dict[int, list[Group]] = defaultdict(list)
+    for position, group in enumerate(group_set):
+        by_root[uf.find(position)].append(group)
+    merged = [
+        merge_groups(group_set.store, members) for members in by_root.values()
+    ]
+    return GroupSet(store=group_set.store, groups=merged)
+
+
+def prime_neighbor_index(
+    group_set: GroupSet,
+    necessary: Predicate,
+    workers: int,
+    context: VerificationContext,
+) -> NeighborIndex:
+    """Build the level's shared neighbor index and pre-verify, in
+    parallel, the member neighbor list of every group representative.
+
+    The parent builds the index (one postings pass), forked workers
+    verify disjoint probe batches against it, and the returned lists are
+    injected into the index memo (:meth:`NeighborIndex.prime`).  The
+    subsequent lower-bound / prune / rank stages then run unchanged and
+    are answered from the memo — each list is the pure function of the
+    shared index and an immutable probe, so results are exactly what
+    the stage would have computed itself.
+
+    With ``workers < 2`` (or no payoff / no ``fork``) this degenerates
+    to plain :meth:`VerificationContext.neighbor_index`, which is also
+    the thresholded query's keying sweep.
+    """
+    index = context.neighbor_index(necessary, group_set)
+    if (
+        workers < 2
+        or len(group_set) < MIN_PARALLEL_GROUPS
+        or necessary.key_implies_match
+        or not fork_available()
+        or not index.memoizing
+    ):
+        return index
+    representatives = group_set.representatives()
+    plan = ShardPlan.by_candidate_mass(
+        index.key_postings, len(representatives), workers
+    )
+    if plan.n_shards < 2:
+        return index
+
+    payload = {
+        "kind": "neighbors",
+        "predicate": necessary,
+        "records": representatives,
+        "plan": plan,
+        "counters": context.counters,
+        "index": index,
+    }
+    results = _run_shards(payload, plan, workers)
+    shard_lists = _fold_shard_results(
+        results,
+        necessary,
+        context,
+        fallback=lambda shard_index: _neighbor_lists(
+            index, representatives, plan.shards[shard_index]
+        ),
+    )
+    for positions, lists in zip(plan.shards, shard_lists):
+        for position, neighbor_list in zip(positions, lists):
+            index.prime(position, neighbor_list)
+    for position in plan.isolated:
+        # No shared key with anyone: the verified list is empty by
+        # construction, no predicate call needed.
+        index.prime(position, [])
+    return index

@@ -20,8 +20,8 @@ from dataclasses import field as dataclass_field
 
 from ..predicates.base import PredicateLevel
 from ..predicates.blocking import NeighborIndex
-from .collapse import collapse
 from .lower_bound import estimate_lower_bound
+from .parallel import parallel_collapse, prime_neighbor_index, resolve_workers
 from .prune import prune
 from .records import GroupSet, RecordStore
 from .resilience import (
@@ -200,6 +200,7 @@ def topk_rank_query(
     prune_iterations: int = 2,
     context: VerificationContext | None = None,
     policy: ExecutionPolicy | None = None,
+    workers: int | None = None,
 ) -> RankQueryResult:
     """Answer a Top-K *rank* query (Section 7.1).
 
@@ -213,6 +214,10 @@ def topk_rank_query(
     faults are contained role-safely (a compromised necessary predicate
     stands pruning down for its level) and on deadline/budget exhaustion
     the query returns the last consistent state flagged ``degraded``.
+
+    *workers* > 1 shards the collapse and neighbor-verification work
+    over forked processes (:mod:`repro.core.parallel`) with
+    bit-identical results; ``None`` consults ``REPRO_WORKERS``.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -221,6 +226,7 @@ def topk_rank_query(
 
     if context is None:
         context = VerificationContext()
+    n_workers = resolve_workers(workers)
     state = policy.start(context.counters) if policy is not None else None
     executed = guard_levels(levels, state) if state is not None else levels
     runner = StageRunner(context, state)
@@ -231,11 +237,25 @@ def topk_rank_query(
     compromised = False
     for level in executed:
         collapsed = runner.run(
-            level.name, "collapse", lambda: collapse(current, level.sufficient)
+            level.name,
+            "collapse",
+            lambda: parallel_collapse(
+                current, level.sufficient, n_workers, context
+            ),
         )
         if runner.aborted:
             return _degraded_rank_result(current, upper, runner, context)
         current = collapsed
+        if n_workers > 1:
+            runner.run(
+                level.name,
+                "neighbors",
+                lambda: prime_neighbor_index(
+                    current, level.necessary, n_workers, context
+                ),
+            )
+            if runner.aborted:
+                return _degraded_rank_result(current, upper, runner, context)
         estimate = runner.run(
             level.name,
             "lower_bound",
@@ -275,6 +295,18 @@ def topk_rank_query(
         kept = list(range(len(current)))
         flags = [False] * len(current)
     else:
+        if n_workers > 1:
+            # The last prune produced a fresh group set, so the rank
+            # pass needs a fresh index: build and prime it in parallel.
+            runner.run(
+                "rank",
+                "neighbors",
+                lambda: prime_neighbor_index(
+                    current, executed[-1].necessary, n_workers, context
+                ),
+            )
+            if runner.aborted:
+                return _degraded_rank_result(current, upper, runner, context)
         rank_pruned = runner.run(
             "rank",
             "rank_prune",
@@ -312,6 +344,7 @@ def thresholded_rank_query(
     prune_iterations: int = 2,
     context: VerificationContext | None = None,
     policy: ExecutionPolicy | None = None,
+    workers: int | None = None,
 ) -> RankQueryResult:
     """Answer a thresholded rank query (Section 7.2): groups of size >= T.
 
@@ -325,6 +358,10 @@ def thresholded_rank_query(
     stands pruning down and forfeits certainty) and on deadline/budget
     exhaustion the query returns the last consistent state flagged
     ``degraded``.
+
+    *workers* > 1 shards the collapse and neighbor-verification work
+    over forked processes (:mod:`repro.core.parallel`) with
+    bit-identical results; ``None`` consults ``REPRO_WORKERS``.
     """
     if threshold <= 0:
         raise ValueError(f"threshold must be positive, got {threshold}")
@@ -333,6 +370,7 @@ def thresholded_rank_query(
 
     if context is None:
         context = VerificationContext()
+    n_workers = resolve_workers(workers)
     state = policy.start(context.counters) if policy is not None else None
     executed = guard_levels(levels, state) if state is not None else levels
     runner = StageRunner(context, state)
@@ -342,22 +380,29 @@ def thresholded_rank_query(
     compromised = False
     for level in executed:
         collapsed = runner.run(
-            level.name, "collapse", lambda: collapse(current, level.sufficient)
+            level.name,
+            "collapse",
+            lambda: parallel_collapse(
+                current, level.sufficient, n_workers, context
+            ),
         )
         if runner.aborted:
             return _degraded_rank_result(current, upper, runner, context)
         current = collapsed
-        if state is not None:
+        if state is not None or n_workers > 1:
             # Unlike the count query there is no lower-bound stage to
             # exercise the necessary predicate's keying before pruning,
             # so sweep it now: building the neighbor index (reused by
             # prune through the context cache) attempts blocking_keys on
             # every representative and surfaces keying failures while
-            # pruning can still stand down.
+            # pruning can still stand down.  With workers the same call
+            # also pre-verifies every neighbor list across the pool.
             runner.run(
                 level.name,
                 "prune",
-                lambda: context.neighbor_index(level.necessary, current),
+                lambda: prime_neighbor_index(
+                    current, level.necessary, n_workers, context
+                ),
             )
             if runner.aborted:
                 return _degraded_rank_result(current, upper, runner, context)
@@ -390,6 +435,16 @@ def thresholded_rank_query(
         certain = False
         kept_upper = [upper[original] for original in kept]
     else:
+        if n_workers > 1:
+            runner.run(
+                "rank",
+                "neighbors",
+                lambda: prime_neighbor_index(
+                    current, executed[-1].necessary, n_workers, context
+                ),
+            )
+            if runner.aborted:
+                return _degraded_rank_result(current, upper, runner, context)
         rank_pruned = runner.run(
             "rank",
             "rank_prune",
@@ -402,6 +457,19 @@ def thresholded_rank_query(
         kept, flags = rank_pruned
         kept_upper = [upper[original] for original in kept]
         retained_for_test = current.subset(kept)
+        if n_workers > 1:
+            runner.run(
+                "rank",
+                "neighbors",
+                lambda: prime_neighbor_index(
+                    retained_for_test,
+                    executed[-1].necessary,
+                    n_workers,
+                    context,
+                ),
+            )
+            if runner.aborted:
+                return _degraded_rank_result(current, upper, runner, context)
         certain = runner.run(
             "rank",
             "rank_prune",

@@ -98,6 +98,7 @@ def topk_count_query(
     probability_temperature: float | None = None,
     context: VerificationContext | None = None,
     policy: ExecutionPolicy | None = None,
+    workers: int | None = None,
 ) -> TopKQueryResult:
     """Answer a Top-K count query over *store*, returning R ranked answers.
 
@@ -131,6 +132,10 @@ def topk_count_query(
             deadline.  Predicate/scorer faults are contained role-safely
             and on exhaustion the query returns the K heaviest groups of
             the last consistent collapsed state, flagged ``degraded``.
+        workers: Worker processes for the sharded parallel pruning
+            pipeline (:mod:`repro.core.parallel`); bit-identical results
+            at any count.  ``None`` consults ``REPRO_WORKERS`` (default
+            1 = serial).  Scoring stays in-process.
     """
     if context is None:
         context = VerificationContext()
@@ -142,6 +147,7 @@ def topk_count_query(
         prune_iterations=prune_iterations,
         context=context,
         execution_state=state,
+        workers=workers,
     )
     groups = pruning.groups
     if pruning.degraded:

@@ -79,6 +79,9 @@ class PipelineCounters:
         records_quarantined: Stream records diverted to an
             :class:`~repro.core.incremental.IncrementalTopK` dead-letter
             list instead of being inserted.
+        shards_degraded: Parallel shards whose worker process died and
+            whose work was recomputed serially in the parent (see
+            :mod:`repro.core.parallel`).
         stage_seconds: Wall-clock seconds per pipeline stage name
             (cumulative across levels).
     """
@@ -96,6 +99,7 @@ class PipelineCounters:
     predicate_timeouts_contained: int = 0
     scorer_errors_contained: int = 0
     records_quarantined: int = 0
+    shards_degraded: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
     _INT_FIELDS = (
@@ -112,6 +116,7 @@ class PipelineCounters:
         "predicate_timeouts_contained",
         "scorer_errors_contained",
         "records_quarantined",
+        "shards_degraded",
     )
 
     @property
@@ -156,6 +161,19 @@ class PipelineCounters:
             if seconds - since.stage_seconds.get(stage, 0.0) > 0.0
         }
         return diff
+
+    def merge(self, other: "PipelineCounters") -> None:
+        """Fold *other*'s counts into this instance (in place).
+
+        The parallel execution layer gives each worker shard an
+        independent counter delta and merges them back in a fixed shard
+        order, so a parallel run reports the same totals a serial run
+        would (modulo the sharing hits that only one process can see).
+        """
+        for name in self._INT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for stage, seconds in other.stage_seconds.items():
+            self.add_stage_time(stage, seconds)
 
     def as_dict(self) -> dict[str, object]:
         """Flat dict form for reports and the CLI ``--stats`` output."""

@@ -25,6 +25,7 @@ the whole segment-score table costs O(n * max_span * avg_degree).
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import math
 from dataclasses import dataclass
@@ -173,12 +174,22 @@ def candidate_thresholds(
     weights: list[float],
     max_span: int,
     max_thresholds: int = 32,
+    k: int | None = None,
 ) -> list[float]:
     """Distinct achievable segment weights usable as the DP threshold l.
 
     Includes 0 (every non-answer record is a singleton below every
-    answer group).  When the distinct count exceeds *max_thresholds* an
-    evenly-spaced subsample (always keeping the extremes) is returned.
+    answer group).  Values are kept **exact** — no rounding: the DP
+    separates the K-th answer group from the (K+1)-th by a strict
+    ``weight > l`` test, so collapsing two near-tie weights into one
+    would make the separating threshold unrepresentable and silently
+    drop answers.
+
+    When the distinct count exceeds *max_thresholds* an evenly-spaced
+    subsample (always keeping the extremes) is returned — plus, when *k*
+    is given, the values adjacent to the K-th largest single-position
+    weight and to the K-th largest achievable segment weight, so the
+    boundary the Top-K answer actually pivots on survives subsampling.
     """
     n = len(embedding.order)
     prefix = _prefix_weights(embedding, weights)
@@ -187,12 +198,26 @@ def candidate_thresholds(
     for end in range(n):
         lo = max(start_limit[end], end - max_span + 1)
         for start in range(lo, end + 1):
-            values.add(round(prefix[end + 1] - prefix[start], 9))
+            values.add(prefix[end + 1] - prefix[start])
     ordered = sorted(values)
     if len(ordered) <= max_thresholds:
         return ordered
     step = (len(ordered) - 1) / (max_thresholds - 1)
     picked = {ordered[int(round(idx * step))] for idx in range(max_thresholds)}
+    if k is not None and k >= 1:
+        pivots = []
+        if k <= len(weights):
+            pivots.append(sorted(weights, reverse=True)[k - 1])
+        if k <= len(ordered):
+            pivots.append(ordered[-k])
+        for pivot in pivots:
+            # Retain the pivot's neighborhood: the threshold that
+            # separates the K-th group from a near-tie rival is the
+            # achievable value immediately below the K-th weight.
+            position = bisect.bisect_left(ordered, pivot)
+            for index in (position - 1, position, position + 1):
+                if 0 <= index < len(ordered):
+                    picked.add(ordered[index])
     return sorted(picked)
 
 
@@ -233,7 +258,7 @@ def top_r_segmentations(
     start_limit = _segment_start_limit(embedding, n)
     if thresholds is None:
         thresholds = candidate_thresholds(
-            embedding, weights, max_span, max_thresholds
+            embedding, weights, max_span, max_thresholds, k=k
         )
 
     best: list[Segmentation] = []

@@ -8,6 +8,8 @@ One module per artifact family:
 * :mod:`~repro.experiments.ablations` — the DESIGN.md X1-X4 ablations;
 * :mod:`~repro.experiments.durability` — the X9 WAL-overhead and
   crash-recovery measurements;
+* :mod:`~repro.experiments.parallel_scaling` — the X10 parallel-speedup
+  and bit-identity sweep;
 * :mod:`~repro.experiments.harness` — shared dataset/predicate/scorer setup;
 * :mod:`~repro.experiments.report` — plain-text table rendering.
 """
@@ -37,6 +39,7 @@ from .durability import (
     run_recovery_cost,
 )
 from .fidelity import fidelity_checks, run_fidelity_sweep
+from .parallel_scaling import parallel_scaling_checks, run_parallel_speedup
 from .harness import (
     DEFAULT_SCALE,
     Pipeline,
@@ -72,6 +75,7 @@ __all__ = [
     "fidelity_checks",
     "figure7_cases",
     "format_table",
+    "parallel_scaling_checks",
     "prune_iteration_checks",
     "rank_query_checks",
     "run_accuracy_case",
@@ -84,6 +88,7 @@ __all__ = [
     "run_prune_iterations_ablation",
     "robustness_checks",
     "run_noise_sweep",
+    "run_parallel_speedup",
     "run_pruning_only_timing",
     "run_pruning_table",
     "run_recovery_cost",

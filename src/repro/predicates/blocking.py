@@ -190,8 +190,12 @@ class NeighborIndex:
             filtering shares verdicts via neighbor-set membership
             instead — cheaper than per-pair dict traffic).
         memoize: Cache full neighbor lists per
-            ``(probe.record_id, exclude_position)``.  Callers must not
-            mutate returned lists when enabled.
+            ``(probe.record_id, exclude_position)``.  Each cached entry
+            also remembers the probe record it was computed for and is
+            only served to an identical probe, so two distinct records
+            that happen to share a ``record_id`` can never receive each
+            other's neighbor list.  Callers must not mutate returned
+            lists when enabled.
     """
 
     def __init__(
@@ -206,7 +210,10 @@ class NeighborIndex:
         self._records = records
         self._counters = counters if counters is not None else _DiscardCounters()
         self._verdicts = verdicts
-        self._memo: dict[tuple[int, int], list[int]] | None = (
+        # memo_key -> (probe record, neighbor list).  The probe record is
+        # kept so a lookup can verify the cached list was computed for
+        # *this* record, not merely one with the same record_id.
+        self._memo: dict[tuple[int, int], tuple[Record, list[int]]] | None = (
             {} if memoize else None
         )
         # Position -> neighbor-position set for fully self-probed members.
@@ -245,6 +252,16 @@ class NeighborIndex:
         ):
             self._signatures = [predicate.signature(r) for r in records]
 
+    @property
+    def memoizing(self) -> bool:
+        """True when neighbor lists are memoized (``memoize=True``)."""
+        return self._memo is not None
+
+    @property
+    def key_postings(self) -> dict[Hashable, list[int]]:
+        """The key → positions posting lists (treat as read-only)."""
+        return self._index
+
     def candidate_positions(self, probe: Record) -> set[int]:
         """Return positions sharing at least one key with *probe*."""
         result: set[int] = set()
@@ -259,22 +276,50 @@ class NeighborIndex:
         memo_key = (probe.record_id, exclude_position)
         if self._memo is not None:
             cached = self._memo.get(memo_key)
-            if cached is not None:
+            # Serve the memo only for the record it was computed for:
+            # distinct records sharing a record_id (e.g. probes built
+            # outside the store) must not collide on the cached list.
+            if cached is not None and (
+                cached[0] is probe or cached[0] == probe
+            ):
                 counters.neighbor_memo_hits += 1
-                return cached
+                return cached[1]
         if self._count_mode:
             result = self._neighbors_by_count(probe, exclude_position)
         else:
             result = self._neighbors_by_pairs(probe, exclude_position)
         if self._memo is not None:
-            self._memo[memo_key] = result
-        if (
-            self._probed is not None
-            and 0 <= exclude_position < len(self._records)
-            and self._records[exclude_position].record_id == probe.record_id
+            self._memo[memo_key] = (probe, result)
+        if self._probed is not None and self._is_member_probe(
+            probe, exclude_position
         ):
             self._probed[exclude_position] = set(result)
         return result
+
+    def _is_member_probe(self, probe: Record, exclude_position: int) -> bool:
+        """True when *probe* IS the indexed record at *exclude_position*
+        (identity first, equality as the fallback for reconstructed but
+        value-identical records) — not merely a record sharing its id."""
+        if not 0 <= exclude_position < len(self._records):
+            return False
+        member = self._records[exclude_position]
+        return member is probe or member == probe
+
+    def prime(self, position: int, neighbors: list[int]) -> None:
+        """Inject a precomputed neighbor list for the indexed member at
+        *position* (``exclude_position=position`` semantics).
+
+        Used by the parallel execution layer: worker shards compute the
+        lists, the parent primes the shared index so downstream stages
+        (lower bound, prune, rank pruning) hit the memo instead of
+        re-verifying.  Requires ``memoize=True``.
+        """
+        if self._memo is None:
+            raise ValueError("prime() requires a memoizing index")
+        record = self._records[position]
+        self._memo[(record.record_id, position)] = (record, neighbors)
+        if self._probed is not None:
+            self._probed[position] = set(neighbors)
 
     def _neighbors_by_pairs(self, probe: Record, exclude_position: int) -> list[int]:
         """Pairwise verification (signature fast path when available),
@@ -351,9 +396,8 @@ class NeighborIndex:
         # their own position, so they answer exactly "is position
         # `exclude_position` my neighbor?".
         probed = self._probed
-        if probed is not None and not (
-            0 <= exclude_position < len(records)
-            and records[exclude_position].record_id == probe.record_id
+        if probed is not None and not self._is_member_probe(
+            probe, exclude_position
         ):
             probed = None
         out = []

@@ -1,6 +1,9 @@
 """Unit tests for repro.predicates.blocking."""
 
+import pytest
+
 from repro.core.records import RecordStore
+from repro.core.verification import PipelineCounters
 from repro.predicates.base import FunctionPredicate
 from repro.predicates.blocking import (
     NeighborIndex,
@@ -114,6 +117,57 @@ class TestNeighborIndex:
         probe_store = make_store(["zed zed"])
         index = NeighborIndex(shared_word_predicate(), list(store))
         assert index.candidate_positions(probe_store[0]) == set()
+
+
+class TestNeighborIndexMemo:
+    def test_distinct_probes_sharing_record_id_do_not_collide(self):
+        # Regression: the memo used to key on (record_id, exclude_position)
+        # alone, so a probe built outside the store — record_id 0, like
+        # the first indexed record, but different content — was answered
+        # with the first probe's cached list.
+        store = make_store(["ann smith", "ann jones", "bob lee"])
+        index = NeighborIndex(
+            shared_word_predicate(), list(store), memoize=True
+        )
+        assert index.neighbors(store[0], exclude_position=0) == [1]
+        impostor = make_store(["bob smith"])[0]
+        assert impostor.record_id == store[0].record_id
+        assert index.neighbors(impostor, exclude_position=0) == [2]
+        # Both lists stay memoized under their own probe.
+        assert index.neighbors(store[0], exclude_position=0) == [1]
+
+    def test_memo_still_hits_for_the_same_probe(self):
+        store = make_store(["ann smith", "ann jones"])
+        counters = PipelineCounters()
+        index = NeighborIndex(
+            shared_word_predicate(),
+            list(store),
+            memoize=True,
+            counters=counters,
+        )
+        index.neighbors(store[0], exclude_position=0)
+        index.neighbors(store[0], exclude_position=0)
+        assert counters.neighbor_memo_hits == 1
+
+    def test_prime_injects_list(self):
+        store = make_store(["ann smith", "ann jones"])
+        counters = PipelineCounters()
+        index = NeighborIndex(
+            shared_word_predicate(),
+            list(store),
+            memoize=True,
+            counters=counters,
+        )
+        index.prime(0, [1])
+        assert index.neighbors(store[0], exclude_position=0) == [1]
+        assert counters.neighbor_memo_hits == 1
+        assert counters.predicate_evaluations == 0
+
+    def test_prime_requires_memoize(self):
+        store = make_store(["ann smith"])
+        index = NeighborIndex(shared_word_predicate(), list(store))
+        with pytest.raises(ValueError, match="memoizing"):
+            index.prime(0, [])
 
 
 class TestCountFiltering:

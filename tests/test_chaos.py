@@ -250,7 +250,12 @@ class TestAcceptanceScenario:
             + levels[1:],
             plan,
         )
-        pruned_dedup(dataset.store, 5, probe_levels, policy=ExecutionPolicy())
+        # Pinned serial: the recorder mutates in-process state and the
+        # wall-clock bounds below assume no fork overhead, neither of
+        # which survives a REPRO_WORKERS fan-out.
+        pruned_dedup(
+            dataset.store, 5, probe_levels, policy=ExecutionPolicy(), workers=1
+        )
         assert recorders[0].pairs, "probe run evaluated no pairs"
         stall_pair = recorders[0].pairs[0]
 
@@ -264,7 +269,11 @@ class TestAcceptanceScenario:
         )
         started = time.perf_counter()
         result = pruned_dedup(
-            dataset.store, 5, chaos_levels(levels, plan=stall_plan), policy=policy
+            dataset.store,
+            5,
+            chaos_levels(levels, plan=stall_plan),
+            policy=policy,
+            workers=1,
         )
         elapsed = time.perf_counter() - started
 

@@ -1,0 +1,334 @@
+"""Unit tests for the sharded parallel execution layer (repro.core.parallel)."""
+
+import os
+
+import pytest
+
+from repro.core.collapse import collapse
+from repro.core.parallel import (
+    MIN_PARALLEL_GROUPS,
+    WORKERS_ENV_VAR,
+    ShardPlan,
+    fork_available,
+    group_fingerprint,
+    parallel_collapse,
+    prime_neighbor_index,
+    resolve_workers,
+)
+from repro.core.records import GroupSet
+from repro.core.resilience import ResilienceExhausted
+from repro.core.verification import PipelineCounters, VerificationContext
+from repro.predicates.base import FunctionPredicate
+from repro.predicates.blocking import build_key_index
+from tests.conftest import make_store, shared_word_predicate
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+
+
+def clustered_store(n_clusters: int = 40, size: int = 3):
+    """A store of *n_clusters* disjoint shared-word clusters."""
+    names = [
+        f"c{cluster} u{cluster}x{member}"
+        for cluster in range(n_clusters)
+        for member in range(size)
+    ]
+    return make_store(names)
+
+
+def counting_shared_word_predicate(calls: list):
+    """shared-word predicate that appends to *calls* on every evaluate."""
+
+    def evaluate(a, b):
+        calls.append((a.record_id, b.record_id))
+        return bool(set(a["name"].split()) & set(b["name"].split()))
+
+    return FunctionPredicate(
+        evaluate_fn=evaluate,
+        keys_fn=lambda r: r["name"].split(),
+        name="counting-shared-word",
+    )
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert resolve_workers(3) == 3
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        assert resolve_workers(None) == 4
+
+    def test_env_blank_is_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "  ")
+        assert resolve_workers(None) == 1
+
+    def test_env_not_an_integer(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            resolve_workers(bad)
+
+
+class TestShardPlanByComponents:
+    def test_candidate_pairs_stay_within_one_shard(self):
+        store = clustered_store(n_clusters=20, size=3)
+        predicate = shared_word_predicate()
+        plan = ShardPlan.by_components(predicate, list(store), max_shards=4)
+        position_to_shard = {
+            position: shard_index
+            for shard_index, shard in enumerate(plan.shards)
+            for position in shard
+        }
+        index = build_key_index(predicate, list(store))
+        for positions in index.values():
+            shards_hit = {
+                position_to_shard[p] for p in positions if p in position_to_shard
+            }
+            assert len(shards_hit) <= 1, positions
+
+    def test_deterministic(self):
+        store = clustered_store(n_clusters=15, size=4)
+        predicate = shared_word_predicate()
+        first = ShardPlan.by_components(predicate, list(store), max_shards=3)
+        second = ShardPlan.by_components(predicate, list(store), max_shards=3)
+        assert first == second
+
+    def test_covers_every_position_once(self):
+        store = clustered_store(n_clusters=10, size=3)
+        plan = ShardPlan.by_components(
+            shared_word_predicate(), list(store), max_shards=4
+        )
+        seen = sorted(
+            [p for shard in plan.shards for p in shard] + list(plan.isolated)
+        )
+        assert seen == list(range(len(store)))
+
+    def test_isolated_records_skip_shards(self):
+        store = make_store(["a b", "a c", "lonely", "alone"])
+        plan = ShardPlan.by_components(
+            shared_word_predicate(), list(store), max_shards=2
+        )
+        assert plan.isolated == (2, 3)
+        assert sorted(p for shard in plan.shards for p in shard) == [0, 1]
+
+    def test_balanced_loads(self):
+        # 12 equal-weight components over 4 shards must split 3/3/3/3.
+        store = clustered_store(n_clusters=12, size=2)
+        plan = ShardPlan.by_components(
+            shared_word_predicate(), list(store), max_shards=4
+        )
+        assert plan.n_shards == 4
+        assert all(pairs == plan.shard_pairs[0] for pairs in plan.shard_pairs)
+
+
+class TestShardPlanByCandidateMass:
+    def test_singleton_components_balance_a_giant_block(self):
+        # One key shared by everyone: components would collapse to a
+        # single shard, per-probe mass still splits the work.
+        postings = {"shared": list(range(16))}
+        plan = ShardPlan.by_candidate_mass(postings, 16, max_shards=4)
+        assert plan.n_shards == 4
+        assert all(len(shard) == 4 for shard in plan.shards)
+
+    def test_zero_mass_positions_are_isolated(self):
+        postings = {"a": [0, 1], "b": [3]}
+        plan = ShardPlan.by_candidate_mass(postings, 5, max_shards=2)
+        assert plan.isolated == (2, 3, 4)
+
+    def test_empty_postings(self):
+        plan = ShardPlan.by_candidate_mass({}, 3, max_shards=4)
+        assert plan.n_shards == 0
+        assert plan.isolated == (0, 1, 2)
+
+
+class TestGroupFingerprint:
+    def test_order_insensitive(self):
+        store = make_store(["a", "a", "b"])
+        gs = collapse(GroupSet.singletons(store), shared_word_predicate())
+        reversed_gs = GroupSet(store=gs.store, groups=list(gs)[::-1])
+        assert group_fingerprint(gs) == group_fingerprint(reversed_gs)
+
+    def test_weight_sensitive(self):
+        light = collapse(
+            GroupSet.singletons(make_store(["a", "b"])),
+            shared_word_predicate(),
+        )
+        heavy = collapse(
+            GroupSet.singletons(make_store(["a", "b"], weights=[2.0, 1.0])),
+            shared_word_predicate(),
+        )
+        assert group_fingerprint(light) != group_fingerprint(heavy)
+
+
+class TestCountersMerge:
+    def test_merges_int_fields_and_stage_times(self):
+        left = PipelineCounters()
+        left.predicate_evaluations = 3
+        left.add_stage_time("collapse", 1.0)
+        right = PipelineCounters()
+        right.predicate_evaluations = 4
+        right.shards_degraded = 2
+        right.add_stage_time("collapse", 0.5)
+        right.add_stage_time("prune", 2.0)
+        left.merge(right)
+        assert left.predicate_evaluations == 7
+        assert left.shards_degraded == 2
+        assert left.stage_seconds["collapse"] == pytest.approx(1.5)
+        assert left.stage_seconds["prune"] == pytest.approx(2.0)
+
+
+@needs_fork
+class TestParallelCollapse:
+    def test_bit_identical_to_serial(self):
+        store = clustered_store(n_clusters=40, size=3)
+        singletons = GroupSet.singletons(store)
+        serial = collapse(singletons, shared_word_predicate())
+        context = VerificationContext()
+        parallel = parallel_collapse(
+            singletons, shared_word_predicate(), workers=3, context=context
+        )
+        assert group_fingerprint(parallel) == group_fingerprint(serial)
+        assert context.counters.shards_degraded == 0
+
+    def test_work_happens_in_forked_children(self):
+        # Fork isolates the children's evaluate calls from the parent's
+        # closure list: an empty parent-side log proves the predicate
+        # ran in worker processes, not inline.
+        store = clustered_store(n_clusters=40, size=3)
+        calls: list = []
+        predicate = counting_shared_word_predicate(calls)
+        parallel_collapse(
+            GroupSet.singletons(store),
+            predicate,
+            workers=2,
+            context=VerificationContext(),
+        )
+        assert calls == []
+
+    def test_serial_below_group_threshold(self):
+        store = clustered_store(n_clusters=4, size=3)
+        assert len(store) < MIN_PARALLEL_GROUPS
+        calls: list = []
+        predicate = counting_shared_word_predicate(calls)
+        result = parallel_collapse(
+            GroupSet.singletons(store),
+            predicate,
+            workers=4,
+            context=VerificationContext(),
+        )
+        assert calls, "small inputs must run inline"
+        assert len(result) == 4
+
+    def test_serial_with_one_worker(self):
+        store = clustered_store(n_clusters=40, size=2)
+        calls: list = []
+        predicate = counting_shared_word_predicate(calls)
+        parallel_collapse(
+            GroupSet.singletons(store),
+            predicate,
+            workers=1,
+            context=VerificationContext(),
+        )
+        assert calls, "workers=1 must run inline"
+
+    def test_dead_worker_degrades_shard_not_query(self):
+        # The predicate kills any process that is not the parent, so
+        # every worker dies mid-shard; the parent must recompute every
+        # shard serially and still produce the exact serial answer.
+        store = clustered_store(n_clusters=40, size=3)
+        parent_pid = os.getpid()
+
+        def murderous_evaluate(a, b):
+            if os.getpid() != parent_pid:
+                os._exit(1)
+            return bool(set(a["name"].split()) & set(b["name"].split()))
+
+        predicate = FunctionPredicate(
+            evaluate_fn=murderous_evaluate,
+            keys_fn=lambda r: r["name"].split(),
+            name="worker-killer",
+        )
+        context = VerificationContext()
+        result = parallel_collapse(
+            GroupSet.singletons(store), predicate, workers=2, context=context
+        )
+        serial = collapse(GroupSet.singletons(store), shared_word_predicate())
+        assert group_fingerprint(result) == group_fingerprint(serial)
+        assert context.counters.shards_degraded >= 1
+
+    def test_worker_exhaustion_propagates(self):
+        # A policy-exhausted worker must degrade the stage exactly like
+        # the serial pipeline: ResilienceExhausted reaches the caller.
+        store = clustered_store(n_clusters=40, size=3)
+        parent_pid = os.getpid()
+
+        def exhausted_evaluate(a, b):
+            if os.getpid() != parent_pid:
+                raise ResilienceExhausted("deadline")
+            return bool(set(a["name"].split()) & set(b["name"].split()))
+
+        predicate = FunctionPredicate(
+            evaluate_fn=exhausted_evaluate,
+            keys_fn=lambda r: r["name"].split(),
+            name="exhausted-in-worker",
+        )
+        with pytest.raises(ResilienceExhausted):
+            parallel_collapse(
+                GroupSet.singletons(store),
+                predicate,
+                workers=2,
+                context=VerificationContext(),
+            )
+
+
+@needs_fork
+class TestPrimeNeighborIndex:
+    def test_primed_lists_match_direct_probes(self):
+        store = clustered_store(n_clusters=40, size=3)
+        groups = GroupSet.singletons(store)
+        predicate = shared_word_predicate()
+        context = VerificationContext()
+        index = prime_neighbor_index(groups, predicate, 3, context)
+        fresh = VerificationContext().neighbor_index(
+            shared_word_predicate(), groups
+        )
+        representatives = groups.representatives()
+        for position, record in enumerate(representatives):
+            assert index.neighbors(
+                record, exclude_position=position
+            ) == fresh.neighbors(record, exclude_position=position), position
+
+    def test_probes_answered_from_memo(self):
+        # After priming, serving every neighbor list must cost zero
+        # further predicate evaluations in the parent.
+        store = clustered_store(n_clusters=40, size=3)
+        groups = GroupSet.singletons(store)
+        calls: list = []
+        predicate = counting_shared_word_predicate(calls)
+        context = VerificationContext()
+        index = prime_neighbor_index(groups, predicate, 3, context)
+        assert calls == []
+        for position, record in enumerate(groups.representatives()):
+            index.neighbors(record, exclude_position=position)
+        assert calls == []
+
+    def test_single_worker_skips_priming(self):
+        store = clustered_store(n_clusters=40, size=3)
+        groups = GroupSet.singletons(store)
+        calls: list = []
+        predicate = counting_shared_word_predicate(calls)
+        index = prime_neighbor_index(
+            groups, predicate, 1, VerificationContext()
+        )
+        index.neighbors(groups.representatives()[0], exclude_position=0)
+        assert calls, "workers=1 must leave probing lazy and inline"

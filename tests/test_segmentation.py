@@ -74,6 +74,36 @@ class TestCandidateThresholds:
         # Max segment length is 2 on either side of the break.
         assert max(thresholds) == 2.0
 
+    def test_near_tie_weights_stay_distinct(self):
+        # Regression: thresholds used to be deduplicated via round(w, 9),
+        # merging weights closer than 1e-9; the DP's strict `weight > l`
+        # test then had no representable threshold between the K-th and
+        # (K+1)-th group and silently dropped the separation.
+        emb = LinearEmbedding(order=[0, 1], breaks={0, 1})
+        low, high = 1.0, 1.0 + 1e-10
+        thresholds = candidate_thresholds(emb, [low, high], max_span=1)
+        assert thresholds == [0.0, low, high]
+
+    def test_subsample_keeps_kth_weight_boundary(self):
+        # 61 distinct values force subsampling; with k given, the value
+        # immediately below the K-th largest weight (the separating
+        # threshold) must survive — the plain even-spaced subsample
+        # drops it.
+        emb = LinearEmbedding(
+            order=list(range(60)), breaks=set(range(60))
+        )
+        weights = [float(i + 1) for i in range(60)]
+        blind = candidate_thresholds(
+            emb, weights, max_span=1, max_thresholds=32
+        )
+        assert 55.0 not in blind
+        aware = candidate_thresholds(
+            emb, weights, max_span=1, max_thresholds=32, k=5
+        )
+        assert len(aware) <= 32 + 6
+        assert 56.0 in aware  # the K-th weight itself
+        assert 55.0 in aware  # the achievable value just below it
+
 
 class TestTopRSegmentations:
     def test_k1_finds_biggest_cluster(self):
