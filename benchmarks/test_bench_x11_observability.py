@@ -1,0 +1,27 @@
+"""X11: observability overhead on the fig6 workload (docs/observability.md).
+
+Times the citation count query under the default NullTracer, under a
+full Tracer + MetricsRegistry, and traced-plus-export, best of three
+runs each.  The tracing mode must stay within 5% of the null path and
+answers must be bit-identical in every mode; the export row is recorded
+for reference (serialization is a one-off cost at the end of a run).
+"""
+
+from repro.experiments import (
+    format_table,
+    observability_overhead_checks,
+    run_observability_overhead,
+)
+
+
+def test_x11_observability_overhead(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: run_observability_overhead(),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(rows, title="X11 — observability overhead (citations)")
+    )
+    checks = observability_overhead_checks(rows)
+    assert all(checks.values()), (checks, rows)

@@ -4,6 +4,7 @@ from .full_dedup import (
     DedupOutcome,
     canopy_collapse_pipeline,
     canopy_pipeline,
+    full_dedup_pipeline,
     none_pipeline,
 )
 
@@ -11,5 +12,6 @@ __all__ = [
     "DedupOutcome",
     "canopy_collapse_pipeline",
     "canopy_pipeline",
+    "full_dedup_pipeline",
     "none_pipeline",
 ]

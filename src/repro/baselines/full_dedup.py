@@ -18,10 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.collapse import collapse_records
+from ..core.collapse import collapse, collapse_records
 from ..core.records import Group, GroupSet, RecordStore, merge_groups
 from ..graphs.union_find import UnionFind
-from ..predicates.base import Predicate
+from ..predicates.base import Predicate, PredicateLevel
 from ..predicates.blocking import candidate_pairs
 from ..scoring.pairwise import PairwiseScorer
 
@@ -35,11 +35,16 @@ class DedupOutcome:
         n_pairs_scored: How many record pairs the final P evaluated —
             the dominant cost the paper's Figure 6 measures in time.
         n_groups: Total groups formed over the whole dataset.
+        groups: The full clustered group set (all groups, weight-sorted),
+            when the pipeline kept it — the differential oracle compares
+            group weights and memberships beyond the K-th.  None for the
+            older pipelines that only retain the Top-K.
     """
 
     topk: GroupSet
     n_pairs_scored: int
     n_groups: int
+    groups: GroupSet | None = None
 
 
 def _cluster_positive_pairs(
@@ -90,6 +95,49 @@ def canopy_pipeline(
     clustered, n_scored = _cluster_positive_pairs(group_set, pairs, scorer)
     return DedupOutcome(
         topk=_topk(clustered, k), n_pairs_scored=n_scored, n_groups=len(clustered)
+    )
+
+
+def full_dedup_pipeline(
+    store: RecordStore,
+    k: int,
+    levels: list[PredicateLevel],
+    scorer: PairwiseScorer | None = None,
+) -> DedupOutcome:
+    """Exhaustive multi-level dedup — the differential oracle's ground truth.
+
+    Runs every predicate level's sufficient closure in sequence (each
+    collapse operates on the previous level's representatives, exactly
+    like the pruned pipeline's collapse stages), then — when *scorer* is
+    given — applies the final pairwise criterion P to the last level's
+    necessary-canopy candidate pairs and merges positives transitively.
+    No bound estimation, no pruning, no K-awareness anywhere: every
+    group survives to the end, so the result is the answer the
+    K-exploiting pipeline must reproduce.
+
+    Without a *scorer* the outcome's groups are the plain multi-level
+    sufficient closure — the ground truth for rank and thresholded rank
+    queries, which never invoke P.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not levels:
+        raise ValueError("need at least one predicate level")
+    clustered = GroupSet.singletons(store)
+    for level in levels:
+        clustered = collapse(clustered, level.sufficient)
+    n_scored = 0
+    if scorer is not None:
+        representatives = clustered.representatives()
+        pairs = list(
+            candidate_pairs(levels[-1].necessary, representatives, verify=True)
+        )
+        clustered, n_scored = _cluster_positive_pairs(clustered, pairs, scorer)
+    return DedupOutcome(
+        topk=_topk(clustered, k),
+        n_pairs_scored=n_scored,
+        n_groups=len(clustered),
+        groups=clustered,
     )
 
 

@@ -33,7 +33,14 @@ from .core.rank_query import thresholded_rank_query, topk_rank_query
 from .core.records import RecordStore
 from .core.resilience import ExecutionPolicy
 from .core.topk import topk_count_query
-from .core.verification import PipelineCounters
+from .core.verification import PipelineCounters, VerificationContext
+from .observability import (
+    MetricsRegistry,
+    Tracer,
+    prometheus_text,
+    render_explain,
+    trace_to_jsonl,
+)
 from .predicates.base import PredicateLevel
 from .predicates.library import ExactFieldsPredicate, NgramOverlapPredicate
 from .scoring.pairwise import CachedScorer, WeightedScorer
@@ -178,6 +185,25 @@ def _common_arguments(parser: argparse.ArgumentParser) -> None:
         "results are bit-identical to serial execution (default: "
         "$REPRO_WORKERS or 1)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the query's span trace as JSON lines (one span per "
+        "line, full mode: wall times, counter deltas, events)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a Prometheus text-format metrics snapshot of the run",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a human-readable span tree of the query's execution "
+        "(stages, wall times, pruning decisions) to stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -289,6 +315,58 @@ def policy_from_args(args: argparse.Namespace) -> ExecutionPolicy | None:
     )
 
 
+_EXPLAIN_COUNTER_KEYS = (
+    "predicate_evaluations",
+    "signature_evaluations",
+    "cache_hits",
+    "index_builds",
+)
+
+
+def observability_from_args(
+    args: argparse.Namespace,
+) -> tuple[Tracer | None, MetricsRegistry | None]:
+    """Build the tracer/registry the export flags ask for (None = off)."""
+    want_trace = args.trace_out is not None or args.explain
+    tracer = Tracer() if want_trace else None
+    metrics = MetricsRegistry() if args.metrics_out is not None else None
+    return tracer, metrics
+
+
+def context_from_args(
+    args: argparse.Namespace,
+) -> tuple[VerificationContext | None, Tracer | None, MetricsRegistry | None]:
+    """A context armed for the requested exports, or None when all off.
+
+    A None context keeps the handlers on the query functions' default —
+    the zero-overhead NullTracer/NullMetrics path.
+    """
+    tracer, metrics = observability_from_args(args)
+    if tracer is None and metrics is None:
+        return None, None, None
+    return VerificationContext(tracer=tracer, metrics=metrics), tracer, metrics
+
+
+def export_observability(
+    args: argparse.Namespace,
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+) -> None:
+    """Write --trace-out / --metrics-out files and the --explain tree."""
+    if args.trace_out is not None and tracer is not None:
+        with open(args.trace_out, "w") as handle:
+            trace_to_jsonl(tracer, handle, mode="full")
+    if args.metrics_out is not None and metrics is not None:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(prometheus_text(metrics))
+    if args.explain and tracer is not None:
+        print(
+            render_explain(tracer, counter_keys=_EXPLAIN_COUNTER_KEYS),
+            file=sys.stderr,
+            end="",
+        )
+
+
 def _warn_degraded(reason: str) -> None:
     print(
         f"warning: DEGRADED answer — execution policy exhausted "
@@ -355,6 +433,7 @@ def run_topk(args: argparse.Namespace) -> int:
     store = load_csv(args.input, args.field, args.weight_field)
     levels = generic_levels(args.field, args.ngram_threshold)
     scorer = generic_scorer(args.field, args.score_bias)
+    context, tracer, metrics = context_from_args(args)
     result = topk_count_query(
         store,
         args.k,
@@ -362,9 +441,11 @@ def run_topk(args: argparse.Namespace) -> int:
         scorer,
         r=args.r,
         label_field=args.field,
+        context=context,
         policy=policy_from_args(args),
         workers=args.workers,
     )
+    export_observability(args, tracer, metrics)
     if result.degraded:
         _warn_degraded(result.degraded_reason)
     for rank_index, answer in enumerate(result.answers, start=1):
@@ -385,13 +466,16 @@ def run_topk(args: argparse.Namespace) -> int:
 def run_rank(args: argparse.Namespace) -> int:
     store = load_csv(args.input, args.field, args.weight_field)
     levels = generic_levels(args.field, args.ngram_threshold)
+    context, tracer, metrics = context_from_args(args)
     result = topk_rank_query(
         store,
         args.k,
         levels,
+        context=context,
         policy=policy_from_args(args),
         workers=args.workers,
     )
+    export_observability(args, tracer, metrics)
     if result.degraded:
         _warn_degraded(result.degraded_reason)
     for entry in result.ranking[: args.k]:
@@ -409,13 +493,16 @@ def run_rank(args: argparse.Namespace) -> int:
 def run_threshold(args: argparse.Namespace) -> int:
     store = load_csv(args.input, args.field, args.weight_field)
     levels = generic_levels(args.field, args.ngram_threshold)
+    context, tracer, metrics = context_from_args(args)
     result = thresholded_rank_query(
         store,
         args.min_weight,
         levels,
+        context=context,
         policy=policy_from_args(args),
         workers=args.workers,
     )
+    export_observability(args, tracer, metrics)
     if result.degraded:
         _warn_degraded(result.degraded_reason)
     status = "certain" if result.certain else "may need exact evaluation"
@@ -457,15 +544,23 @@ def _print_recovery(engine: IncrementalTopK) -> None:
 
 
 def _open_stream_engine(
-    state_dir: str, field: str, ngram_threshold: float
+    state_dir: str,
+    field: str,
+    ngram_threshold: float,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> IncrementalTopK:
     """Restore an engine from *state_dir*, or start a fresh durable one."""
     levels = generic_levels(field, ngram_threshold)
     if has_state(state_dir):
-        engine = IncrementalTopK.restore(state_dir, levels)
+        engine = IncrementalTopK.restore(
+            state_dir, levels, tracer=tracer, metrics=metrics
+        )
         _print_recovery(engine)
         return engine
-    return IncrementalTopK(levels, durability=state_dir)
+    return IncrementalTopK(
+        levels, durability=state_dir, tracer=tracer, metrics=metrics
+    )
 
 
 def run_stream(args: argparse.Namespace) -> int:
@@ -473,13 +568,20 @@ def run_stream(args: argparse.Namespace) -> int:
         raise ValueError("--checkpoint-every must be >= 0")
     if args.checkpoint_every and args.state_dir is None:
         raise ValueError("--checkpoint-every requires --state-dir")
+    tracer, metrics = observability_from_args(args)
     if args.state_dir is not None:
         engine = _open_stream_engine(
-            args.state_dir, args.field, args.ngram_threshold
+            args.state_dir,
+            args.field,
+            args.ngram_threshold,
+            tracer=tracer,
+            metrics=metrics,
         )
     else:
         engine = IncrementalTopK(
-            generic_levels(args.field, args.ngram_threshold)
+            generic_levels(args.field, args.ngram_threshold),
+            tracer=tracer,
+            metrics=metrics,
         )
     try:
         store = load_csv(args.input, args.field, args.weight_field)
@@ -507,6 +609,7 @@ def run_stream(args: argparse.Namespace) -> int:
             print_stats(result.counters)
     finally:
         engine.close()
+    export_observability(args, tracer, metrics)
     return 0
 
 

@@ -125,6 +125,11 @@ class IncrementalTopK:
             journal inserts into.  Must not already hold stream state —
             resume an existing directory with :meth:`restore` instead.
             None (the default) keeps the engine purely in-memory.
+        tracer: Span sink (:class:`repro.observability.Tracer`) for
+            query traces; the zero-overhead default otherwise.
+        metrics: Metric sink (:class:`repro.observability.MetricsRegistry`)
+            fed by queries, quarantines, and — when durability is
+            configured — WAL appends and fsync latencies.
     """
 
     def __init__(
@@ -135,6 +140,8 @@ class IncrementalTopK:
         quarantine: bool = True,
         dead_letter_limit: int = 1000,
         durability: DurabilityPolicy | str | Path | None = None,
+        tracer=None,
+        metrics=None,
     ):
         if not levels:
             raise ValueError("need at least one predicate level")
@@ -158,7 +165,9 @@ class IncrementalTopK:
         self._dead_letter_limit = dead_letter_limit
         self._dead_letters_dropped = 0
         self._verification = VerificationContext(
-            verdict_cache_limit=verdict_cache_limit
+            verdict_cache_limit=verdict_cache_limit,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.last_recovery: RecoveryInfo | None = None
         policy = as_policy(durability)
@@ -166,6 +175,7 @@ class IncrementalTopK:
             self._durable: DurableStateStore | None = None
         else:
             self._durable = DurableStateStore(policy)
+            self._durable.set_metrics(self._verification.metrics)
             self._durable.open_fresh()
 
     @property
@@ -283,6 +293,9 @@ class IncrementalTopK:
             self._dead_letters.popleft()
             self._dead_letters_dropped += 1
         self._verification.counters.records_quarantined += 1
+        metrics = self._verification.metrics
+        if metrics.enabled:
+            metrics.counter("repro_records_quarantined_total", stage=stage).inc()
 
     def add_store(self, store: RecordStore) -> None:
         """Bulk-insert every record of *store* (ids are reassigned)."""
@@ -334,21 +347,31 @@ class IncrementalTopK:
 
         d = len(self._records)
         context = self._verification
-        before_run = context.counters.snapshot()
-        with context.stage("collapse"):
-            groups = self.collapsed_groups()
-        result = run_level_pipeline(
-            groups,
-            k,
-            self._levels,
-            context=context,
-            prune_iterations=prune_iterations,
-            policy=policy,
-            skip_first_collapse=True,
-            n_starting_records=d,
-            before_run=before_run,
-            workers=n_workers,
-        )
+        with context.span("query", kind="stream", k=k):
+            before_run = context.counters.snapshot()
+            with context.span("collapse"):
+                with context.stage("collapse"):
+                    groups = self.collapsed_groups()
+            result = run_level_pipeline(
+                groups,
+                k,
+                self._levels,
+                context=context,
+                prune_iterations=prune_iterations,
+                policy=policy,
+                skip_first_collapse=True,
+                n_starting_records=d,
+                before_run=before_run,
+                workers=n_workers,
+            )
+        metrics = context.metrics
+        if metrics.enabled:
+            metrics.counter("repro_queries_total", kind="stream").inc()
+            if result.degraded:
+                metrics.counter(
+                    "repro_degraded_queries_total", reason=result.degraded_reason
+                ).inc()
+            context.publish_pipeline_metrics(result.counters)
         self._query_cache[cache_key] = (self._version, result)
         return result
 
@@ -415,6 +438,8 @@ class IncrementalTopK:
         verdict_cache_limit: int = 2_000_000,
         quarantine: bool = True,
         dead_letter_limit: int = 1000,
+        tracer=None,
+        metrics=None,
     ) -> "IncrementalTopK":
         """Rebuild an engine from a state directory after a crash.
 
@@ -445,6 +470,8 @@ class IncrementalTopK:
             quarantine=quarantine,
             dead_letter_limit=dead_letter_limit,
             durability=None,
+            tracer=tracer,
+            metrics=metrics,
         )
         loaded = store.load_latest_checkpoint()
         checkpoint_path: Path | None = None
@@ -483,6 +510,7 @@ class IncrementalTopK:
                 "recovered state failed audit: " + "; ".join(problems)
             )
         store.resume_appends(log, engine._entries_applied)
+        store.set_metrics(engine._verification.metrics)
         engine._durable = store
         engine.last_recovery = RecoveryInfo(
             checkpoint_path=checkpoint_path,

@@ -49,6 +49,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import time
 from collections import defaultdict
 from collections.abc import Hashable, Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -56,6 +57,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..graphs.union_find import UnionFind
+from ..observability import RATIO_BUCKETS
 from ..predicates.base import Predicate
 from ..predicates.blocking import NeighborIndex, build_key_index, closure
 from .collapse import collapse
@@ -284,7 +286,9 @@ def _shard_entry(task: tuple[str, int]):
     """Child-process entry point: run one shard, returning its data plus
     the counter and keying-failure deltas it produced (fork gives each
     child an independent copy of the shared counters, so deltas are the
-    only way work travels back to the parent)."""
+    only way work travels back to the parent) and the worker-side
+    elapsed wall time (observability only — the parent folds it into a
+    transient shard span, never into stage timings)."""
     kind, shard_index = task
     payload = _PAYLOAD
     assert payload is not None, "worker forked before the payload was set"
@@ -294,6 +298,7 @@ def _shard_entry(task: tuple[str, int]):
     positions = payload["plan"].shards[shard_index]
     before = counters.snapshot()
     keying_before = _keying_failures(predicate)
+    started = time.perf_counter()
     try:
         if kind == "collapse":
             data = _collapse_positions(predicate, records, positions)
@@ -304,8 +309,12 @@ def _shard_entry(task: tuple[str, int]):
         # exactly what the serial pipeline would do — so it is reported
         # as data, not as a worker failure.
         return ("exhausted", exc.reason)
+    elapsed = time.perf_counter() - started
     delta = counters.delta(before)
-    return ("ok", (data, delta, _keying_failures(predicate) - keying_before))
+    return (
+        "ok",
+        (data, delta, _keying_failures(predicate) - keying_before, elapsed),
+    )
 
 
 def _run_shards(payload: dict, plan: ShardPlan, workers: int) -> list:
@@ -349,6 +358,7 @@ def _fold_shard_results(
     predicate: Predicate,
     context: VerificationContext,
     fallback: Callable[[int], object],
+    plan: ShardPlan | None = None,
 ) -> list:
     """Merge worker results deterministically, in fixed shard order.
 
@@ -357,6 +367,13 @@ def _fold_shard_results(
     (serial semantics).  Only after that are dead-worker shards
     recomputed serially in the parent via *fallback* — each counted as
     one degraded shard.
+
+    Observability rides the same fixed-order fold: each shard becomes a
+    transient child span of the current stage span (its counter delta
+    attached, the worker-side elapsed time as an attribute — never as
+    span wall time, since shards overlap in real time), dead workers
+    emit a ``shard_degraded`` event, and shard imbalance is observed
+    into the metrics registry when *plan* is given.
     """
     folded: list = [None] * len(results)
     failed: list[int] = []
@@ -369,16 +386,43 @@ def _fold_shard_results(
         if status == "exhausted":
             exhausted = value
             continue
-        data, delta, keying_delta = value
+        data, delta, keying_delta, elapsed = value
         context.counters.merge(delta)
         if keying_delta and isinstance(predicate, GuardedPredicate):
             predicate.keying_failures += keying_delta
+        context.record_span(
+            "shard",
+            counters_delta=delta,
+            transient=True,
+            shard=shard_index,
+            worker_wall_seconds=elapsed,
+        )
         folded[shard_index] = data
     if exhausted is not None:
         raise ResilienceExhausted(exhausted)
+    metrics = context.metrics
     for shard_index in failed:
         context.counters.shards_degraded += 1
+        context.event("shard_degraded", shard=shard_index)
+        if metrics.enabled:
+            metrics.counter("repro_shards_degraded_total").inc()
+        before = context.counters.snapshot()
         folded[shard_index] = fallback(shard_index)
+        context.record_span(
+            "shard",
+            counters_delta=context.counters.delta(before),
+            transient=True,
+            shard=shard_index,
+            recovered_serially=True,
+        )
+    if metrics.enabled:
+        metrics.counter("repro_shards_total").inc(len(results))
+        if plan is not None and plan.shard_pairs:
+            mean = sum(plan.shard_pairs) / len(plan.shard_pairs)
+            if mean > 0:
+                metrics.histogram(
+                    "repro_shard_imbalance_ratio", buckets=RATIO_BUCKETS
+                ).observe(max(plan.shard_pairs) / mean)
     return folded
 
 
@@ -434,6 +478,7 @@ def parallel_collapse(
         fallback=lambda shard_index: _collapse_positions(
             sufficient, representatives, plan.shards[shard_index]
         ),
+        plan=plan,
     )
 
     uf = UnionFind(len(representatives))
@@ -502,6 +547,7 @@ def prime_neighbor_index(
         fallback=lambda shard_index: _neighbor_lists(
             index, representatives, plan.shards[shard_index]
         ),
+        plan=plan,
     )
     for positions, lists in zip(plan.shards, shard_lists):
         for position, neighbor_list in zip(positions, lists):

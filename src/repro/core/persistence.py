@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -319,6 +320,28 @@ class DurableStateStore:
         self._segment_path: Path | None = None
         self._segment_size = 0
         self._next_index = 0
+        self._metrics = None
+
+    def set_metrics(self, metrics) -> None:
+        """Feed WAL instrumentation (append counts/bytes, fsync latency)
+        into a :class:`repro.observability.MetricsRegistry`.
+
+        Duck-typed and optional so the persistence layer works without
+        observability; pass None to detach.
+        """
+        if metrics is not None and not getattr(metrics, "enabled", False):
+            metrics = None
+        self._metrics = metrics
+        if metrics is not None:
+            metrics.describe(
+                "repro_wal_fsync_seconds", "WAL per-append fsync latency"
+            )
+            metrics.describe(
+                "repro_wal_appends_total", "WAL entries appended"
+            )
+            metrics.describe(
+                "repro_wal_bytes_total", "WAL bytes written (framed)"
+            )
 
     # -- lifecycle ----------------------------------------------------
 
@@ -359,8 +382,19 @@ class DurableStateStore:
         blob = _frame(payload)
         self._segment_handle.write(blob)
         self._segment_handle.flush()
+        metrics = self._metrics
         if self.policy.fsync:
-            os.fsync(self._segment_handle.fileno())
+            if metrics is not None:
+                started = time.perf_counter()
+                os.fsync(self._segment_handle.fileno())
+                metrics.histogram("repro_wal_fsync_seconds").observe(
+                    time.perf_counter() - started
+                )
+            else:
+                os.fsync(self._segment_handle.fileno())
+        if metrics is not None:
+            metrics.counter("repro_wal_appends_total").inc()
+            metrics.counter("repro_wal_bytes_total").inc(len(blob))
         self._segment_size += len(blob)
         self._next_index += 1
 

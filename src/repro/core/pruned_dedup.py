@@ -187,105 +187,125 @@ def run_level_pipeline(
     )
     current = groups
 
-    def finalize(degraded: bool) -> PrunedDedupResult:
-        result.groups = current
-        result.degraded = degraded
-        result.degraded_reason = runner.reason if degraded else ""
-        result.stage_records = runner.records
-        result.counters = context.counters.delta(before_run)
-        return result
+    with context.span(
+        "pruned_dedup", k=k, n_levels=len(executed)
+    ) as dedup_span:
 
-    for index, level in enumerate(executed):
-        before_level = context.counters.snapshot()
-        if not (skip_first_collapse and index == 0):
-            collapsed = runner.run(
-                level.name,
-                "collapse",
-                lambda: parallel_collapse(
-                    current, level.sufficient, workers, context
-                ),
+        def finalize(degraded: bool) -> PrunedDedupResult:
+            result.groups = current
+            result.degraded = degraded
+            result.degraded_reason = runner.reason if degraded else ""
+            result.stage_records = runner.records
+            result.counters = context.counters.delta(before_run)
+            dedup_span.set_attributes(
+                n_groups=len(current),
+                terminated_early=result.terminated_early,
+                degraded=degraded,
             )
-            if runner.aborted:
-                return finalize(degraded=True)
-            current = collapsed
-        n_after_collapse = len(current)
+            return result
 
-        if workers > 1:
-            # Pre-verify every representative's N-neighbor list across
-            # the worker pool; the lower-bound and prune stages below
-            # are then answered from the primed index memo.
-            runner.run(
-                level.name,
-                "neighbors",
-                lambda: prime_neighbor_index(
-                    current, level.necessary, workers, context
-                ),
-            )
-            if runner.aborted:
-                return finalize(degraded=True)
+        for index, level in enumerate(executed):
+            before_level = context.counters.snapshot()
+            with context.span("level", level=level.name) as level_span:
+                if not (skip_first_collapse and index == 0):
+                    collapsed = runner.run(
+                        level.name,
+                        "collapse",
+                        lambda: parallel_collapse(
+                            current, level.sufficient, workers, context
+                        ),
+                    )
+                    if runner.aborted:
+                        return finalize(degraded=True)
+                    current = collapsed
+                n_after_collapse = len(current)
+                level_span.set_attribute("n_after_collapse", n_after_collapse)
 
-        estimate: LowerBoundEstimate | None = runner.run(
-            level.name,
-            "lower_bound",
-            lambda: estimate_lower_bound(
-                current,
-                level.necessary,
-                k,
-                refine=refine_bound,
-                context=context,
-            ),
-        )
-        if runner.aborted:
-            return finalize(degraded=True)
+                if workers > 1:
+                    # Pre-verify every representative's N-neighbor list
+                    # across the worker pool; the lower-bound and prune
+                    # stages below are then answered from the primed
+                    # index memo.  The stage (and its shard spans) is
+                    # transient: it exists only in parallel runs.
+                    runner.run(
+                        level.name,
+                        "neighbors",
+                        lambda: prime_neighbor_index(
+                            current, level.necessary, workers, context
+                        ),
+                        transient=True,
+                    )
+                    if runner.aborted:
+                        return finalize(degraded=True)
 
-        bound = estimate.bound
-        certified = estimate.certified
-        if necessary_compromised(level):
-            # Containment dropped blocking keys of the necessary
-            # predicate at this level: its neighbor graph may be missing
-            # edges, so both the bound and the upper bounds built on it
-            # could over-prune.  Stand pruning down (role-safe).
-            bound = 0.0
-            certified = False
+                estimate: LowerBoundEstimate | None = runner.run(
+                    level.name,
+                    "lower_bound",
+                    lambda: estimate_lower_bound(
+                        current,
+                        level.necessary,
+                        k,
+                        refine=refine_bound,
+                        context=context,
+                    ),
+                )
+                if runner.aborted:
+                    return finalize(degraded=True)
 
-        pruned = runner.run(
-            level.name,
-            "prune",
-            lambda: prune(
-                current,
-                level.necessary,
-                bound,
-                iterations=prune_iterations,
-                context=context,
-            ),
-        )
-        if runner.aborted:
-            return finalize(degraded=True)
-        current = pruned.retained
+                bound = estimate.bound
+                certified = estimate.certified
+                if necessary_compromised(level):
+                    # Containment dropped blocking keys of the necessary
+                    # predicate at this level: its neighbor graph may be
+                    # missing edges, so both the bound and the upper
+                    # bounds built on it could over-prune.  Stand
+                    # pruning down (role-safe).
+                    bound = 0.0
+                    certified = False
+                level_span.set_attributes(
+                    m=estimate.m, bound=bound, certified=certified
+                )
 
-        result.stats.append(
-            LevelStats(
-                level_name=level.name,
-                n_groups_after_collapse=n_after_collapse,
-                n_pct=100.0 * n_after_collapse / d if d else 0.0,
-                m=estimate.m,
-                bound=bound,
-                n_groups_after_prune=len(current),
-                n_prime_pct=100.0 * len(current) / d if d else 0.0,
-                certified=certified,
-                counters=context.counters.delta(before_level),
-            )
-        )
-        # Pruning can only shrink the group count from here on (collapse
-        # merges, prune drops), so at <= k groups later levels are
-        # pointless: at k they are the certified answer, below k the
-        # remaining groups are all that can ever be returned.
-        if len(current) <= k:
-            result.terminated_early = True
-            result.terminated_below_k = len(current) < k
-            return finalize(degraded=False)
+                pruned = runner.run(
+                    level.name,
+                    "prune",
+                    lambda: prune(
+                        current,
+                        level.necessary,
+                        bound,
+                        iterations=prune_iterations,
+                        context=context,
+                    ),
+                )
+                if runner.aborted:
+                    return finalize(degraded=True)
+                current = pruned.retained
+                level_span.set_attribute("n_after_prune", len(current))
 
-    return finalize(degraded=False)
+                result.stats.append(
+                    LevelStats(
+                        level_name=level.name,
+                        n_groups_after_collapse=n_after_collapse,
+                        n_pct=100.0 * n_after_collapse / d if d else 0.0,
+                        m=estimate.m,
+                        bound=bound,
+                        n_groups_after_prune=len(current),
+                        n_prime_pct=100.0 * len(current) / d if d else 0.0,
+                        certified=certified,
+                        counters=context.counters.delta(before_level),
+                    )
+                )
+                # Pruning can only shrink the group count from here on
+                # (collapse merges, prune drops), so at <= k groups
+                # later levels are pointless: at k they are the
+                # certified answer, below k the remaining groups are all
+                # that can ever be returned.
+                if len(current) <= k:
+                    result.terminated_early = True
+                    result.terminated_below_k = len(current) < k
+                    return finalize(degraded=False)
+
+        return finalize(degraded=False)
 
 
 def pruned_dedup(

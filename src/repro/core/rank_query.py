@@ -226,6 +226,31 @@ def topk_rank_query(
 
     if context is None:
         context = VerificationContext()
+    metrics = context.metrics
+    before = context.counters.snapshot() if metrics.enabled else None
+    with context.span("query", kind="rank", k=k):
+        result = _topk_rank_query(
+            store, k, levels, prune_iterations, context, policy, workers
+        )
+    if metrics.enabled:
+        metrics.counter("repro_queries_total", kind="rank").inc()
+        if result.degraded:
+            metrics.counter(
+                "repro_degraded_queries_total", reason=result.degraded_reason
+            ).inc()
+        context.publish_pipeline_metrics(context.counters.delta(before))
+    return result
+
+
+def _topk_rank_query(
+    store: RecordStore,
+    k: int,
+    levels: list[PredicateLevel],
+    prune_iterations: int,
+    context: VerificationContext,
+    policy: ExecutionPolicy | None,
+    workers: int | None,
+) -> RankQueryResult:
     n_workers = resolve_workers(workers)
     state = policy.start(context.counters) if policy is not None else None
     executed = guard_levels(levels, state) if state is not None else levels
@@ -236,57 +261,62 @@ def topk_rank_query(
     upper: list[float] = []
     compromised = False
     for level in executed:
-        collapsed = runner.run(
-            level.name,
-            "collapse",
-            lambda: parallel_collapse(
-                current, level.sufficient, n_workers, context
-            ),
-        )
-        if runner.aborted:
-            return _degraded_rank_result(current, upper, runner, context)
-        current = collapsed
-        if n_workers > 1:
-            runner.run(
+        with context.span("level", level=level.name) as level_span:
+            collapsed = runner.run(
                 level.name,
-                "neighbors",
-                lambda: prime_neighbor_index(
-                    current, level.necessary, n_workers, context
+                "collapse",
+                lambda: parallel_collapse(
+                    current, level.sufficient, n_workers, context
                 ),
             )
             if runner.aborted:
                 return _degraded_rank_result(current, upper, runner, context)
-        estimate = runner.run(
-            level.name,
-            "lower_bound",
-            lambda: estimate_lower_bound(
-                current, level.necessary, k, context=context
-            ),
-        )
-        if runner.aborted:
-            return _degraded_rank_result(current, upper, runner, context)
-        bound = estimate.bound
-        if necessary_compromised(level):
-            # Missing N-edges: neither the bound nor neighbor-derived
-            # upper bounds are safe to prune with at this level.
-            bound = 0.0
-            compromised = True
-        result = runner.run(
-            level.name,
-            "prune",
-            lambda: prune(
-                current,
-                level.necessary,
-                bound,
-                iterations=prune_iterations,
-                compute_all_bounds=True,
-                context=context,
-            ),
-        )
-        if runner.aborted:
-            return _degraded_rank_result(current, upper, runner, context)
-        current = result.retained
-        upper = [result.upper_bounds[i] for i in result.kept_group_ids]
+            current = collapsed
+            level_span.set_attribute("n_after_collapse", len(current))
+            if n_workers > 1:
+                runner.run(
+                    level.name,
+                    "neighbors",
+                    lambda: prime_neighbor_index(
+                        current, level.necessary, n_workers, context
+                    ),
+                    transient=True,
+                )
+                if runner.aborted:
+                    return _degraded_rank_result(current, upper, runner, context)
+            estimate = runner.run(
+                level.name,
+                "lower_bound",
+                lambda: estimate_lower_bound(
+                    current, level.necessary, k, context=context
+                ),
+            )
+            if runner.aborted:
+                return _degraded_rank_result(current, upper, runner, context)
+            bound = estimate.bound
+            if necessary_compromised(level):
+                # Missing N-edges: neither the bound nor neighbor-derived
+                # upper bounds are safe to prune with at this level.
+                bound = 0.0
+                compromised = True
+            level_span.set_attributes(m=estimate.m, bound=bound)
+            result = runner.run(
+                level.name,
+                "prune",
+                lambda: prune(
+                    current,
+                    level.necessary,
+                    bound,
+                    iterations=prune_iterations,
+                    compute_all_bounds=True,
+                    context=context,
+                ),
+            )
+            if runner.aborted:
+                return _degraded_rank_result(current, upper, runner, context)
+            current = result.retained
+            upper = [result.upper_bounds[i] for i in result.kept_group_ids]
+            level_span.set_attribute("n_after_prune", len(current))
 
     if compromised:
         # The final level's N-graph may be missing edges, so Section
@@ -304,6 +334,7 @@ def topk_rank_query(
                 lambda: prime_neighbor_index(
                     current, executed[-1].necessary, n_workers, context
                 ),
+                transient=True,
             )
             if runner.aborted:
                 return _degraded_rank_result(current, upper, runner, context)
@@ -370,6 +401,31 @@ def thresholded_rank_query(
 
     if context is None:
         context = VerificationContext()
+    metrics = context.metrics
+    before = context.counters.snapshot() if metrics.enabled else None
+    with context.span("query", kind="threshold", threshold=threshold):
+        result = _thresholded_rank_query(
+            store, threshold, levels, prune_iterations, context, policy, workers
+        )
+    if metrics.enabled:
+        metrics.counter("repro_queries_total", kind="threshold").inc()
+        if result.degraded:
+            metrics.counter(
+                "repro_degraded_queries_total", reason=result.degraded_reason
+            ).inc()
+        context.publish_pipeline_metrics(context.counters.delta(before))
+    return result
+
+
+def _thresholded_rank_query(
+    store: RecordStore,
+    threshold: float,
+    levels: list[PredicateLevel],
+    prune_iterations: int,
+    context: VerificationContext,
+    policy: ExecutionPolicy | None,
+    workers: int | None,
+) -> RankQueryResult:
     n_workers = resolve_workers(workers)
     state = policy.start(context.counters) if policy is not None else None
     executed = guard_levels(levels, state) if state is not None else levels
@@ -379,55 +435,62 @@ def thresholded_rank_query(
     upper: list[float] = []
     compromised = False
     for level in executed:
-        collapsed = runner.run(
-            level.name,
-            "collapse",
-            lambda: parallel_collapse(
-                current, level.sufficient, n_workers, context
-            ),
-        )
-        if runner.aborted:
-            return _degraded_rank_result(current, upper, runner, context)
-        current = collapsed
-        if state is not None or n_workers > 1:
-            # Unlike the count query there is no lower-bound stage to
-            # exercise the necessary predicate's keying before pruning,
-            # so sweep it now: building the neighbor index (reused by
-            # prune through the context cache) attempts blocking_keys on
-            # every representative and surfaces keying failures while
-            # pruning can still stand down.  With workers the same call
-            # also pre-verifies every neighbor list across the pool.
-            runner.run(
+        with context.span("level", level=level.name) as level_span:
+            collapsed = runner.run(
                 level.name,
-                "prune",
-                lambda: prime_neighbor_index(
-                    current, level.necessary, n_workers, context
+                "collapse",
+                lambda: parallel_collapse(
+                    current, level.sufficient, n_workers, context
                 ),
             )
             if runner.aborted:
                 return _degraded_rank_result(current, upper, runner, context)
-        bound = threshold
-        if necessary_compromised(level):
-            # Missing N-edges make the upper bounds unsafe: retain
-            # everything at this level rather than risk over-pruning.
-            bound = 0.0
-            compromised = True
-        result = runner.run(
-            level.name,
-            "prune",
-            lambda: prune(
-                current,
-                level.necessary,
-                bound,
-                iterations=prune_iterations,
-                compute_all_bounds=True,
-                context=context,
-            ),
-        )
-        if runner.aborted:
-            return _degraded_rank_result(current, upper, runner, context)
-        current = result.retained
-        upper = [result.upper_bounds[i] for i in result.kept_group_ids]
+            current = collapsed
+            level_span.set_attribute("n_after_collapse", len(current))
+            if state is not None or n_workers > 1:
+                # Unlike the count query there is no lower-bound stage to
+                # exercise the necessary predicate's keying before pruning,
+                # so sweep it now: building the neighbor index (reused by
+                # prune through the context cache) attempts blocking_keys on
+                # every representative and surfaces keying failures while
+                # pruning can still stand down.  With workers the same call
+                # also pre-verifies every neighbor list across the pool.
+                # (Transient span: the sweep only exists under a policy
+                # or parallel workers.)
+                runner.run(
+                    level.name,
+                    "prune",
+                    lambda: prime_neighbor_index(
+                        current, level.necessary, n_workers, context
+                    ),
+                    transient=True,
+                )
+                if runner.aborted:
+                    return _degraded_rank_result(current, upper, runner, context)
+            bound = threshold
+            if necessary_compromised(level):
+                # Missing N-edges make the upper bounds unsafe: retain
+                # everything at this level rather than risk over-pruning.
+                bound = 0.0
+                compromised = True
+            level_span.set_attribute("bound", bound)
+            result = runner.run(
+                level.name,
+                "prune",
+                lambda: prune(
+                    current,
+                    level.necessary,
+                    bound,
+                    iterations=prune_iterations,
+                    compute_all_bounds=True,
+                    context=context,
+                ),
+            )
+            if runner.aborted:
+                return _degraded_rank_result(current, upper, runner, context)
+            current = result.retained
+            upper = [result.upper_bounds[i] for i in result.kept_group_ids]
+            level_span.set_attribute("n_after_prune", len(current))
 
     if compromised:
         kept = list(range(len(current)))
@@ -442,6 +505,7 @@ def thresholded_rank_query(
                 lambda: prime_neighbor_index(
                     current, executed[-1].necessary, n_workers, context
                 ),
+                transient=True,
             )
             if runner.aborted:
                 return _degraded_rank_result(current, upper, runner, context)
@@ -467,6 +531,7 @@ def thresholded_rank_query(
                     n_workers,
                     context,
                 ),
+                transient=True,
             )
             if runner.aborted:
                 return _degraded_rank_result(current, upper, runner, context)

@@ -309,27 +309,50 @@ class StageRunner:
         self.aborted = False
         self.reason = ""
 
-    def run(self, level_name: str, stage: str, fn: Callable[[], T]) -> T | None:
+    def run(
+        self,
+        level_name: str,
+        stage: str,
+        fn: Callable[[], T],
+        transient: bool = False,
+    ) -> T | None:
         """Run *fn* as stage *stage* of level *level_name*.
 
         Returns *fn*'s value, or None when the policy aborted the stage
         (check :attr:`aborted` — a stage may also legitimately return
         None).
+
+        *transient* marks the stage's tracer span as existing only under
+        some execution configurations (e.g. the parallel layer's
+        neighbor-priming sweeps), excluding it from the deterministic
+        trace export; counters and :class:`StageRecord` bookkeeping are
+        unaffected.
         """
+        context = self._context
         state = self.state
         if state is not None:
             state.begin_stage()
         try:
-            with self._context.stage(stage):
-                if state is not None:
-                    state.check()
-                value = fn()
+            with context.span(stage, transient=transient, level=level_name):
+                with context.stage(stage):
+                    if state is not None:
+                        state.check()
+                    value = fn()
         except ResilienceExhausted as exc:
             self.aborted = True
             self.reason = exc.reason
             self.records.append(StageRecord(level_name, stage, False, exc.reason))
+            context.event(
+                "degraded", level=level_name, stage=stage, reason=exc.reason
+            )
+            metrics = context.metrics
+            if metrics.enabled:
+                metrics.counter("repro_stages_aborted_total", reason=exc.reason).inc()
             return None
         self.records.append(StageRecord(level_name, stage, True))
+        metrics = context.metrics
+        if metrics.enabled:
+            metrics.counter("repro_stages_completed_total", stage=stage).inc()
         return value
 
 

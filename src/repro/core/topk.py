@@ -139,6 +139,53 @@ def topk_count_query(
     """
     if context is None:
         context = VerificationContext()
+    metrics = context.metrics
+    before = context.counters.snapshot() if metrics.enabled else None
+    with context.span("query", kind="topk", k=k, r=r):
+        result = _topk_count_query(
+            store,
+            k,
+            levels,
+            scorer,
+            r=r,
+            label_field=label_field,
+            prune_iterations=prune_iterations,
+            max_span=max_span,
+            aggregate_scores=aggregate_scores,
+            alpha=alpha,
+            rank_answers_by=rank_answers_by,
+            probability_temperature=probability_temperature,
+            context=context,
+            policy=policy,
+            workers=workers,
+        )
+    if metrics.enabled:
+        metrics.counter("repro_queries_total", kind="topk").inc()
+        if result.degraded:
+            metrics.counter(
+                "repro_degraded_queries_total", reason=result.degraded_reason
+            ).inc()
+        context.publish_pipeline_metrics(context.counters.delta(before))
+    return result
+
+
+def _topk_count_query(
+    store: RecordStore,
+    k: int,
+    levels: list[PredicateLevel],
+    scorer: PairwiseScorer,
+    r: int,
+    label_field: str,
+    prune_iterations: int,
+    max_span: int | None,
+    aggregate_scores: bool,
+    alpha: float,
+    rank_answers_by: str,
+    probability_temperature: float | None,
+    context: VerificationContext,
+    policy: ExecutionPolicy | None,
+    workers: int | None,
+) -> TopKQueryResult:
     state = policy.start(context.counters) if policy is not None else None
     pruning = pruned_dedup(
         store,
@@ -166,40 +213,42 @@ def topk_count_query(
         state.begin_stage()
         scorer = GuardedScorer(scorer, state)
     try:
-        if state is not None:
-            state.check()
-        scores = group_score_matrix(
-            groups, scorer, levels[-1].necessary, aggregate=aggregate_scores
-        )
-        if state is not None:
-            state.check()
-        embedding = greedy_embedding(scores, alpha=alpha)
-        if max_span is None:
-            max_span = auto_max_span(scores)
-        if state is not None:
-            state.check()
-        if r == 1:
-            raw_answers = _single_best_answer(
-                scores, embedding, groups, k, max_span
+        with context.span("score", n_groups=len(groups)):
+            if state is not None:
+                state.check()
+            scores = group_score_matrix(
+                groups, scorer, levels[-1].necessary, aggregate=aggregate_scores
             )
-        else:
-            raw_answers = top_k_answers(
-                scores,
-                embedding,
-                weights=groups.weights(),
-                k=k,
-                r=r,
-                max_span=max_span,
-                rank_by=rank_answers_by,
-            )
-            if not raw_answers:
-                # Degenerate threshold structure (e.g. the K-th and
-                # (K+1)-th groups tie in every segmentation): fall back
-                # to the best unconstrained segmentation's K largest
-                # groups.
-                raw_answers = _single_best_answer(
-                    scores, embedding, groups, k, max_span
-                )
+            if state is not None:
+                state.check()
+            embedding = greedy_embedding(scores, alpha=alpha)
+            if max_span is None:
+                max_span = auto_max_span(scores)
+            if state is not None:
+                state.check()
+            with context.span("segment_dp", r=r):
+                if r == 1:
+                    raw_answers = _single_best_answer(
+                        scores, embedding, groups, k, max_span
+                    )
+                else:
+                    raw_answers = top_k_answers(
+                        scores,
+                        embedding,
+                        weights=groups.weights(),
+                        k=k,
+                        r=r,
+                        max_span=max_span,
+                        rank_by=rank_answers_by,
+                    )
+                    if not raw_answers:
+                        # Degenerate threshold structure (e.g. the K-th
+                        # and (K+1)-th groups tie in every
+                        # segmentation): fall back to the best
+                        # unconstrained segmentation's K largest groups.
+                        raw_answers = _single_best_answer(
+                            scores, embedding, groups, k, max_span
+                        )
     except ResilienceExhausted as exc:
         pruning.stage_records.append(
             StageRecord("scoring", "score", False, exc.reason)

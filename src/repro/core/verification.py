@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Iterator
 
+from ..observability import NULL_METRICS, NULL_TRACER, SIZE_BUCKETS
 from ..predicates.base import Predicate
 from ..predicates.blocking import NeighborIndex
 from .records import GroupSet
@@ -207,6 +208,16 @@ class VerificationContext:
         caching: Disable to make every :meth:`neighbor_index` call build
             a bare, uncached index — the pre-sharing pipeline behaviour,
             kept for baseline measurements and ablations.
+        tracer: Span sink (:class:`repro.observability.Tracer`); the
+            zero-overhead :data:`~repro.observability.NULL_TRACER` when
+            omitted.  Pipelines open spans through :meth:`span` /
+            :meth:`record_span` / :meth:`event` so call sites never
+            branch on whether tracing is enabled.
+        metrics: Metric sink (:class:`repro.observability.MetricsRegistry`);
+            the no-op :data:`~repro.observability.NULL_METRICS` when
+            omitted.  When enabled, neighbor indexes built by this
+            context sample predicate latency and candidate-set sizes
+            into it.
     """
 
     def __init__(
@@ -214,13 +225,35 @@ class VerificationContext:
         counters: PipelineCounters | None = None,
         verdict_cache_limit: int | None = None,
         caching: bool = True,
+        tracer=None,
+        metrics=None,
     ):
         self.counters = counters if counters is not None else PipelineCounters()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._verdicts: dict[int, dict[tuple[int, int], bool]] = {}
         self._verdict_limit = verdict_cache_limit
         self._caching = caching
         self._index_key: tuple[int, tuple[int, ...]] | None = None
         self._index: NeighborIndex | None = None
+        self._stage_depth: dict[str, int] = {}
+        self._latency_observe = None
+        self._candidate_observe = None
+        if self.metrics.enabled:
+            self.metrics.describe(
+                "repro_predicate_latency_seconds",
+                "Sampled necessary-predicate pair verification latency",
+            )
+            self.metrics.describe(
+                "repro_candidate_set_size",
+                "Verified neighbor-list sizes per NeighborIndex probe",
+            )
+            self._latency_observe = self.metrics.histogram(
+                "repro_predicate_latency_seconds"
+            ).observe
+            self._candidate_observe = self.metrics.histogram(
+                "repro_candidate_set_size", buckets=SIZE_BUCKETS
+            ).observe
 
     def neighbor_index(
         self, predicate: Predicate, group_set: GroupSet
@@ -234,7 +267,11 @@ class VerificationContext:
         """
         if not self._caching:
             return NeighborIndex(
-                predicate, group_set.representatives(), counters=self.counters
+                predicate,
+                group_set.representatives(),
+                counters=self.counters,
+                latency_observe=self._latency_observe,
+                candidate_observe=self._candidate_observe,
             )
         key = (
             id(predicate),
@@ -265,6 +302,8 @@ class VerificationContext:
             counters=self.counters,
             verdicts=verdicts,
             memoize=True,
+            latency_observe=self._latency_observe,
+            candidate_observe=self._candidate_observe,
         )
         self._index_key = key
         self._index = index
@@ -272,12 +311,86 @@ class VerificationContext:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Time a pipeline stage into :attr:`PipelineCounters.stage_seconds`."""
+        """Time a pipeline stage into :attr:`PipelineCounters.stage_seconds`.
+
+        Re-entrant under the same name: only the *outermost* frame of a
+        nested same-name stage records its elapsed time, so a stage that
+        re-enters itself (a prune pass priming neighbors under its own
+        stage, a recovery path re-running a stage) contributes its wall
+        time exactly once instead of once per nesting depth.
+        """
+        self._stage_depth[name] = self._stage_depth.get(name, 0) + 1
         start = time.perf_counter()
         try:
             yield
         finally:
-            self.counters.add_stage_time(name, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            depth = self._stage_depth[name] - 1
+            if depth:
+                self._stage_depth[name] = depth
+            else:
+                del self._stage_depth[name]
+                self.counters.add_stage_time(name, elapsed)
+
+    def span(
+        self,
+        name: str,
+        transient: bool = False,
+        counters: PipelineCounters | None = None,
+        **attributes: object,
+    ):
+        """Open a tracer span measured against this context's counters.
+
+        A no-op (shared null context manager) under the default
+        :class:`~repro.observability.NullTracer`.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return tracer.span(name)
+        return tracer.span(
+            name,
+            counters=counters if counters is not None else self.counters,
+            transient=transient,
+            **attributes,
+        )
+
+    def record_span(
+        self,
+        name: str,
+        counters_delta: PipelineCounters | None = None,
+        transient: bool = False,
+        **attributes: object,
+    ):
+        """Attach an already-completed span (e.g. a worker shard's)."""
+        return self.tracer.record_span(
+            name,
+            counters_delta=counters_delta,
+            transient=transient,
+            **attributes,
+        )
+
+    def event(self, name: str, **attributes: object) -> None:
+        """Record a point-in-time event under the current span."""
+        self.tracer.event(name, **attributes)
+
+    def publish_pipeline_metrics(self, delta: PipelineCounters) -> None:
+        """Publish a run's counter delta into the metrics registry.
+
+        Every non-zero integer field becomes a
+        ``repro_pipeline_<field>_total`` counter increment and every
+        stage's wall time feeds ``repro_stage_seconds_total{stage=}``,
+        so successive queries against one context accumulate into one
+        scrape-able registry.  No-op under :data:`NULL_METRICS`.
+        """
+        metrics = self.metrics
+        if not metrics.enabled:
+            return
+        for name in PipelineCounters._INT_FIELDS:
+            value = getattr(delta, name)
+            if value:
+                metrics.counter(f"repro_pipeline_{name}_total").inc(value)
+        for stage, seconds in delta.stage_seconds.items():
+            metrics.counter("repro_stage_seconds_total", stage=stage).inc(seconds)
 
     def cached_verdicts(self, predicate: Predicate) -> int:
         """Number of pair verdicts currently cached for *predicate*."""

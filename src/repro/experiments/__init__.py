@@ -39,6 +39,10 @@ from .durability import (
     run_recovery_cost,
 )
 from .fidelity import fidelity_checks, run_fidelity_sweep
+from .observability import (
+    observability_overhead_checks,
+    run_observability_overhead,
+)
 from .parallel_scaling import parallel_scaling_checks, run_parallel_speedup
 from .harness import (
     DEFAULT_SCALE,
@@ -82,9 +86,11 @@ __all__ = [
     "run_chaos_sweep",
     "run_cpn_vs_naive",
     "run_cpn_vs_naive_constructed",
+    "observability_overhead_checks",
     "run_durability_overhead",
     "run_fidelity_sweep",
     "run_figure7",
+    "run_observability_overhead",
     "run_prune_iterations_ablation",
     "robustness_checks",
     "run_noise_sweep",

@@ -18,8 +18,9 @@ the sufficient-collapse *less* aggressive (never incorrect).
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
-from collections.abc import Hashable, Iterator, Sequence
+from collections.abc import Callable, Hashable, Iterator, Sequence
 
 from ..core.records import Record
 from ..graphs.union_find import UnionFind
@@ -196,7 +197,21 @@ class NeighborIndex:
             that happen to share a ``record_id`` can never receive each
             other's neighbor list.  Callers must not mutate returned
             lists when enabled.
+        latency_observe: Optional callable fed sampled per-pair
+            verification latencies in seconds (1 in
+            ``LATENCY_SAMPLE_EVERY`` pairwise verifications; the
+            count-filtering fast path is not sampled — its per-pair cost
+            is a couple of integer compares, below clock resolution).
+            Supplied by ``VerificationContext`` when metrics are
+            enabled; kept as a plain callable so this layer stays free
+            of core/observability imports.
+        candidate_observe: Optional callable fed the size of each
+            *computed* (non-memoized) verified neighbor list.
     """
+
+    #: Pairwise verifications between latency samples (power of two so
+    #: the modulo stays cheap).
+    LATENCY_SAMPLE_EVERY = 64
 
     def __init__(
         self,
@@ -205,11 +220,16 @@ class NeighborIndex:
         counters=None,
         verdicts: dict[tuple[int, int], bool] | None = None,
         memoize: bool = False,
+        latency_observe: Callable[[float], None] | None = None,
+        candidate_observe: Callable[[float], None] | None = None,
     ):
         self._predicate = predicate
         self._records = records
         self._counters = counters if counters is not None else _DiscardCounters()
         self._verdicts = verdicts
+        self._latency_observe = latency_observe
+        self._candidate_observe = candidate_observe
+        self._verify_calls = 0
         # memo_key -> (probe record, neighbor list).  The probe record is
         # kept so a lookup can verify the cached list was computed for
         # *this* record, not merely one with the same record_id.
@@ -288,6 +308,8 @@ class NeighborIndex:
             result = self._neighbors_by_count(probe, exclude_position)
         else:
             result = self._neighbors_by_pairs(probe, exclude_position)
+        if self._candidate_observe is not None:
+            self._candidate_observe(len(result))
         if self._memo is not None:
             self._memo[memo_key] = (probe, result)
         if self._probed is not None and self._is_member_probe(
@@ -360,6 +382,16 @@ class NeighborIndex:
         return out
 
     def _verify_pair(self, probe: Record, probe_signature, position: int) -> bool:
+        if self._latency_observe is not None:
+            self._verify_calls += 1
+            if self._verify_calls % self.LATENCY_SAMPLE_EVERY == 1:
+                start = time.perf_counter()
+                verdict = self._evaluate_pair(probe, probe_signature, position)
+                self._latency_observe(time.perf_counter() - start)
+                return verdict
+        return self._evaluate_pair(probe, probe_signature, position)
+
+    def _evaluate_pair(self, probe: Record, probe_signature, position: int) -> bool:
         if self._signatures is not None:
             self._counters.signature_evaluations += 1
             return self._predicate.evaluate_signatures(

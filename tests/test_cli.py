@@ -592,3 +592,141 @@ class TestResilienceFlags:
             == 0
         )
         assert "DEGRADED" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def run_topk(self, mentions_csv, *extra):
+        return main(
+            [
+                "topk",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--k",
+                "2",
+                *extra,
+            ]
+        )
+
+    def test_trace_out_writes_replayable_jsonl(self, mentions_csv, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert self.run_topk(mentions_csv, "--trace-out", str(trace_path)) == 0
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        assert records[0]["name"] == "query"
+        assert records[0]["parent"] is None
+        assert records[0]["attributes"]["kind"] == "topk"
+        names = {record["name"] for record in records}
+        assert {"pruned_dedup", "level"} <= names
+        from repro.observability import replay_counters
+
+        replayed = replay_counters(lines)
+        assert replayed["predicate_evaluations"] > 0
+
+    def test_metrics_out_writes_prometheus_text(self, mentions_csv, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        assert (
+            self.run_topk(mentions_csv, "--metrics-out", str(metrics_path))
+            == 0
+        )
+        text = metrics_path.read_text()
+        assert 'repro_queries_total{kind="topk"} 1' in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_pipeline_predicate_evaluations_total" in text
+
+    def test_explain_prints_span_tree_to_stderr(self, mentions_csv, capsys):
+        assert self.run_topk(mentions_csv, "--explain") == 0
+        err = capsys.readouterr().err
+        assert err.startswith("query")
+        assert "pruned_dedup" in err
+        assert "level" in err
+
+    def test_flags_do_not_change_answers(self, mentions_csv, capsys, tmp_path):
+        assert self.run_topk(mentions_csv) == 0
+        plain = capsys.readouterr().out
+        assert (
+            self.run_topk(
+                mentions_csv,
+                "--trace-out",
+                str(tmp_path / "t.jsonl"),
+                "--metrics-out",
+                str(tmp_path / "m.prom"),
+                "--explain",
+            )
+            == 0
+        )
+        traced = capsys.readouterr().out
+        assert traced == plain
+
+    def test_rank_and_threshold_accept_flags(self, mentions_csv, tmp_path):
+        rank_trace = tmp_path / "rank.jsonl"
+        code = main(
+            [
+                "rank",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--k",
+                "2",
+                "--trace-out",
+                str(rank_trace),
+                "--metrics-out",
+                str(tmp_path / "rank.prom"),
+            ]
+        )
+        assert code == 0
+        assert '"kind":"rank"' in rank_trace.read_text().splitlines()[0]
+        assert 'kind="rank"' in (tmp_path / "rank.prom").read_text()
+
+        threshold_trace = tmp_path / "threshold.jsonl"
+        code = main(
+            [
+                "threshold",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--min-weight",
+                "2",
+                "--trace-out",
+                str(threshold_trace),
+            ]
+        )
+        assert code == 0
+        assert '"kind":"threshold"' in threshold_trace.read_text().splitlines()[0]
+
+    def test_stream_flags_cover_wal_metrics(self, mentions_csv, tmp_path):
+        metrics_path = tmp_path / "stream.prom"
+        code = main(
+            [
+                "stream",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--k",
+                "2",
+                "--state-dir",
+                str(tmp_path / "state"),
+                "--trace-out",
+                str(tmp_path / "stream.jsonl"),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "repro_wal_appends_total 6" in text
+        assert 'repro_queries_total{kind="stream"} 1' in text
+        trace = (tmp_path / "stream.jsonl").read_text().splitlines()
+        assert '"kind":"stream"' in trace[0]
+
+    def test_no_flags_means_no_files(self, mentions_csv, capsys):
+        assert self.run_topk(mentions_csv) == 0
+        err = capsys.readouterr().err
+        assert "query" not in err

@@ -284,3 +284,101 @@ class TestPipelineIntegration:
         assert stream.verification.counters.neighbor_memo_hits > 0
         batch = pruned_dedup(stream.current_store(), 1, levels)
         assert second.groups.weights() == batch.groups.weights()
+
+
+class TestStageTimingReentrancy:
+    """Regression: re-entrant same-name stage() frames must count once.
+
+    Nesting ``context.stage("x")`` inside another ``stage("x")`` frame
+    (as the thresholded rank query's priming sweep does under "prune")
+    used to add both frames' elapsed time — the inner interval was
+    counted twice.  Only the outermost frame of a name may record.
+    """
+
+    def test_nested_same_name_counts_outer_frame_once(self):
+        import time as time_module
+
+        context = VerificationContext()
+        with context.stage("prune"):
+            with context.stage("prune"):
+                time_module.sleep(0.02)
+        recorded = context.counters.stage_seconds["prune"]
+        # Double counting would record >= 2x the inner sleep.
+        assert 0.02 <= recorded < 0.036
+
+    def test_distinct_names_still_count_independently(self):
+        context = VerificationContext()
+        with context.stage("collapse"):
+            with context.stage("prune"):
+                pass
+        assert set(context.counters.stage_seconds) == {"collapse", "prune"}
+
+    def test_sequential_same_name_frames_accumulate(self):
+        import time as time_module
+
+        context = VerificationContext()
+        for _ in range(2):
+            with context.stage("prune"):
+                time_module.sleep(0.01)
+        assert context.counters.stage_seconds["prune"] >= 0.02
+
+    def test_depth_bookkeeping_resets_after_exception(self):
+        context = VerificationContext()
+        with pytest.raises(RuntimeError):
+            with context.stage("prune"):
+                raise RuntimeError("boom")
+        assert context._stage_depth == {}
+        with context.stage("prune"):
+            pass
+        assert context.counters.stage_seconds["prune"] > 0
+
+
+class TestContextObservabilityHelpers:
+    def test_default_context_uses_null_observability(self):
+        context = VerificationContext()
+        assert context.tracer.enabled is False
+        assert context.metrics.enabled is False
+        with context.span("query") as span:
+            span.set_attribute("k", 1)
+        assert context.tracer.roots == []
+
+    def test_span_measures_pipeline_counters_by_default(self):
+        from repro.observability import Tracer
+
+        store = two_cluster_store()
+        context = VerificationContext(tracer=Tracer())
+        groups = collapsed_groups(store)
+        with context.span("lower_bound"):
+            estimate_lower_bound(groups, shared_word_predicate(), 2,
+                                 context=context)
+        (root,) = context.tracer.roots
+        delta = root.counters_delta
+        assert delta is not None
+        assert delta.predicate_evaluations > 0
+        assert delta.as_dict()["predicate_evaluations"] == (
+            context.counters.predicate_evaluations
+        )
+
+    def test_event_routes_to_tracer(self):
+        from repro.observability import Tracer
+
+        context = VerificationContext(tracer=Tracer())
+        with context.span("query"):
+            context.event("degraded", reason="deadline")
+        (root,) = context.tracer.roots
+        assert root.events[0].name == "degraded"
+
+    def test_publish_pipeline_metrics_exports_totals(self):
+        from repro.observability import MetricsRegistry
+
+        context = VerificationContext(metrics=MetricsRegistry())
+        before = context.counters.snapshot()
+        context.counters.predicate_evaluations += 3
+        context.counters.add_stage_time("prune", 0.5)
+        context.publish_pipeline_metrics(context.counters.delta(before))
+        assert context.metrics.value(
+            "repro_pipeline_predicate_evaluations_total"
+        ) == 3
+        assert context.metrics.value(
+            "repro_stage_seconds_total", stage="prune"
+        ) == 0.5
