@@ -54,11 +54,15 @@ from collections import defaultdict
 from collections.abc import Hashable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import Callable
+
+import numpy as np
 
 from ..graphs.union_find import UnionFind
 from ..observability import RATIO_BUCKETS
 from ..predicates.base import Predicate
+from ..predicates.batch import BatchNeighborEngine
 from ..predicates.blocking import NeighborIndex, build_key_index, closure
 from .collapse import collapse
 from .records import Group, GroupSet, Record, merge_groups
@@ -242,6 +246,111 @@ def group_fingerprint(group_set: GroupSet) -> tuple:
 
 
 # --------------------------------------------------------------------------
+# Shared-memory transport for the batch neighbor engine.  Forked children
+# share parent pages copy-on-write, but touching millions of Python
+# objects (records, signatures, postings dicts) faults their refcount
+# pages into every worker.  The batch engine's state is a handful of
+# flat NumPy arrays, so shipping it as one ``multiprocessing.shared_memory``
+# segment keeps the workers' working set to genuinely shared read-only
+# pages — the payload then carries only the segment name and a manifest.
+
+
+def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Python 3.13 has ``track=False`` for exactly this; earlier versions
+    unconditionally register the attachment, and each worker's tracker
+    would then unlink the (parent-owned) segment at exit.  The fallback
+    suppresses registration around the attach only.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12: no track parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SharedArrayPack:
+    """Named arrays packed into one shared-memory segment.
+
+    The creating (parent) process owns the segment and must call
+    :meth:`destroy` after the workers are done; workers :meth:`attach`
+    by name, read zero-copy views, and :meth:`close` their mapping.
+    """
+
+    _ALIGN = 8
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: dict[str, tuple[int, str, tuple[int, ...]]],
+        owner: bool,
+    ) -> None:
+        self.shm = shm
+        self.manifest = manifest
+        self._owner = owner
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayPack":
+        contiguous = {
+            name: np.ascontiguousarray(array) for name, array in arrays.items()
+        }
+        align = cls._ALIGN
+        total = sum(
+            (array.nbytes + align - 1) // align * align
+            for array in contiguous.values()
+        )
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        manifest: dict[str, tuple[int, str, tuple[int, ...]]] = {}
+        offset = 0
+        for name, array in contiguous.items():
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset
+            )
+            view[...] = array
+            manifest[name] = (offset, array.dtype.str, array.shape)
+            offset += (array.nbytes + align - 1) // align * align
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(
+        cls, name: str, manifest: dict[str, tuple[int, str, tuple[int, ...]]]
+    ) -> "SharedArrayPack":
+        return cls(_attach_shared_memory(name), manifest, owner=False)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Zero-copy views of every packed array (valid until close)."""
+        return {
+            name: np.ndarray(
+                shape, dtype=np.dtype(dtype_str), buffer=self.shm.buf, offset=offset
+            )
+            for name, (offset, dtype_str, shape) in self.manifest.items()
+        }
+
+    def close(self) -> None:
+        self.shm.close()
+
+    def destroy(self) -> None:
+        """Close and (owner only) unlink the segment."""
+        self.shm.close()
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# --------------------------------------------------------------------------
 # Worker-side machinery.  The payload is published in a module global and
 # inherited by forked children: predicates (lambdas, guards, chaos
 # wrappers) are not picklable, and the records/indexes are large enough
@@ -282,6 +391,33 @@ def _neighbor_lists(
     ]
 
 
+def _neighbor_csr(
+    payload: dict, positions: Sequence[int], counters: PipelineCounters
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batch-engine worker body: attach the shared-memory pack, rebuild
+    the engine over its arrays, and return this shard's verified
+    neighbor lists in CSR form (int64 indptr, int32 flat) — a far
+    cheaper pickle than one Python list per probe."""
+    pack = SharedArrayPack.attach(payload["pack_name"], payload["pack_manifest"])
+    try:
+        engine = BatchNeighborEngine.from_state(
+            pack.arrays(), payload["engine_params"]
+        )
+        counters.neighbor_queries += len(positions)
+        return engine.member_neighbors_csr(positions, counters)
+    finally:
+        pack.close()
+
+
+def _csr_to_lists(
+    indptr: np.ndarray, flat: np.ndarray, n_rows: int
+) -> list[list[int]]:
+    """Expand a worker's CSR result back into per-probe Python lists."""
+    return [
+        flat[indptr[row] : indptr[row + 1]].tolist() for row in range(n_rows)
+    ]
+
+
 def _shard_entry(task: tuple[str, int]):
     """Child-process entry point: run one shard, returning its data plus
     the counter and keying-failure deltas it produced (fork gives each
@@ -302,6 +438,8 @@ def _shard_entry(task: tuple[str, int]):
     try:
         if kind == "collapse":
             data = _collapse_positions(predicate, records, positions)
+        elif kind == "neighbors_batch":
+            data = _neighbor_csr(payload, positions, counters)
         else:
             data = _neighbor_lists(payload["index"], records, positions)
     except ResilienceExhausted as exc:
@@ -531,15 +669,39 @@ def prime_neighbor_index(
     if plan.n_shards < 2:
         return index
 
-    payload = {
-        "kind": "neighbors",
-        "predicate": necessary,
-        "records": representatives,
-        "plan": plan,
-        "counters": context.counters,
-        "index": index,
-    }
-    results = _run_shards(payload, plan, workers)
+    engine = index.batch_engine
+    pack = None
+    if engine is not None:
+        # Batch path: workers rebuild the engine from one shared-memory
+        # segment of flat arrays and never touch a Record object, so
+        # their resident working set is the genuinely shared pages plus
+        # the (compact, CSR) result.
+        arrays, engine_params = engine.export_state()
+        pack = SharedArrayPack.create(arrays)
+        payload = {
+            "kind": "neighbors_batch",
+            "predicate": necessary,
+            "records": representatives,
+            "plan": plan,
+            "counters": context.counters,
+            "pack_name": pack.name,
+            "pack_manifest": pack.manifest,
+            "engine_params": engine_params,
+        }
+    else:
+        payload = {
+            "kind": "neighbors",
+            "predicate": necessary,
+            "records": representatives,
+            "plan": plan,
+            "counters": context.counters,
+            "index": index,
+        }
+    try:
+        results = _run_shards(payload, plan, workers)
+    finally:
+        if pack is not None:
+            pack.destroy()
     shard_lists = _fold_shard_results(
         results,
         necessary,
@@ -550,6 +712,8 @@ def prime_neighbor_index(
         plan=plan,
     )
     for positions, lists in zip(plan.shards, shard_lists):
+        if isinstance(lists, tuple):  # CSR from a batch worker
+            lists = _csr_to_lists(lists[0], lists[1], len(positions))
         for position, neighbor_list in zip(positions, lists):
             index.prime(position, neighbor_list)
     for position in plan.isolated:

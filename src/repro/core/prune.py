@@ -16,7 +16,10 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..predicates.base import Predicate
+from ..predicates.batch import vectorize_enabled
 from ..predicates.blocking import NeighborIndex
 from .records import GroupSet
 
@@ -88,11 +91,34 @@ def prune(
         at_risk = list(range(n))
     else:
         at_risk = [i for i in range(n) if weights[i] < bound]
-    neighbor_lists: dict[int, list[int]] = {
-        i: index.neighbors(representatives[i], exclude_position=i)
-        for i in at_risk
-    }
+    neighbor_lists = dict(zip(at_risk, index.neighbors_batch(at_risk)))
 
+    if vectorize_enabled():
+        upper = _iterate_bounds_numpy(
+            n, weights, at_risk, neighbor_lists, bound, iterations
+        )
+    else:
+        upper = _iterate_bounds_python(
+            n, weights, at_risk, neighbor_lists, bound, iterations
+        )
+
+    kept = [i for i in range(n) if upper[i] > bound or weights[i] >= bound]
+    return PruneResult(
+        retained=group_set.subset(kept),
+        kept_group_ids=kept,
+        upper_bounds=upper,
+    )
+
+
+def _iterate_bounds_python(
+    n: int,
+    weights: list[float],
+    at_risk: list[int],
+    neighbor_lists: dict[int, list[int]],
+    bound: float,
+    iterations: int,
+) -> list[float]:
+    """Reference scalar bound iteration (``REPRO_VECTORIZE=0``)."""
     upper = [math.inf] * n
     for i in at_risk:
         upper[i] = weights[i] + sum(weights[j] for j in neighbor_lists[i])
@@ -115,10 +141,57 @@ def prune(
         upper = new_upper
         if not changed:
             break
+    return upper
 
-    kept = [i for i in range(n) if live(i)]
-    return PruneResult(
-        retained=group_set.subset(kept),
-        kept_group_ids=kept,
-        upper_bounds=upper,
+
+def _iterate_bounds_numpy(
+    n: int,
+    weights: list[float],
+    at_risk: list[int],
+    neighbor_lists: dict[int, list[int]],
+    bound: float,
+    iterations: int,
+) -> list[float]:
+    """Vectorized bound iteration, bit-identical to the scalar one.
+
+    Neighbor lists are flattened once into a CSR-style (segments, flat)
+    pair; each pass is then one weighted ``np.bincount``.  bincount
+    accumulates in input order, so every per-group float sum adds the
+    same weights in the same left-to-right order as the Python loop —
+    including the refinement passes, where dead neighbors are *filtered
+    out* of the flat array (preserving the survivors' relative order)
+    rather than zeroed, exactly mirroring the scalar ``if live(j)``
+    skip.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    risk = np.asarray(at_risk, dtype=np.int64)
+    upper = np.full(n, np.inf)
+    if len(risk) == 0:
+        return upper.tolist()
+    lengths = np.fromiter(
+        (len(neighbor_lists[i]) for i in at_risk),
+        dtype=np.int64,
+        count=len(at_risk),
     )
+    flat = np.fromiter(
+        (j for i in at_risk for j in neighbor_lists[i]),
+        dtype=np.int64,
+        count=int(lengths.sum()),
+    )
+    segments = np.repeat(np.arange(len(risk), dtype=np.int64), lengths)
+    upper[risk] = w[risk] + np.bincount(
+        segments, weights=w[flat], minlength=len(risk)
+    )
+    # Scalar refinement skips groups already at weight >= bound.
+    refinable = w[risk] < bound
+    for _ in range(iterations - 1):
+        live = (upper > bound) | (w >= bound)
+        keep = live[flat]
+        tightened = w[risk] + np.bincount(
+            segments[keep], weights=w[flat[keep]], minlength=len(risk)
+        )
+        update = refinable & (tightened < upper[risk])
+        if not update.any():
+            break
+        upper[risk[update]] = tightened[update]
+    return upper.tolist()

@@ -43,7 +43,11 @@ from .observability import (
     observability_overhead_checks,
     run_observability_overhead,
 )
-from .parallel_scaling import parallel_scaling_checks, run_parallel_speedup
+from .parallel_scaling import (
+    parallel_scaling_checks,
+    run_parallel_speedup,
+    run_vectorize_speedup,
+)
 from .harness import (
     DEFAULT_SCALE,
     Pipeline,
@@ -95,6 +99,7 @@ __all__ = [
     "robustness_checks",
     "run_noise_sweep",
     "run_parallel_speedup",
+    "run_vectorize_speedup",
     "run_pruning_only_timing",
     "run_pruning_table",
     "run_recovery_cost",

@@ -107,6 +107,39 @@ class Predicate(ABC):
         """Residual condition not captured by the shared-key count."""
         return True
 
+    def batch_verifier(self, records):
+        """Optional vectorized pairwise verifier over *records*.
+
+        A predicate whose decision runs on encoded sets can return a
+        :class:`~repro.predicates.batch.SetSimilarityBatch` here; bulk
+        evaluators (NeighborIndex, closure) then verify whole candidate
+        blocks in NumPy instead of one pair per Python call.  The
+        default — returning None — keeps the scalar path.  Wrapper
+        predicates (resilience guards, chaos) deliberately do not
+        forward this hook: falling back to scalar keeps every call
+        inside their interception machinery.
+        """
+        return None
+
+    def batch_count_rule(self, records):
+        """Optional vectorized form of the count-filtering fast path.
+
+        Counterpart of :meth:`count_accepts`/:meth:`count_post_check`
+        as one array decision per candidate block (an
+        :class:`~repro.predicates.batch.OverlapCountRule`); None — the
+        default — means scalar count filtering.
+        """
+        return None
+
+    @property
+    def supports_batch(self) -> bool:
+        """True when this predicate overrides a batch hook."""
+        cls = type(self)
+        return (
+            cls.batch_verifier is not Predicate.batch_verifier
+            or cls.batch_count_rule is not Predicate.batch_count_rule
+        )
+
     def __call__(self, a: Record, b: Record) -> bool:
         return self.evaluate(a, b)
 

@@ -22,9 +22,16 @@ import time
 from collections import defaultdict
 from collections.abc import Callable, Hashable, Iterator, Sequence
 
+import numpy as np
+
 from ..core.records import Record
 from ..graphs.union_find import UnionFind
 from .base import Predicate
+from .batch import BatchNeighborEngine, vectorize_enabled
+
+#: Minimum block size for batch (vectorized) closure verification;
+#: smaller blocks stay scalar — kernel setup would dominate.
+_BATCH_BLOCK_MIN = 8
 
 
 def build_key_index(
@@ -42,6 +49,7 @@ def closure(
     predicate: Predicate,
     records: Sequence[Record],
     max_block_pairs: int = 2_000_000,
+    vectorize: bool | None = None,
 ) -> UnionFind:
     """Return the union-find closure of pairs satisfying *predicate*.
 
@@ -50,12 +58,26 @@ def closure(
     unioned directly).  Pairs already connected are skipped, so repeated
     keys cost nothing extra.
 
+    Predicates exposing a batch verifier have their larger blocks
+    (>= ``_BATCH_BLOCK_MIN`` members) verified one whole row per NumPy
+    call; the block union is identical because the batch verdicts equal
+    the scalar ones bit-for-bit.  *vectorize* overrides the
+    ``REPRO_VECTORIZE`` switch.
+
     Blocks whose pair count exceeds *max_block_pairs* are verified in
     sorted-neighborhood mode (adjacent-pair chains after sorting by a
     cheap canonical string), bounding worst-case work.
     """
     uf = UnionFind(len(records))
     index = build_key_index(predicate, records)
+    verifier = None
+    if (
+        not predicate.key_implies_match
+        and predicate.supports_batch
+        and vectorize_enabled(vectorize)
+        and any(len(p) >= _BATCH_BLOCK_MIN for p in index.values())
+    ):
+        verifier = predicate.batch_verifier(records)
     for positions in index.values():
         if len(positions) < 2:
             continue
@@ -67,9 +89,27 @@ def closure(
         n_pairs = len(positions) * (len(positions) - 1) // 2
         if n_pairs > max_block_pairs:
             _verify_sorted_neighborhood(predicate, records, positions, uf)
+        elif verifier is not None and len(positions) >= _BATCH_BLOCK_MIN:
+            _verify_block_batch(verifier, positions, uf)
         else:
             _verify_all_pairs(predicate, records, positions, uf)
     return uf
+
+
+def _verify_block_batch(verifier, positions: list[int], uf: UnionFind) -> None:
+    """Union all matching pairs of one block, one row per kernel call.
+
+    Unlike :func:`_verify_all_pairs` this does not skip already-connected
+    pairs — a redundant union is a no-op on the partition, and the batch
+    verdict for the whole remainder row costs less than per-pair
+    connectivity checks would.
+    """
+    block = np.asarray(positions, dtype=np.int64)
+    for i in range(len(block) - 1):
+        rest = block[i + 1 :]
+        verdicts = verifier.verify_member_block(int(block[i]), rest)
+        for pos_b in rest[verdicts]:
+            uf.union(int(block[i]), int(pos_b))
 
 
 def _verify_all_pairs(
@@ -134,38 +174,56 @@ def candidate_pairs(
     pairs in D_{L+1} for which N_L is true").
     """
     index = build_key_index(predicate, records)
-    seen: set[tuple[int, int]] = set()
-    for positions in index.values():
+    # Dedupe by ownership instead of a global pair set: each pair is
+    # yielded only from the first key (in index order) the two records
+    # share.  Memory drops from O(cross-key pairs) to O(postings).
+    key_ordinals: list[set[int]] = [set() for _ in range(len(records))]
+    for ordinal, positions in enumerate(index.values()):
+        for position in positions:
+            key_ordinals[position].add(ordinal)
+    verifying = verify and not predicate.key_implies_match
+    signatures = None
+    if verifying and predicate.supports_signatures:
+        signatures = [predicate.signature(record) for record in records]
+    for ordinal, positions in enumerate(index.values()):
         if len(positions) < 2:
             continue
         for i, pos_a in enumerate(positions):
+            keys_a = key_ordinals[pos_a]
             record_a = records[pos_a]
+            sig_a = signatures[pos_a] if signatures is not None else None
             for pos_b in positions[i + 1 :]:
-                pair = (pos_a, pos_b) if pos_a < pos_b else (pos_b, pos_a)
-                if pair in seen:
-                    continue
-                seen.add(pair)
-                if not verify or predicate.evaluate(record_a, records[pos_b]):
-                    yield pair
+                shared = keys_a & key_ordinals[pos_b]
+                if len(shared) > 1 and min(shared) != ordinal:
+                    continue  # owned by an earlier shared key
+                if verifying:
+                    if signatures is not None:
+                        if not predicate.evaluate_signatures(
+                            sig_a, signatures[pos_b]
+                        ):
+                            continue
+                    elif not predicate.evaluate(record_a, records[pos_b]):
+                        continue
+                yield (pos_a, pos_b) if pos_a < pos_b else (pos_b, pos_a)
 
 
 class _DiscardCounters:
     """Null counter sink (duck-typed PipelineCounters) for bare indexes.
 
-    Defined here rather than importing
-    :class:`repro.core.verification.PipelineCounters` to keep the
-    predicates layer free of core imports.
+    The field set is derived from
+    :class:`repro.core.verification.PipelineCounters` at construction
+    time (a lazy import — ``core.verification`` imports this module, so
+    a top-level import would cycle).  A hardcoded copy drifted once
+    already: the containment counters added to ``PipelineCounters``
+    were missing here, and a bare index over a guarded predicate raised
+    ``AttributeError`` on the first contained fault.
     """
 
     def __init__(self):
-        self.predicate_evaluations = 0
-        self.signature_evaluations = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.index_builds = 0
-        self.index_reuses = 0
-        self.neighbor_queries = 0
-        self.neighbor_memo_hits = 0
+        from ..core.verification import PipelineCounters
+
+        for field in PipelineCounters._INT_FIELDS:
+            setattr(self, field, 0)
 
 
 class NeighborIndex:
@@ -222,6 +280,7 @@ class NeighborIndex:
         memoize: bool = False,
         latency_observe: Callable[[float], None] | None = None,
         candidate_observe: Callable[[float], None] | None = None,
+        vectorize: bool | None = None,
     ):
         self._predicate = predicate
         self._records = records
@@ -256,11 +315,28 @@ class NeighborIndex:
         self._key_counts: list[int] = []
         self._post_signatures: list = []
         if self._count_mode:
-            for record in records:
-                self._key_counts.append(len(set(predicate.blocking_keys(record))))
-                self._post_signatures.append(
-                    predicate.count_post_signature(record)
-                )
+            # A record's distinct-key count equals the number of posting
+            # lists holding it, so invert the index instead of running
+            # blocking_keys over every record a second time.
+            self._key_counts = [0] * len(records)
+            for positions in self._index.values():
+                for position in positions:
+                    self._key_counts[position] += 1
+            self._post_signatures = [
+                predicate.count_post_signature(record) for record in records
+            ]
+        # Batch engine: whole-candidate-block verification in NumPy.
+        # Wrapper predicates (guards, chaos) don't expose the hooks, so
+        # they land on the scalar strategies below automatically.
+        self._engine: BatchNeighborEngine | None = None
+        if (
+            not predicate.key_implies_match
+            and predicate.supports_batch
+            and vectorize_enabled(vectorize)
+        ):
+            self._engine = BatchNeighborEngine.build(
+                predicate, records, self._index
+            )
         # Signature fast path: precompute per-record signatures once so
         # the (potentially millions of) verifications skip Record-level
         # field access.
@@ -276,6 +352,11 @@ class NeighborIndex:
     def memoizing(self) -> bool:
         """True when neighbor lists are memoized (``memoize=True``)."""
         return self._memo is not None
+
+    @property
+    def batch_engine(self) -> BatchNeighborEngine | None:
+        """The vectorized engine, or None when queries run scalar."""
+        return self._engine
 
     @property
     def key_postings(self) -> dict[Hashable, list[int]]:
@@ -304,10 +385,14 @@ class NeighborIndex:
             ):
                 counters.neighbor_memo_hits += 1
                 return cached[1]
-        if self._count_mode:
-            result = self._neighbors_by_count(probe, exclude_position)
-        else:
-            result = self._neighbors_by_pairs(probe, exclude_position)
+        result = None
+        if self._engine is not None:
+            result = self._engine_neighbors(probe, exclude_position)
+        if result is None:
+            if self._count_mode:
+                result = self._neighbors_by_count(probe, exclude_position)
+            else:
+                result = self._neighbors_by_pairs(probe, exclude_position)
         if self._candidate_observe is not None:
             self._candidate_observe(len(result))
         if self._memo is not None:
@@ -342,6 +427,104 @@ class NeighborIndex:
         self._memo[(record.record_id, position)] = (record, neighbors)
         if self._probed is not None:
             self._probed[position] = set(neighbors)
+
+    def neighbors_batch(self, positions: Sequence[int]) -> list[list[int]]:
+        """Verified neighbor lists for many indexed members at once.
+
+        Equivalent to ``[self.neighbors(records[p], exclude_position=p)
+        for p in positions]`` — memo/probed caches included — but
+        member probes skip the probe-side key recomputation and, with a
+        batch engine, verify each candidate block in one kernel call.
+        """
+        counters = self._counters
+        results: dict[int, list[int]] = {}
+        pending: list[int] = []
+        seen: set[int] = set()
+        for position in positions:
+            counters.neighbor_queries += 1
+            if position in seen:
+                if self._memo is not None:
+                    counters.neighbor_memo_hits += 1
+                continue
+            seen.add(position)
+            record = self._records[position]
+            if self._memo is not None:
+                cached = self._memo.get((record.record_id, position))
+                if cached is not None and (
+                    cached[0] is record or cached[0] == record
+                ):
+                    counters.neighbor_memo_hits += 1
+                    results[position] = cached[1]
+                    continue
+            pending.append(position)
+        if pending:
+            if self._engine is not None and getattr(
+                self._predicate, "symmetric", True
+            ):
+                # Batch symmetric sweep: each in-batch pair verified
+                # once, pairs against already-probed members decided by
+                # membership — the vectorized mirror of the scalar
+                # count path's `_probed` sharing.
+                known = self._probed if self._probed else None
+                computed = self._engine.member_neighbors_block(
+                    pending, counters, known=known
+                )
+                for position in pending:
+                    self._record_batch_result(
+                        position, computed[position], results
+                    )
+            else:
+                # Scalar fallback: caches must advance *between* member
+                # probes — `_neighbors_by_count` shares verdicts through
+                # `_probed` incrementally.
+                for position in pending:
+                    record = self._records[position]
+                    if self._engine is not None:
+                        result = self._engine.member_neighbors(
+                            position, counters
+                        )
+                    elif self._count_mode:
+                        result = self._neighbors_by_count(record, position)
+                    else:
+                        result = self._neighbors_by_pairs(record, position)
+                    self._record_batch_result(position, result, results)
+        return [results[position] for position in positions]
+
+    def _record_batch_result(
+        self,
+        position: int,
+        result: list[int],
+        results: dict[int, list[int]],
+    ) -> None:
+        record = self._records[position]
+        if self._candidate_observe is not None:
+            self._candidate_observe(len(result))
+        if self._memo is not None:
+            self._memo[(record.record_id, position)] = (record, result)
+        if self._probed is not None:
+            self._probed[position] = set(result)
+        results[position] = result
+
+    def _engine_neighbors(
+        self, probe: Record, exclude_position: int
+    ) -> list[int] | None:
+        """Engine-backed neighbor query; None when the engine cannot
+        encode this probe (caller falls back to the scalar strategy)."""
+        if self._is_member_probe(probe, exclude_position):
+            if self._probed and getattr(self._predicate, "symmetric", True):
+                # Answer pairs against already-probed members from their
+                # recorded sets — the vectorized mirror of the scalar
+                # count path's `_probed` sharing.
+                return self._engine.member_neighbors_block(
+                    [exclude_position], self._counters, known=self._probed
+                )[exclude_position]
+            return self._engine.member_neighbors(
+                exclude_position, self._counters
+            )
+        probe_keys = set(self._predicate.blocking_keys(probe))
+        return self._engine.probe_neighbors(
+            probe, probe_keys, exclude_position, self._counters
+        )
 
     def _neighbors_by_pairs(self, probe: Record, exclude_position: int) -> list[int]:
         """Pairwise verification (signature fast path when available),

@@ -15,19 +15,21 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Sequence
 
 from ..core.records import Record
+from ..similarity.encoding import bitmask_encode
 from ..similarity.measures import overlap_coefficient
 from ..similarity.tfidf import IdfTable
 from ..similarity.tokenize import (
     ADDRESS_STOP_WORDS,
     cached_content_word_set,
+    cached_initial_set,
     cached_ngram_set,
     cached_sorted_initials_key,
     cached_word_set,
-    initial_set,
     normalize,
     words,
 )
 from .base import Predicate, PredicateLevel
+from .batch import OverlapCountRule, SetSimilarityBatch
 
 
 class ExactFieldsPredicate(Predicate):
@@ -86,7 +88,10 @@ class NgramOverlapPredicate(Predicate):
             if normalize(a[f]) != normalize(b[f]):
                 return False
         if self._require_common_initial:
-            if not (initial_set(a[self._field]) & initial_set(b[self._field])):
+            if not (
+                cached_initial_set(a[self._field])
+                & cached_initial_set(b[self._field])
+            ):
                 return False
         grams_a = cached_ngram_set(a[self._field], self._n)
         grams_b = cached_ngram_set(b[self._field], self._n)
@@ -101,7 +106,7 @@ class NgramOverlapPredicate(Predicate):
         """(exact-field tuple, initials set or None, gram set)."""
         return (
             tuple(normalize(record[f]) for f in self._exact_fields),
-            initial_set(record[self._field])
+            cached_initial_set(record[self._field])
             if self._require_common_initial
             else None,
             cached_ngram_set(record[self._field], self._n),
@@ -120,7 +125,7 @@ class NgramOverlapPredicate(Predicate):
 
     def count_post_signature(self, record: Record):
         if self._require_common_initial:
-            return initial_set(record[self._field])
+            return cached_initial_set(record[self._field])
         return None
 
     def count_post_check(self, post_a, post_b) -> bool:
@@ -136,6 +141,44 @@ class NgramOverlapPredicate(Predicate):
         if initials_a is not None and not (initials_a & initials_b):
             return False
         return overlap_coefficient(grams_a, grams_b) >= self._threshold
+
+    def batch_count_rule(self, records):
+        masks = None
+        bit_of_token = None
+        if self._require_common_initial:
+            encoded = bitmask_encode(
+                [cached_initial_set(r[self._field]) for r in records]
+            )
+            if encoded is None:
+                return None
+            masks, bit_of_token = encoded
+        field = self._field
+        return OverlapCountRule(
+            self._threshold,
+            masks=masks,
+            bit_of_token=bit_of_token,
+            post_probe=lambda record: cached_initial_set(record[field]),
+        )
+
+    def batch_verifier(self, records):
+        gate_key = None
+        if self._exact_fields:
+            fields = self._exact_fields
+            gate_key = lambda r: tuple(normalize(r[f]) for f in fields)
+        initials_fn = None
+        if self._require_common_initial:
+            field = self._field
+            initials_fn = lambda r: cached_initial_set(r[field])
+        n = self._n
+        field = self._field
+        return SetSimilarityBatch.build(
+            records,
+            "overlap_ge",
+            {"threshold": self._threshold},
+            gate_key=gate_key,
+            initials=initials_fn,
+            tokens1=lambda r: cached_ngram_set(r[field], n),
+        )
 
 
 class InitialsWordOverlapPredicate(Predicate):
@@ -155,12 +198,29 @@ class InitialsWordOverlapPredicate(Predicate):
         for f in self._exact_fields:
             if normalize(a[f]) != normalize(b[f]):
                 return False
-        return bool(initial_set(a[self._field]) & initial_set(b[self._field]))
+        return bool(
+            cached_initial_set(a[self._field])
+            & cached_initial_set(b[self._field])
+        )
 
     def blocking_keys(self, record: Record) -> Iterable[Hashable]:
         prefix = tuple(normalize(record[f]) for f in self._exact_fields)
-        for initial in initial_set(record[self._field]):
+        for initial in cached_initial_set(record[self._field]):
             yield (*prefix, initial)
+
+    def batch_verifier(self, records):
+        gate_key = None
+        if self._exact_fields:
+            fields = self._exact_fields
+            gate_key = lambda r: tuple(normalize(r[f]) for f in fields)
+        field = self._field
+        return SetSimilarityBatch.build(
+            records,
+            "initials_any",
+            {},
+            gate_key=gate_key,
+            initials=lambda r: cached_initial_set(r[field]),
+        )
 
 
 class CommonWordsPredicate(Predicate):
@@ -223,6 +283,14 @@ class CommonWordsPredicate(Predicate):
         )
         yield from ordered[: len(ordered) - self._min_common + 1]
 
+    def batch_verifier(self, records):
+        return SetSimilarityBatch.build(
+            records,
+            "inter_ge",
+            {"min_common": self._min_common},
+            tokens1=self._word_set,
+        )
+
 
 class JaccardPredicate(Predicate):
     """Jaccard of word sets on *field* >= threshold.
@@ -252,6 +320,15 @@ class JaccardPredicate(Predicate):
 
     def blocking_keys(self, record: Record) -> Iterable[Hashable]:
         yield from cached_word_set(record[self._field])
+
+    def batch_verifier(self, records):
+        field = self._field
+        return SetSimilarityBatch.build(
+            records,
+            "jaccard_ge",
+            {"threshold": self._threshold},
+            tokens1=lambda r: cached_word_set(r[field]),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -359,6 +436,19 @@ class CitationS2(Predicate):
         yield (
             cached_sorted_initials_key(record[self._author_field]),
             self._last_name(record),
+        )
+
+    def batch_verifier(self, records):
+        coauthor_field = self._coauthor_field
+        return SetSimilarityBatch.build(
+            records,
+            "inter_ge",
+            {"min_common": self._min_coauthors},
+            gate_key=lambda r: (
+                cached_sorted_initials_key(r[self._author_field]),
+                self._last_name(r),
+            ),
+            tokens1=lambda r: cached_word_set(r[coauthor_field]),
         )
 
 
@@ -503,6 +593,20 @@ class AddressS1(Predicate):
         if overlap_coefficient(name_a, name_b) <= self._name_threshold:
             return False
         return overlap_coefficient(addr_a, addr_b) >= self._address_threshold
+
+    def batch_verifier(self, records):
+        stop = self._stop_words
+        return SetSimilarityBatch.build(
+            records,
+            "address_s1",
+            {
+                "name_threshold": self._name_threshold,
+                "address_threshold": self._address_threshold,
+            },
+            gate_key=lambda r: cached_sorted_initials_key(r["name"]),
+            tokens1=lambda r: cached_content_word_set(r["name"], stop),
+            tokens2=lambda r: cached_content_word_set(r["address"], stop),
+        )
 
 
 def address_n1(

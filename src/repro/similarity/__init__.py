@@ -18,7 +18,13 @@ from .strings import (
     soundex,
     soundex_equal,
 )
-from .setjoin import brute_force_jaccard_join, canonical_token_order, jaccard_self_join
+from .encoding import EncodedSetCorpus, TokenDictionary
+from .setjoin import (
+    brute_force_jaccard_join,
+    canonical_token_order,
+    encoded_jaccard_self_join,
+    jaccard_self_join,
+)
 from .tfidf import IdfTable, TfIdfIndex, tfidf_cosine
 from .tokenize import (
     ADDRESS_STOP_WORDS,
@@ -43,12 +49,15 @@ from .vectorize import (
 
 __all__ = [
     "ADDRESS_STOP_WORDS",
+    "EncodedSetCorpus",
     "IdfTable",
     "PairFeaturizer",
     "TfIdfIndex",
+    "TokenDictionary",
     "address_featurizer",
     "brute_force_jaccard_join",
     "canonical_token_order",
+    "encoded_jaccard_self_join",
     "citation_featurizer",
     "containment",
     "content_word_set",

@@ -1,0 +1,266 @@
+"""Integer token encoding and batch set-intersection kernels.
+
+The scalar predicate path decides one candidate pair per Python call —
+a set intersection, a division, a compare.  At benchmark scale that
+per-pair interpreter dispatch *is* the pipeline's cost profile (the
+count-filtering postings walk alone dominates Figure-6 timings).  This
+module is the substrate of the vectorized alternative:
+
+* :class:`TokenDictionary` maps arbitrary hashable tokens (words,
+  n-grams, key tuples) to dense ``int32`` ids at ingest time;
+* :class:`EncodedSetCorpus` stores one token set per record in CSR form
+  (``indptr``/``token_ids``), so a whole corpus of sets is two flat
+  NumPy arrays;
+* the kernel functions below compute intersection sizes between one
+  probe set and a *block* of candidate rows in O(total candidate
+  tokens) NumPy work — no per-pair Python.
+
+Bit-identity contract: the block measures (:func:`overlap_block`,
+:func:`jaccard_block`) replicate :mod:`repro.similarity.measures`
+exactly, including the both-empty → 1.0 / one-empty → 0.0 conventions
+and IEEE-754 division (``int64/int64`` under NumPy true division is the
+same correctly-rounded float64 a Python ``/`` produces), so a
+vectorized verdict can never differ from the scalar one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+import numpy as np
+
+
+class TokenDictionary:
+    """Dense ``token -> int32 id`` assignment, first-seen order.
+
+    Ids are assigned on first :meth:`add`; :meth:`lookup_ids` never
+    assigns, returning only the ids of already-known tokens (a probe
+    token absent from the dictionary cannot intersect any encoded set,
+    so dropping it from the *intersection* is exact — callers track the
+    probe's full set size separately wherever sizes matter).
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, token: Hashable) -> bool:
+        return token in self._ids
+
+    def add(self, token: Hashable) -> int:
+        """Return the id of *token*, assigning the next free id if new."""
+        ids = self._ids
+        token_id = ids.get(token)
+        if token_id is None:
+            token_id = len(ids)
+            ids[token] = token_id
+        return token_id
+
+    def encode(self, tokens: Iterable[Hashable]) -> np.ndarray:
+        """Encode *tokens* (adding new ones) as an int32 id array."""
+        add = self.add
+        return np.fromiter(
+            (add(token) for token in tokens), dtype=np.int32
+        )
+
+    def lookup_ids(self, tokens: Iterable[Hashable]) -> np.ndarray:
+        """Return ids of the *known* tokens only (no assignment)."""
+        ids = self._ids
+        return np.fromiter(
+            (
+                token_id
+                for token_id in (ids.get(token) for token in tokens)
+                if token_id is not None
+            ),
+            dtype=np.int32,
+        )
+
+
+class EncodedSetCorpus:
+    """A corpus of token sets in CSR form over one :class:`TokenDictionary`.
+
+    ``token_ids[indptr[i]:indptr[i + 1]]`` are the ids of record *i*'s
+    set; row length equals the exact set size (sets, so no repeats).
+    """
+
+    __slots__ = ("dictionary", "indptr", "token_ids")
+
+    def __init__(
+        self,
+        dictionary: TokenDictionary,
+        indptr: np.ndarray,
+        token_ids: np.ndarray,
+    ) -> None:
+        self.dictionary = dictionary
+        self.indptr = indptr
+        self.token_ids = token_ids
+
+    @classmethod
+    def from_sets(
+        cls,
+        sets: Sequence[Iterable[Hashable]],
+        dictionary: TokenDictionary | None = None,
+    ) -> "EncodedSetCorpus":
+        """Encode *sets* row by row, growing *dictionary* as needed."""
+        dictionary = dictionary if dictionary is not None else TokenDictionary()
+        indptr = np.zeros(len(sets) + 1, dtype=np.int64)
+        rows: list[np.ndarray] = []
+        for position, token_set in enumerate(sets):
+            row = dictionary.encode(token_set)
+            rows.append(row)
+            indptr[position + 1] = indptr[position] + len(row)
+        token_ids = (
+            np.concatenate(rows) if rows else np.empty(0, dtype=np.int32)
+        )
+        return cls(dictionary, indptr, token_ids.astype(np.int32, copy=False))
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self.dictionary)
+
+    def row(self, position: int) -> np.ndarray:
+        """The token-id array of record *position* (a view)."""
+        return self.token_ids[self.indptr[position] : self.indptr[position + 1]]
+
+    def sizes(self) -> np.ndarray:
+        """Exact set size per record (int64 array)."""
+        return np.diff(self.indptr)
+
+
+def gather_rows(
+    indptr: np.ndarray, data: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate CSR rows *rows* without a Python loop.
+
+    Returns ``(flat, lengths)`` where ``flat`` is the concatenation of
+    ``data[indptr[r]:indptr[r+1]]`` for each row in order and
+    ``lengths`` the per-row element counts.
+    """
+    starts = indptr[rows]
+    lengths = indptr[rows + np.int64(1)] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=data.dtype), lengths
+    out_starts = np.cumsum(lengths) - lengths
+    flat_index = np.repeat(starts - out_starts, lengths) + np.arange(
+        total, dtype=np.int64
+    )
+    return data[flat_index], lengths
+
+
+def intersection_counts(
+    probe_ids: np.ndarray,
+    indptr: np.ndarray,
+    token_ids: np.ndarray,
+    rows: np.ndarray,
+    scratch: np.ndarray,
+) -> np.ndarray:
+    """``|probe ∩ row|`` for each CSR row in *rows*, as int64.
+
+    *scratch* is a reusable bool array of at least vocabulary size; it
+    is restored to all-False before returning (only the probe's own
+    entries are touched, so reuse across calls is O(|probe|), not
+    O(vocab)).
+    """
+    if len(rows) == 0:
+        return np.zeros(0, dtype=np.int64)
+    scratch[probe_ids] = True
+    flat, lengths = gather_rows(indptr, token_ids, rows)
+    if len(flat) == 0:
+        counts = np.zeros(len(rows), dtype=np.int64)
+    else:
+        segments = np.repeat(
+            np.arange(len(rows), dtype=np.int64), lengths
+        )
+        # bincount accumulates strictly in input order — the same
+        # left-to-right order a Python loop over the row would use.
+        counts = np.bincount(
+            segments[scratch[flat]], minlength=len(rows)
+        ).astype(np.int64, copy=False)
+    scratch[probe_ids] = False
+    return counts
+
+
+def overlap_block(
+    inter: np.ndarray, probe_size: int, sizes: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`repro.similarity.measures.overlap_coefficient`.
+
+    ``|a ∩ b| / min(|a|, |b|)`` with both-empty → 1.0 and one-empty →
+    0.0, bit-identical to the scalar measure per element.
+    """
+    out = np.zeros(len(sizes), dtype=np.float64)
+    if probe_size == 0:
+        out[sizes == 0] = 1.0
+        return out
+    nonzero = sizes > 0
+    denominator = np.minimum(probe_size, sizes)
+    np.divide(inter, denominator, out=out, where=nonzero)
+    return out
+
+
+def jaccard_block(
+    inter: np.ndarray, probe_size: int, sizes: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`repro.similarity.measures.jaccard`.
+
+    ``|a ∩ b| / |a ∪ b|`` with both-empty → 1.0 and one-empty → 0.0.
+    """
+    out = np.zeros(len(sizes), dtype=np.float64)
+    if probe_size == 0:
+        out[sizes == 0] = 1.0
+        return out
+    nonzero = sizes > 0
+    union = probe_size + sizes - inter
+    np.divide(inter, union, out=out, where=nonzero)
+    return out
+
+
+def bitmask_encode(
+    sets: Sequence[Iterable[Hashable]],
+) -> tuple[np.ndarray, dict[Hashable, int]] | None:
+    """Encode small-vocabulary sets as uint64 bitmasks.
+
+    Returns ``(masks, bit_of_token)`` — one mask per input set — or
+    None when the combined vocabulary exceeds 64 distinct tokens (the
+    caller must fall back to a scalar set check).  ``a & b != 0`` on
+    masks is then exactly ``bool(set_a & set_b)``.
+    """
+    bit_of_token: dict[Hashable, int] = {}
+    mask_values: list[int] = []
+    for token_set in sets:
+        mask = 0
+        for token in token_set:
+            bit = bit_of_token.get(token)
+            if bit is None:
+                bit = len(bit_of_token)
+                if bit >= 64:
+                    return None
+                bit_of_token[token] = bit
+            mask |= 1 << bit
+        mask_values.append(mask)
+    return np.array(mask_values, dtype=np.uint64), bit_of_token
+
+
+def bitmask_probe(
+    token_set: Iterable[Hashable], bit_of_token: dict[Hashable, int]
+) -> int:
+    """Mask of a probe set under an existing bit assignment.
+
+    Tokens without an assigned bit appear in *no* encoded set, so
+    omitting them from the mask preserves the intersection test
+    exactly.
+    """
+    mask = 0
+    for token in token_set:
+        bit = bit_of_token.get(token)
+        if bit is not None:
+            mask |= 1 << bit
+    return mask

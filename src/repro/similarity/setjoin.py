@@ -26,6 +26,9 @@ import math
 from collections import Counter, defaultdict
 from collections.abc import Sequence
 
+import numpy as np
+
+from .encoding import intersection_counts
 
 _CEIL_EPS = 1e-9
 
@@ -118,6 +121,107 @@ def jaccard_self_join(
                 results.append((*pair, jaccard))
         for position in range(prefix_length):
             index[tokens[position]].append((record, position, size))
+
+    results.sort()
+    return results
+
+
+def _eps_ceil_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_eps_ceil` (identical per-element results)."""
+    floor = np.floor(values)
+    forgive = values - floor <= _CEIL_EPS * np.maximum(1.0, np.abs(values))
+    return np.where(forgive, floor, np.ceil(values)).astype(np.int64)
+
+
+def encoded_jaccard_self_join(
+    sets: Sequence[frozenset[str]],
+    threshold: float,
+) -> list[tuple[int, int, float]]:
+    """:func:`jaccard_self_join` with block-vectorized verification.
+
+    Candidate generation uses the identical prefix/length/positional
+    filters; each record's surviving candidates are then verified in one
+    NumPy pass over an integer-encoded corpus (tokens mapped to their
+    canonical-order rank).  Output is equal to the scalar join's,
+    including the jaccard floats (``int64/int64`` true division is the
+    same correctly-rounded float64 as Python ``/``).
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    order = canonical_token_order(sets)
+    # CSR encoding with id == canonical rank; rows ascending-by-rank are
+    # exactly the rarest-first sorted token lists.
+    indptr = np.zeros(len(sets) + 1, dtype=np.int64)
+    rows = []
+    for position, token_set in enumerate(sets):
+        row = np.sort(
+            np.fromiter(
+                (order[token] for token in token_set),
+                dtype=np.int32,
+                count=len(token_set),
+            )
+        )
+        rows.append(row)
+        indptr[position + 1] = indptr[position] + len(row)
+    token_ids = (
+        np.concatenate(rows) if rows else np.empty(0, dtype=np.int32)
+    ).astype(np.int32, copy=False)
+    sizes = np.diff(indptr)
+    scratch = np.zeros(len(order), dtype=bool)
+    factor = threshold / (1.0 + threshold)
+
+    by_size = sorted(range(len(sets)), key=lambda i: len(sets[i]))
+    index: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
+    results: list[tuple[int, int, float]] = []
+
+    for record in by_size:
+        tokens = rows[record]
+        size = len(tokens)
+        if size == 0:
+            continue
+        minimum_other_size = _eps_ceil(threshold * size)
+        prefix_length = size - minimum_other_size + 1
+        candidate_overlap_bound: dict[int, int] = {}
+        for position in range(prefix_length):
+            token = int(tokens[position])
+            for other, other_position, other_size in index[token]:
+                if other_size < minimum_other_size:
+                    continue  # length filter
+                bound = 1 + min(
+                    size - position - 1, other_size - other_position - 1
+                )
+                best = candidate_overlap_bound.get(other)
+                if best is None or bound > best:
+                    candidate_overlap_bound[other] = bound
+        if candidate_overlap_bound:
+            others = np.fromiter(
+                candidate_overlap_bound.keys(),
+                dtype=np.int64,
+                count=len(candidate_overlap_bound),
+            )
+            bounds = np.fromiter(
+                candidate_overlap_bound.values(),
+                dtype=np.int64,
+                count=len(candidate_overlap_bound),
+            )
+            required = _eps_ceil_array(factor * (size + sizes[others]))
+            others = others[bounds >= required]  # positional filter
+            if len(others):
+                inter = intersection_counts(
+                    tokens, indptr, token_ids, others, scratch
+                )
+                union = size + sizes[others] - inter
+                jaccard = inter / union
+                accept = jaccard >= threshold
+                for other, value in zip(
+                    others[accept].tolist(), jaccard[accept].tolist()
+                ):
+                    pair = (
+                        (other, record) if other < record else (record, other)
+                    )
+                    results.append((*pair, value))
+        for position in range(prefix_length):
+            index[int(tokens[position])].append((record, position, size))
 
     results.sort()
     return results

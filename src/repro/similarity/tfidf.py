@@ -137,7 +137,11 @@ class TfIdfIndex:
         for token, weight in probe.items():
             for doc_id in self._postings.get(token, ()):
                 scores[doc_id] += weight * self._vectors[doc_id].get(token, 0.0)
+        # Tie-break equal cosines by doc_id: dict accumulation order
+        # reflects posting-list traversal, which must not leak into the
+        # result (canopy candidate lists have to be deterministic across
+        # runs and worker counts).
         return sorted(
             ((doc_id, s) for doc_id, s in scores.items() if s >= threshold),
-            key=lambda pair: -pair[1],
+            key=lambda pair: (-pair[1], pair[0]),
         )

@@ -157,3 +157,9 @@ def cached_content_word_set(text: str, stop_words: frozenset[str]) -> frozenset[
 def cached_sorted_initials_key(text: str) -> str:
     """Memoized :func:`sorted_initials_key` for hot predicate loops."""
     return sorted_initials_key(text)
+
+
+@lru_cache(maxsize=65536)
+def cached_initial_set(text: str) -> frozenset[str]:
+    """Memoized :func:`initial_set` for hot predicate loops."""
+    return initial_set(text)

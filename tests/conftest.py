@@ -2,10 +2,32 @@
 
 from __future__ import annotations
 
+import contextlib
+import os
+
 import pytest
 
 from repro.core.records import Record, RecordStore
 from repro.predicates.base import FunctionPredicate, PredicateLevel
+from repro.predicates.batch import VECTORIZE_ENV_VAR
+
+
+@contextlib.contextmanager
+def vectorize_mode(enabled: bool):
+    """Force the vectorized hot path on or off for the enclosed block.
+
+    Sets ``REPRO_VECTORIZE`` in the environment (inherited by forked
+    shard workers too) and restores the previous value on exit.
+    """
+    old = os.environ.get(VECTORIZE_ENV_VAR)
+    os.environ[VECTORIZE_ENV_VAR] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(VECTORIZE_ENV_VAR, None)
+        else:
+            os.environ[VECTORIZE_ENV_VAR] = old
 
 
 def make_store(names: list[str], weights: list[float] | None = None) -> RecordStore:

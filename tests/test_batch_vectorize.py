@@ -1,0 +1,436 @@
+"""Unit coverage for the vectorized batch hot path.
+
+Three layers, each checked against its scalar reference:
+
+* the encoding kernels (:mod:`repro.similarity.encoding`) against
+  plain Python set arithmetic and :mod:`repro.similarity.measures`,
+  asserting *bit-identical* floats;
+* the batch verifiers / count rule (:mod:`repro.predicates.batch`)
+  against ``predicate.evaluate`` / ``count_accepts`` for every library
+  predicate shape, on randomized records;
+* the :class:`~repro.predicates.batch.BatchNeighborEngine` (direct,
+  state-roundtripped, and via :class:`~repro.predicates.blocking.NeighborIndex`)
+  against a forced-scalar index, member and external probes alike.
+
+The end-to-end equality lives in the differential-oracle and parallel
+property suites; this module pins down each layer in isolation so a
+regression points at the culprit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import SharedArrayPack
+from repro.core.records import RecordStore
+from repro.predicates.base import FunctionPredicate
+from repro.predicates.batch import (
+    VECTORIZE_ENV_VAR,
+    BatchNeighborEngine,
+    vectorize_enabled,
+)
+from repro.predicates.blocking import NeighborIndex, build_key_index
+from repro.predicates.library import (
+    AddressS1,
+    CitationS2,
+    CommonWordsPredicate,
+    InitialsWordOverlapPredicate,
+    JaccardPredicate,
+    NgramOverlapPredicate,
+)
+from repro.similarity.encoding import (
+    EncodedSetCorpus,
+    TokenDictionary,
+    bitmask_encode,
+    bitmask_probe,
+    gather_rows,
+    intersection_counts,
+    jaccard_block,
+    overlap_block,
+)
+from repro.similarity.measures import jaccard, overlap_coefficient
+
+# ---------------------------------------------------------------------------
+# Encoding kernels
+
+
+def test_token_dictionary_assigns_dense_first_seen_ids():
+    dictionary = TokenDictionary()
+    ids = dictionary.encode(["b", "a", "b", "c"])
+    assert ids.tolist() == [0, 1, 0, 2]
+    assert len(dictionary) == 3
+    assert "a" in dictionary and "z" not in dictionary
+    # lookup never assigns: unknown tokens are dropped.
+    assert dictionary.lookup_ids(["c", "z", "a"]).tolist() == [2, 1]
+    assert len(dictionary) == 3
+
+
+def test_corpus_rows_and_sizes():
+    sets = [frozenset("ab"), frozenset(), frozenset("bcd")]
+    corpus = EncodedSetCorpus.from_sets(sets)
+    assert corpus.sizes().tolist() == [2, 0, 3]
+    for position, token_set in enumerate(sets):
+        assert len(corpus.row(position)) == len(token_set)
+    assert corpus.vocabulary_size == 4
+
+
+def test_gather_rows_matches_manual_concatenation():
+    rng = random.Random(0)
+    sets = [
+        frozenset(rng.sample(range(50), rng.randint(0, 10))) for _ in range(30)
+    ]
+    corpus = EncodedSetCorpus.from_sets(sets)
+    rows = np.array([3, 0, 17, 3, 29], dtype=np.int64)
+    flat, lengths = gather_rows(corpus.indptr, corpus.token_ids, rows)
+    expected = np.concatenate([corpus.row(r) for r in rows])
+    assert flat.tolist() == expected.tolist()
+    assert lengths.tolist() == [len(corpus.row(r)) for r in rows]
+
+
+def test_intersection_counts_matches_set_arithmetic():
+    rng = random.Random(1)
+    sets = [
+        frozenset(rng.sample(range(40), rng.randint(0, 12)))
+        for _ in range(60)
+    ]
+    corpus = EncodedSetCorpus.from_sets(sets)
+    scratch = np.zeros(corpus.vocabulary_size, dtype=bool)
+    for probe_position in (0, 7, 33):
+        rows = np.arange(len(sets), dtype=np.int64)
+        counts = intersection_counts(
+            corpus.row(probe_position),
+            corpus.indptr,
+            corpus.token_ids,
+            rows,
+            scratch,
+        )
+        expected = [len(sets[probe_position] & sets[r]) for r in rows]
+        assert counts.tolist() == expected
+        assert not scratch.any(), "scratch must be restored to all-False"
+
+
+def test_block_measures_bit_identical_to_scalar_measures():
+    rng = random.Random(2)
+    sets = [
+        frozenset(rng.sample(range(30), rng.randint(0, 9))) for _ in range(40)
+    ]
+    sets += [frozenset(), frozenset()]  # empty-set conventions
+    corpus = EncodedSetCorpus.from_sets(sets)
+    scratch = np.zeros(corpus.vocabulary_size, dtype=bool)
+    sizes = corpus.sizes()
+    rows = np.arange(len(sets), dtype=np.int64)
+    for probe_position in (5, len(sets) - 1):
+        probe_set = sets[probe_position]
+        inter = intersection_counts(
+            corpus.row(probe_position),
+            corpus.indptr,
+            corpus.token_ids,
+            rows,
+            scratch,
+        )
+        overlap = overlap_block(inter, len(probe_set), sizes)
+        jac = jaccard_block(inter, len(probe_set), sizes)
+        for r in rows:
+            assert overlap[r] == overlap_coefficient(probe_set, sets[r])
+            assert jac[r] == jaccard(probe_set, sets[r])
+
+
+def test_bitmask_encode_and_probe():
+    sets = [frozenset("ab"), frozenset("bc"), frozenset()]
+    masks, bit_of_token = bitmask_encode(sets)
+    for i in range(len(sets)):
+        for j in range(len(sets)):
+            assert (int(masks[i]) & int(masks[j]) != 0) == bool(
+                sets[i] & sets[j]
+            )
+    # Probe tokens outside the assignment are droppable: they intersect
+    # no encoded set.
+    probe = bitmask_probe(frozenset("bz"), bit_of_token)
+    assert (probe & int(masks[0]) != 0) == bool(frozenset("bz") & sets[0])
+    # Over 64 distinct tokens cannot be bitmask-encoded.
+    assert bitmask_encode([frozenset([i]) for i in range(65)]) is None
+
+
+# ---------------------------------------------------------------------------
+# Batch verifiers vs scalar evaluate, per library predicate shape
+
+
+def _citation_rows(rng, n):
+    names = ["sunita sarawagi", "s sarawagi", "alok kirpal", "a kirpal",
+             "rakesh agrawal", "r agrawal", "jeff ullman", "j d ullman"]
+    coauthors = ["alok kirpal vgs anil", "anil kumar vgs alok",
+                 "jeff ullman jennifer widom", "", "rakesh r srikant"]
+    return [
+        {
+            "author": rng.choice(names),
+            "coauthors": rng.choice(coauthors),
+            "name": rng.choice(names),
+            "address": rng.choice(
+                ["12 mg road pune", "flat 3 sector 9", "mg road",
+                 "9 hill lane", ""]
+            ),
+            "class": str(rng.randint(1, 3)),
+            "school": str(rng.randint(100, 102)),
+            "dob": f"199{rng.randint(0, 9)}",
+        }
+        for _ in range(n)
+    ]
+
+
+PREDICATES = [
+    NgramOverlapPredicate(field="author", threshold=0.6),
+    NgramOverlapPredicate(
+        field="author", threshold=0.6, require_common_initial=True
+    ),
+    NgramOverlapPredicate(
+        field="name", threshold=0.5, exact_fields=("class", "school")
+    ),
+    InitialsWordOverlapPredicate(field="name", exact_fields=("class", "school")),
+    InitialsWordOverlapPredicate(field="name"),
+    CommonWordsPredicate(fields=("name", "address"), min_common=2),
+    JaccardPredicate(field="coauthors", threshold=0.4),
+    CitationS2(min_coauthors=2),
+    AddressS1(),
+]
+
+
+@pytest.mark.parametrize(
+    "predicate", PREDICATES, ids=lambda p: p.name
+)
+def test_batch_verifier_matches_scalar_evaluate(predicate):
+    rng = random.Random(7)
+    store = RecordStore.from_rows(_citation_rows(rng, 60))
+    records = list(store)
+    verifier = predicate.batch_verifier(records)
+    assert verifier is not None
+    candidates = np.arange(len(records), dtype=np.int64)
+    for position in range(0, len(records), 7):
+        verdicts = verifier.verify_member_block(position, candidates)
+        for other in range(len(records)):
+            assert verdicts[other] == predicate.evaluate(
+                records[position], records[other]
+            ), (predicate.name, position, other)
+
+
+def test_count_rule_matches_scalar_count_accepts():
+    predicate = NgramOverlapPredicate(
+        field="author", threshold=0.6, require_common_initial=True
+    )
+    rng = random.Random(9)
+    store = RecordStore.from_rows(_citation_rows(rng, 50))
+    records = list(store)
+    rule = predicate.batch_count_rule(records)
+    key_counts = np.array(
+        [len(set(predicate.blocking_keys(r))) for r in records],
+        dtype=np.int64,
+    )
+    for position in range(0, len(records), 5):
+        probe = records[position]
+        n_probe = int(key_counts[position])
+        if n_probe == 0:
+            continue
+        others = np.array(
+            [i for i in range(len(records)) if key_counts[i] > 0],
+            dtype=np.int64,
+        )
+        shared = np.array(
+            [
+                len(
+                    set(predicate.blocking_keys(probe))
+                    & set(predicate.blocking_keys(records[i]))
+                )
+                for i in others
+            ],
+            dtype=np.int64,
+        )
+        verdicts = rule.accepts(
+            shared, n_probe, key_counts[others], rule.probe_mask(probe), others
+        )
+        for verdict, other, shared_count in zip(
+            verdicts, others.tolist(), shared.tolist()
+        ):
+            expected = predicate.count_accepts(
+                shared_count, n_probe, int(key_counts[other])
+            ) and predicate.count_post_check(
+                predicate.count_post_signature(probe),
+                predicate.count_post_signature(records[other]),
+            )
+            assert bool(verdict) == expected
+
+
+# ---------------------------------------------------------------------------
+# BatchNeighborEngine vs forced-scalar NeighborIndex
+
+
+@pytest.mark.parametrize(
+    "predicate",
+    [
+        NgramOverlapPredicate(field="author", threshold=0.6),
+        NgramOverlapPredicate(
+            field="author", threshold=0.6, require_common_initial=True
+        ),
+        CommonWordsPredicate(fields=("name", "address"), min_common=2),
+        CitationS2(min_coauthors=2),
+        AddressS1(),
+    ],
+    ids=lambda p: p.name,
+)
+def test_vectorized_index_matches_scalar_index(predicate):
+    rng = random.Random(11)
+    store = RecordStore.from_rows(_citation_rows(rng, 80))
+    records = list(store)
+    scalar = NeighborIndex(predicate, records, vectorize=False)
+    vector = NeighborIndex(predicate, records, vectorize=True)
+    assert scalar.batch_engine is None
+    assert vector.batch_engine is not None
+    # Member probes.
+    for position in range(len(records)):
+        assert vector.neighbors(
+            records[position], exclude_position=position
+        ) == scalar.neighbors(records[position], exclude_position=position)
+    # External probes (not in the index), including tokens the encoding
+    # dictionaries have never seen.
+    probes = RecordStore.from_rows(_citation_rows(random.Random(99), 20))
+    for probe in probes:
+        assert vector.neighbors(probe) == scalar.neighbors(probe)
+
+
+def test_engine_state_roundtrip_preserves_member_queries():
+    predicate = CitationS2(min_coauthors=2)
+    rng = random.Random(13)
+    store = RecordStore.from_rows(_citation_rows(rng, 60))
+    records = list(store)
+    engine = BatchNeighborEngine.build(
+        predicate, records, build_key_index(predicate, records)
+    )
+    arrays, params = engine.export_state()
+    rebuilt = BatchNeighborEngine.from_state(arrays, params)
+
+    class _Sink:
+        predicate_evaluations = 0
+        signature_evaluations = 0
+        cache_hits = 0
+
+    for position in range(len(records)):
+        assert rebuilt.member_neighbors(position, _Sink()) == (
+            engine.member_neighbors(position, _Sink())
+        )
+    # Worker rebuilds drop the probe-encoding state: external probes
+    # must report "cannot encode" (None), never a wrong answer.
+    assert (
+        rebuilt.probe_neighbors(records[0], {"x"}, -1, _Sink()) is None
+    )
+
+
+def test_engine_csr_matches_per_member_lists():
+    predicate = NgramOverlapPredicate(field="author", threshold=0.6)
+    rng = random.Random(17)
+    store = RecordStore.from_rows(_citation_rows(rng, 50))
+    records = list(store)
+    engine = BatchNeighborEngine.build(
+        predicate, records, build_key_index(predicate, records)
+    )
+
+    class _Sink:
+        predicate_evaluations = 0
+        signature_evaluations = 0
+        cache_hits = 0
+
+    positions = list(range(0, len(records), 3))
+    indptr, flat = engine.member_neighbors_csr(positions, _Sink())
+    for row, position in enumerate(positions):
+        assert flat[indptr[row] : indptr[row + 1]].tolist() == (
+            engine.member_neighbors(position, _Sink())
+        )
+
+
+def test_custom_predicate_without_hooks_stays_scalar():
+    predicate = FunctionPredicate(
+        evaluate_fn=lambda a, b: a["name"] == b["name"],
+        keys_fn=lambda r: [r["name"]],
+        name="custom",
+    )
+    store = RecordStore.from_rows([{"name": "x"}, {"name": "x"}, {"name": "y"}])
+    index = NeighborIndex(predicate, list(store), vectorize=True)
+    assert not predicate.supports_batch
+    assert index.batch_engine is None
+    assert index.neighbors(store[0], exclude_position=0) == [1]
+
+
+def test_vectorize_env_switch():
+    assert vectorize_enabled(True) and not vectorize_enabled(False)
+    import os
+
+    old = os.environ.get(VECTORIZE_ENV_VAR)
+    try:
+        os.environ[VECTORIZE_ENV_VAR] = "0"
+        assert not vectorize_enabled(None)
+        os.environ[VECTORIZE_ENV_VAR] = "1"
+        assert vectorize_enabled(None)
+        os.environ.pop(VECTORIZE_ENV_VAR)
+        assert vectorize_enabled(None)
+    finally:
+        if old is None:
+            os.environ.pop(VECTORIZE_ENV_VAR, None)
+        else:
+            os.environ[VECTORIZE_ENV_VAR] = old
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory transport
+
+
+def test_shared_array_pack_roundtrip():
+    arrays = {
+        "a": np.arange(10, dtype=np.int64),
+        "b": np.array([1, 2, 3], dtype=np.int32),
+        "masks": np.array([5, 9], dtype=np.uint64),
+        "empty": np.empty(0, dtype=np.int32),
+    }
+    pack = SharedArrayPack.create(arrays)
+    try:
+        attached = SharedArrayPack.attach(pack.name, pack.manifest)
+        try:
+            views = attached.arrays()
+            for name, array in arrays.items():
+                assert views[name].dtype == array.dtype
+                assert views[name].tolist() == array.tolist()
+        finally:
+            attached.close()
+    finally:
+        pack.destroy()
+
+
+def test_shared_pack_engine_rebuild_matches_original():
+    predicate = NgramOverlapPredicate(
+        field="author", threshold=0.6, require_common_initial=True
+    )
+    rng = random.Random(23)
+    store = RecordStore.from_rows(_citation_rows(rng, 40))
+    records = list(store)
+    engine = BatchNeighborEngine.build(
+        predicate, records, build_key_index(predicate, records)
+    )
+    arrays, params = engine.export_state()
+    pack = SharedArrayPack.create(arrays)
+
+    class _Sink:
+        predicate_evaluations = 0
+        signature_evaluations = 0
+        cache_hits = 0
+
+    try:
+        attached = SharedArrayPack.attach(pack.name, pack.manifest)
+        try:
+            rebuilt = BatchNeighborEngine.from_state(attached.arrays(), params)
+            for position in range(len(records)):
+                assert rebuilt.member_neighbors(position, _Sink()) == (
+                    engine.member_neighbors(position, _Sink())
+                )
+        finally:
+            attached.close()
+    finally:
+        pack.destroy()

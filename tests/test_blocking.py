@@ -236,3 +236,100 @@ class TestSortedNeighborhoodFallback:
         assert uf.connected(0, 4)
         assert uf.connected(2, 3)
         assert not uf.connected(0, 2)
+
+
+class TestDiscardCountersParity:
+    """Regression: the bare-index null counter sink must mirror
+    PipelineCounters field-for-field, or a guarded predicate's first
+    contained fault raises AttributeError mid-query."""
+
+    def test_field_set_matches_pipeline_counters(self):
+        from repro.predicates.blocking import _DiscardCounters
+
+        sink = _DiscardCounters()
+        assert set(vars(sink)) == set(PipelineCounters._INT_FIELDS)
+        for field in PipelineCounters._INT_FIELDS:
+            # Every field must be bump-able the way pipeline code does it.
+            setattr(sink, field, getattr(sink, field) + 1)
+            assert getattr(sink, field) == 1
+
+    def test_bare_index_tolerates_contained_keying_fault(self):
+        from repro.core.resilience import ExecutionPolicy, GuardedPredicate
+
+        calls = {"n": 0}
+
+        def flaky_keys(record):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected keying fault")
+            return record["name"].split()
+
+        inner = FunctionPredicate(
+            evaluate_fn=lambda a, b: bool(
+                set(a["name"].split()) & set(b["name"].split())
+            ),
+            keys_fn=flaky_keys,
+            name="flaky-keys",
+        )
+        counters = PipelineCounters()
+        state = ExecutionPolicy(on_error="degrade").start(counters)
+        guarded = GuardedPredicate(inner, "necessary", state)
+        store = make_store(
+            ["ann smith", "ann jones", "bob smith", "ann brown"]
+        )
+        # No counters passed: the index falls back to _DiscardCounters.
+        # Building it keys record 0 first — the injected fault fires and
+        # is contained (record 0 simply drops out of every block).
+        index = NeighborIndex(guarded, list(store))
+        assert index.neighbors(store[1], exclude_position=1) == [3]
+        assert counters.keying_errors_contained == 1
+
+
+class TestCandidatePairsDedupe:
+    """Regression: candidate_pairs deduped via a global seen-set of
+    emitted pairs — O(pairs) memory and no signature fast path.  The
+    rewrite owns each pair at its smallest shared key ordinal and
+    verifies via signatures when the predicate supports them."""
+
+    def _verified_reference(self, predicate, records):
+        pairs = set()
+        for a in range(len(records)):
+            for b in range(a + 1, len(records)):
+                shared = set(predicate.blocking_keys(records[a])) & set(
+                    predicate.blocking_keys(records[b])
+                )
+                if shared and predicate.evaluate(records[a], records[b]):
+                    pairs.add((a, b))
+        return pairs
+
+    def test_multi_shared_key_pairs_emitted_exactly_once(self):
+        # "ann smith" pairs share BOTH words: two blocks propose the
+        # same pair; exactly one may emit it.
+        store = make_store(
+            ["ann smith", "ann smith", "ann jones", "bob smith", "ann smith"]
+        )
+        predicate = shared_word_predicate()
+        records = list(store)
+        emitted = list(candidate_pairs(predicate, records))
+        assert len(emitted) == len(set(emitted))
+        assert set(emitted) == self._verified_reference(predicate, records)
+
+    def test_signature_fast_path_matches_evaluate(self):
+        from repro.datasets import generate_students
+        from repro.predicates import student_n2
+
+        ds = generate_students(n_records=150, seed=4)
+        records = list(ds.store)
+        predicate = student_n2()
+        assert predicate.supports_signatures
+        emitted = list(candidate_pairs(predicate, records))
+        assert len(emitted) == len(set(emitted))
+        assert set(emitted) == self._verified_reference(predicate, records)
+
+    def test_unverified_pairs_also_unique(self):
+        store = make_store(["ann smith", "ann smith", "smith ann"])
+        emitted = list(
+            candidate_pairs(shared_word_predicate(), list(store), verify=False)
+        )
+        assert sorted(emitted) == [(0, 1), (0, 2), (1, 2)]
+        assert len(emitted) == len(set(emitted))

@@ -33,6 +33,8 @@ the unguarded one — resilience plumbing must not perturb answers.
 import pytest
 
 from repro.baselines import full_dedup_pipeline
+from repro.core.parallel import fork_available, group_fingerprint
+from repro.core.pruned_dedup import pruned_dedup
 from repro.core.rank_query import thresholded_rank_query, topk_rank_query
 from repro.core.resilience import ExecutionPolicy
 from repro.core.topk import topk_count_query
@@ -42,6 +44,7 @@ from repro.experiments.harness import (
     student_pipeline,
     train_scorer_for,
 )
+from tests.conftest import vectorize_mode
 
 K = 5
 N_RECORDS = 300
@@ -234,3 +237,44 @@ class TestThresholdedRankQuery:
         assert not guarded.degraded
         assert guarded.ranking == plain.ranking
         assert guarded.certain == plain.certain
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kind", DATASETS)
+class TestVectorizedPathIdentity:
+    """Scalar vs vectorized vs vectorized+sharded: bit-identical answers.
+
+    The vectorized batch hot path (``REPRO_VECTORIZE``) and the
+    shared-memory shard transport are pure execution strategies — every
+    seeded dataset must produce byte-for-byte the same groups and
+    weights whichever path runs, at every worker count.
+    """
+
+    def test_scalar_vectorized_sharded_identical(self, kind, seed):
+        store, levels, _ = pipeline_for(kind, seed)
+        with vectorize_mode(False):
+            scalar = pruned_dedup(store, K, levels, workers=1)
+        baseline = group_fingerprint(scalar.groups)
+        worker_counts = (1, 2, 4) if fork_available() else (1,)
+        with vectorize_mode(True):
+            for workers in worker_counts:
+                result = pruned_dedup(store, K, levels, workers=workers)
+                assert group_fingerprint(result.groups) == baseline, (
+                    kind, seed, workers,
+                )
+                assert result.groups.weights() == scalar.groups.weights()
+                assert result.counters.shards_degraded == 0
+
+    def test_count_query_identical(self, kind, seed):
+        store, levels, scorer = pipeline_for(kind, seed)
+        with vectorize_mode(False):
+            scalar = topk_count_query(store, K, levels, scorer)
+        with vectorize_mode(True):
+            vectorized = topk_count_query(store, K, levels, scorer)
+        assert [
+            [(e.record_ids, e.weight) for e in a.entities]
+            for a in vectorized.answers
+        ] == [
+            [(e.record_ids, e.weight) for e in a.entities]
+            for a in scalar.answers
+        ]

@@ -22,6 +22,7 @@ from repro.core.rank_query import thresholded_rank_query, topk_rank_query
 from repro.core.resilience import ExecutionPolicy
 from repro.experiments import citation_pipeline, student_pipeline
 from repro.testing import FaultPlan, chaos_levels
+from tests.conftest import vectorize_mode
 
 pytestmark = pytest.mark.skipif(
     not fork_available(), reason="platform has no fork start method"
@@ -109,3 +110,58 @@ def test_degraded_chaos_runs_bit_identical(dataset, seed):
             workers,
         )
         assert result.degraded == serial.degraded
+
+
+@pytest.mark.parametrize("dataset", ["citations", "students"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scalar_vectorized_sharded_bit_identical(dataset, seed):
+    # Three execution strategies for the same query: the scalar
+    # reference path, the vectorized batch hot path, and the vectorized
+    # path fanned out over shared-memory shards.  The answer must be
+    # invisible to the choice at every worker count.
+    pipeline = _pipeline(dataset, seed)
+    with vectorize_mode(False):
+        scalar = pruned_dedup(pipeline.store, K, pipeline.levels, workers=1)
+    baseline = group_fingerprint(scalar.groups)
+    with vectorize_mode(True):
+        for workers in (1, *WORKER_COUNTS):
+            result = pruned_dedup(
+                pipeline.store, K, pipeline.levels, workers=workers
+            )
+            assert group_fingerprint(result.groups) == baseline, (
+                dataset,
+                seed,
+                workers,
+            )
+            assert result.groups.weights() == scalar.groups.weights()
+            assert result.counters.shards_degraded == 0
+
+
+@pytest.mark.parametrize("dataset", ["citations", "students"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_rank_queries_scalar_vs_vectorized_sharded(dataset, seed):
+    pipeline = _pipeline(dataset, seed)
+    with vectorize_mode(False):
+        scalar_rank = topk_rank_query(
+            pipeline.store, K, pipeline.levels, workers=1
+        )
+        scalar_threshold = thresholded_rank_query(
+            pipeline.store, 5.0, pipeline.levels, workers=1
+        )
+    with vectorize_mode(True):
+        for workers in (1, *WORKER_COUNTS):
+            rank = topk_rank_query(
+                pipeline.store, K, pipeline.levels, workers=workers
+            )
+            assert rank.ranking == scalar_rank.ranking, (
+                dataset, seed, workers,
+            )
+            assert rank.certain == scalar_rank.certain
+            assert group_fingerprint(rank.groups) == group_fingerprint(
+                scalar_rank.groups
+            )
+            threshold = thresholded_rank_query(
+                pipeline.store, 5.0, pipeline.levels, workers=workers
+            )
+            assert threshold.ranking == scalar_threshold.ranking
+            assert threshold.certain == scalar_threshold.certain

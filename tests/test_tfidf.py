@@ -145,3 +145,35 @@ class TestZeroWeightPostings:
         index = self._index()
         assert "common" in index.vector(0)
         assert index.vector(0)["common"] == 0.0
+
+
+class TestDeterministicTieOrder:
+    """Regression: candidates_above sorted by score only, so equal-score
+    candidates surfaced in dict-insertion order — canopy assignment then
+    depended on index build order.  Ties now break by ascending doc id."""
+
+    def _index(self):
+        docs = [["alpha", "x"], ["alpha", "y"], ["alpha", "z"], ["alpha", "w"]]
+        table = IdfTable(docs + [["filler"]])
+        index = TfIdfIndex(table)
+        # Deliberately add out of id order.
+        for doc_id in (2, 0, 3, 1):
+            index.add(doc_id, docs[doc_id])
+        return index
+
+    def test_equal_scores_ordered_by_doc_id(self):
+        index = self._index()
+        results = index.candidates_above(["alpha"], 0.0)
+        scores = [score for _, score in results]
+        assert len(set(scores)) == 1  # all ties by construction
+        assert [doc_id for doc_id, _ in results] == [0, 1, 2, 3]
+
+    def test_descending_score_before_id(self):
+        docs = [["alpha", "beta"], ["alpha", "x"], ["alpha", "y"]]
+        table = IdfTable(docs + [["filler"]])
+        index = TfIdfIndex(table)
+        for doc_id in (2, 1, 0):
+            index.add(doc_id, docs[doc_id])
+        results = index.candidates_above(["alpha", "beta"], 0.0)
+        assert [doc_id for doc_id, _ in results][0] == 0  # best score first
+        assert results[1][0] < results[2][0]  # tied tail by id
