@@ -18,10 +18,12 @@ from .core import (
     DurabilityPolicy,
     EntityGroup,
     ExecutionPolicy,
+    HealthMonitor,
     IncrementalTopK,
     GroupSet,
     Record,
     RecordStore,
+    RetryPolicy,
     TopKQueryResult,
     pruned_dedup,
     thresholded_rank_query,
@@ -36,11 +38,13 @@ __all__ = [
     "DurabilityPolicy",
     "EntityGroup",
     "ExecutionPolicy",
+    "HealthMonitor",
     "IncrementalTopK",
     "GroupSet",
     "PredicateLevel",
     "Record",
     "RecordStore",
+    "RetryPolicy",
     "TopKQueryResult",
     "__version__",
     "pruned_dedup",

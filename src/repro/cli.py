@@ -9,6 +9,7 @@ Usage::
                               --state-dir state/ --checkpoint-every 1000
     python -m repro checkpoint --state-dir state/ --field name
     python -m repro restore    --state-dir state/ --field name
+    python -m repro health     --state-dir state/ --field name
 
 The CSV needs a header row.  ``--field`` names the entity-mention column;
 ``--weight-field`` (optional) names a numeric per-record weight.  The
@@ -26,8 +27,9 @@ import math
 import sys
 from collections.abc import Sequence
 
+from .core.health import HealthMonitor
 from .core.incremental import IncrementalTopK
-from .core.persistence import has_state
+from .core.persistence import WalCorruptionError, has_state
 from .core.pruned_dedup import PrunedDedupResult
 from .core.rank_query import thresholded_rank_query, topk_rank_query
 from .core.records import RecordStore
@@ -284,6 +286,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.6,
         help="necessary-predicate 3-gram overlap threshold (default 0.6)",
+    )
+
+    health = commands.add_parser(
+        "health",
+        help="readiness/liveness report over breakers and durable state",
+    )
+    health.add_argument(
+        "--state-dir",
+        default=None,
+        help="durable state directory to inspect (restores it read-only; "
+        "requires --field)",
+    )
+    health.add_argument(
+        "--field", default=None, help="entity-mention column name"
+    )
+    health.add_argument(
+        "--ngram-threshold",
+        type=float,
+        default=0.6,
+        help="necessary-predicate 3-gram overlap threshold (default 0.6)",
+    )
+    health.add_argument(
+        "--audit",
+        action="store_true",
+        help="additionally run the full state audit (O(records))",
+    )
+    health.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the health gauges as a Prometheus text snapshot",
     )
 
     generate = commands.add_parser(
@@ -645,6 +678,47 @@ def run_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_health(args: argparse.Namespace) -> int:
+    """The ``health`` verb: print every check, exit 0 only when ready.
+
+    Exit codes: 0 = ready (degradations, if any, are itemized on
+    stdout), 1 = not ready (state cannot be trusted).  Restoring the
+    state directory already runs recovery's audit, so a directory that
+    restores at all is structurally sound; ``--audit`` re-checks the
+    live state explicitly.
+    """
+    engine = None
+    if args.state_dir is not None:
+        if args.field is None:
+            raise ValueError("--state-dir requires --field")
+        if not has_state(args.state_dir):
+            raise ValueError(f"{args.state_dir} holds no stream state")
+        engine = IncrementalTopK.restore(
+            args.state_dir, generic_levels(args.field, args.ngram_threshold)
+        )
+    try:
+        monitor = HealthMonitor(engine=engine, audit=args.audit)
+        if args.metrics_out is not None:
+            registry = MetricsRegistry()
+            snapshot = monitor.publish(registry)
+            with open(args.metrics_out, "w") as handle:
+                handle.write(prometheus_text(registry))
+        else:
+            snapshot = monitor.snapshot()
+        for check in snapshot.checks:
+            marker = "ok  " if check.ok else "WARN"
+            print(f"{marker}  {check.name}: {check.detail}")
+        print(
+            f"live={'yes' if snapshot.live else 'no'} "
+            f"ready={'yes' if snapshot.ready else 'no'} "
+            f"degraded={'yes' if snapshot.degraded else 'no'}"
+        )
+        return 0 if snapshot.ready else 1
+    finally:
+        if engine is not None:
+            engine.close()
+
+
 def run_generate(args: argparse.Namespace) -> int:
     from .datasets import (
         generate_addresses,
@@ -684,10 +758,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stream": run_stream,
         "checkpoint": run_checkpoint,
         "restore": run_restore,
+        "health": run_health,
         "generate": run_generate,
     }
     try:
         return handlers[args.command](args)
+    except WalCorruptionError as exc:
+        # Mid-log WAL damage is recoverable by the operator (the
+        # checkpoints are intact) but not by retrying the command —
+        # a distinct exit code plus the one remediation that works.
+        segment = exc.segment or "<unknown segment>"
+        print(
+            f"error: WAL corrupt at {segment}; restore from last "
+            f"checkpoint with `python -m repro restore --state-dir ... "
+            f"--field ...` after moving the damaged segment aside "
+            f"(detail: {exc})",
+            file=sys.stderr,
+        )
+        return 3
     except (ValueError, OSError) as exc:
         # Bad input or a damaged state directory is an operator problem,
         # not a bug — one line on stderr and exit 2, never a traceback.

@@ -1,9 +1,15 @@
 """Core pipeline: records, PrunedDedup stages, and query engines."""
 
 from .collapse import collapse, collapse_records
+from .health import (
+    HealthCheck,
+    HealthMonitor,
+    HealthSnapshot,
+)
 from .incremental import DeadLetter, IncrementalTopK
 from .persistence import (
     CheckpointError,
+    CheckpointWriteError,
     DurabilityPolicy,
     DurableStateStore,
     PersistenceError,
@@ -11,6 +17,16 @@ from .persistence import (
     StateAuditError,
     WalCorruptionError,
     has_state,
+)
+from .retry import (
+    BREAKERS,
+    BreakerOpen,
+    BreakerRegistry,
+    CircuitBreaker,
+    RetryExhausted,
+    RetryPolicy,
+    fire_fault,
+    install_fault_hook,
 )
 from .lower_bound import (
     LowerBoundEstimate,
@@ -58,11 +74,19 @@ from .topk import (
 )
 
 __all__ = [
+    "BREAKERS",
+    "BreakerOpen",
+    "BreakerRegistry",
     "CheckpointError",
+    "CheckpointWriteError",
+    "CircuitBreaker",
     "DeadLetter",
     "DurabilityPolicy",
     "DurableStateStore",
     "EntityGroup",
+    "HealthCheck",
+    "HealthMonitor",
+    "HealthSnapshot",
     "ExecutionPolicy",
     "ExecutionState",
     "GuardedPredicate",
@@ -83,6 +107,8 @@ __all__ = [
     "Record",
     "RecordStore",
     "ResilienceExhausted",
+    "RetryExhausted",
+    "RetryPolicy",
     "StageRecord",
     "StageRunner",
     "ShardPlan",
@@ -94,10 +120,12 @@ __all__ = [
     "collapse_records",
     "estimate_lower_bound",
     "estimate_lower_bound_naive",
+    "fire_fault",
     "group_fingerprint",
     "group_score_matrix",
     "guard_levels",
     "has_state",
+    "install_fault_hook",
     "merge_groups",
     "parallel_collapse",
     "prime_neighbor_index",

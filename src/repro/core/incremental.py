@@ -212,6 +212,29 @@ class IncrementalTopK:
         """True when inserts are journaled to a state directory."""
         return self._durable is not None
 
+    @property
+    def durability_degraded(self) -> bool:
+        """True when journaling was suspended by a persistent storage
+        fault (``ENOSPC``, retry exhaustion): live answers stay correct,
+        but inserts since the suspension are not journaled — a crash
+        would lose them.  Always False without durability."""
+        return self._durable is not None and self._durable.durability_degraded
+
+    def durability_status(self) -> dict:
+        """Health-facing snapshot of the durable store's state."""
+        store = self._durable
+        if store is None:
+            return {"durable": False}
+        return {
+            "durable": True,
+            "degraded": store.durability_degraded,
+            "degraded_reason": store.degraded_reason,
+            "appends_suspended": store.appends_suspended,
+            "checkpoints_failed": store.checkpoints_failed,
+            "breaker_state": store.breaker.state,
+            "entries_journaled": store.next_index,
+        }
+
     def add(self, fields: Mapping[str, str], weight: float = 1.0) -> int:
         """Insert one record; return its id (or -1 when quarantined).
 
@@ -377,12 +400,14 @@ class IncrementalTopK:
 
     # -- durability ----------------------------------------------------
 
-    def checkpoint(self) -> Path:
+    def checkpoint(self, *, prune: bool = True) -> Path:
         """Snapshot the full stream state into the state directory.
 
         The snapshot (record store, union-find closure, per-group
         weights, dead letters) is written atomically; WAL segments and
-        checkpoints subsumed by the retention policy are pruned.
+        checkpoints subsumed by the retention policy are pruned unless
+        *prune* is False (crash harnesses keep the full history so any
+        write moment stays reconstructible).
         Returns the checkpoint's path.  Requires durability.
         """
         if self._durable is None:
@@ -425,7 +450,8 @@ class IncrementalTopK:
             },
         }
         path = self._durable.write_checkpoint(header, sections)
-        self._durable.prune()
+        if prune:
+            self._durable.prune()
         return path
 
     @classmethod

@@ -53,6 +53,7 @@ import time
 from collections import defaultdict
 from collections.abc import Hashable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable
@@ -67,14 +68,89 @@ from ..predicates.blocking import NeighborIndex, build_key_index, closure
 from .collapse import collapse
 from .records import Group, GroupSet, Record, merge_groups
 from .resilience import GuardedPredicate, ResilienceExhausted
+from .retry import (
+    BREAKERS,
+    SITE_SHM_ATTACH,
+    SITE_SHM_CREATE,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_HANG,
+    RetryPolicy,
+    fire_fault,
+)
 from .verification import PipelineCounters, VerificationContext
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
+#: Environment variable overriding the per-stage shard wall-clock budget.
+SHARD_TIMEOUT_ENV_VAR = "REPRO_SHARD_TIMEOUT"
+
+#: Default wall-clock budget for collecting one stage's shard results.
+#: A worker that hangs past it is killed and its shard recomputed
+#: serially — generous enough that no legitimate shard ever hits it.
+DEFAULT_SHARD_TIMEOUT = 300.0
+
 #: Below this many groups the fork + merge overhead outweighs any
 #: parallel speedup; stages run serially regardless of the worker knob.
 MIN_PARALLEL_GROUPS = 32
+
+#: Name of the shard pool's circuit breaker in the global registry
+#: (:data:`repro.core.retry.BREAKERS`).  After
+#: :data:`SHARD_BREAKER_THRESHOLD` consecutive shard failures *that
+#: survived their retry*, the breaker opens and queries run serial-only
+#: for the rest of the session — bit-identical answers, no more forked
+#: pools against infrastructure that keeps eating workers.
+SHARD_BREAKER = "parallel.shards"
+SHARD_BREAKER_THRESHOLD = 5
+
+#: Retry schedule for attaching a worker to the shared-memory segment.
+SHM_ATTACH_RETRY = RetryPolicy(
+    max_attempts=3, base_delay_seconds=0.001, max_delay_seconds=0.01
+)
+
+_shard_timeout_override: float | None = None
+
+
+def shard_timeout() -> float | None:
+    """Effective shard-collection budget in seconds (None = unbounded).
+
+    Resolution order: :func:`set_shard_timeout` override, then the
+    ``REPRO_SHARD_TIMEOUT`` environment variable (0 or negative =
+    unbounded), then :data:`DEFAULT_SHARD_TIMEOUT`.
+    """
+    if _shard_timeout_override is not None:
+        return _shard_timeout_override if _shard_timeout_override > 0 else None
+    raw = os.environ.get(SHARD_TIMEOUT_ENV_VAR, "").strip()
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{SHARD_TIMEOUT_ENV_VAR} must be a number, got {raw!r}"
+            ) from None
+        return value if value > 0 else None
+    return DEFAULT_SHARD_TIMEOUT
+
+
+def set_shard_timeout(seconds: float | None) -> float | None:
+    """Override the shard budget for this process (tests, embedders).
+
+    Pass ``None`` to fall back to the environment/default chain; 0 or a
+    negative value disables the budget.  Returns the previous override.
+    """
+    global _shard_timeout_override
+    previous = _shard_timeout_override
+    _shard_timeout_override = seconds
+    return previous
+
+
+def shard_breaker():
+    """The shard pool's session circuit breaker (global registry)."""
+    return BREAKERS.breaker(
+        SHARD_BREAKER,
+        failure_threshold=SHARD_BREAKER_THRESHOLD,
+        recovery_seconds=float("inf"),
+    )
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -262,18 +338,28 @@ def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
     unconditionally register the attachment, and each worker's tracker
     would then unlink the (parent-owned) segment at exit.  The fallback
     suppresses registration around the attach only.
-    """
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # Python <= 3.12: no track parameter
-        from multiprocessing import resource_tracker
 
-        original = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
+    Attaches are retried under :data:`SHM_ATTACH_RETRY` (transient
+    ``ENOENT``/``EACCES`` around segment publication); exhaustion
+    propagates out of the worker, which degrades that shard to the
+    parent's serial fallback.
+    """
+
+    def _attempt(attempt: int) -> shared_memory.SharedMemory:
+        fire_fault(SITE_SHM_ATTACH, segment=name, attempt=attempt)
         try:
-            return shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
+            return shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # Python <= 3.12: no track parameter
+            from multiprocessing import resource_tracker
+
+            original = resource_tracker.register
+            resource_tracker.register = lambda *args, **kwargs: None
+            try:
+                return shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
+
+    return SHM_ATTACH_RETRY.call(_attempt, key=f"shm.attach:{name}")
 
 
 class SharedArrayPack:
@@ -302,6 +388,7 @@ class SharedArrayPack:
 
     @classmethod
     def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayPack":
+        fire_fault(SITE_SHM_CREATE, n_arrays=len(arrays))
         contiguous = {
             name: np.ascontiguousarray(array) for name, array in arrays.items()
         }
@@ -418,16 +505,25 @@ def _csr_to_lists(
     ]
 
 
-def _shard_entry(task: tuple[str, int]):
+def _shard_entry(task: tuple[str, int, int]):
     """Child-process entry point: run one shard, returning its data plus
     the counter and keying-failure deltas it produced (fork gives each
     child an independent copy of the shared counters, so deltas are the
     only way work travels back to the parent) and the worker-side
     elapsed wall time (observability only — the parent folds it into a
-    transient shard span, never into stage timings)."""
-    kind, shard_index = task
+    transient shard span, never into stage timings).
+
+    The first two fault sites fire here, inside the child: a crash
+    fault hard-exits the process (the parent sees a dead worker), a
+    hang fault sleeps past the parent's shard budget (the parent times
+    the result out and kills the pool).  The attempt number keys the
+    draws so a one-shot fault clears on the shard's retry.
+    """
+    kind, shard_index, attempt = task
     payload = _PAYLOAD
     assert payload is not None, "worker forked before the payload was set"
+    fire_fault(SITE_WORKER_CRASH, shard=shard_index, attempt=attempt)
+    fire_fault(SITE_WORKER_HANG, shard=shard_index, attempt=attempt)
     counters: PipelineCounters = payload["counters"]
     predicate: Predicate = payload["predicate"]
     records: Sequence[Record] = payload["records"]
@@ -455,40 +551,130 @@ def _shard_entry(task: tuple[str, int]):
     )
 
 
-def _run_shards(payload: dict, plan: ShardPlan, workers: int) -> list:
-    """Fan the plan's shards out over a fresh fork pool.
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on its (possibly hung) workers.
 
-    Returns one entry per shard: the worker's ``("ok", ...)`` /
-    ``("exhausted", reason)`` result, or None when the worker died (the
-    caller recomputes such shards serially).  A fresh pool per stage is
-    required for correctness: forked children snapshot the payload
-    global at fork time, so a reused pool would serve stale payloads.
+    ``shutdown(wait=True)`` — what a ``with`` block does — joins every
+    worker, so one hung child would hang the parent forever.  Cancel
+    what hasn't started, kill what has, then reap.  ``_processes`` is
+    private API, so it is read defensively; on an interpreter where it
+    is absent the workers leak until process exit rather than hang us.
+    """
+    # Grab the worker handles first: shutdown(wait=False) clears the
+    # pool's _processes dict reference on some interpreter versions.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:  # noqa: BLE001 — already-dead workers etc.
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def _run_shard_batch(
+    payload: dict,
+    shard_indices: Sequence[int],
+    workers: int,
+    attempt: int,
+    budget: float | None,
+) -> dict[int, object]:
+    """Run *shard_indices* over one fresh fork pool; map shard → result.
+
+    A missing/None value means that shard failed this round: its worker
+    died, its result did not arrive within *budget* seconds, or the
+    pool itself broke.  On a timeout the pool's workers are killed —
+    a hung worker must not outlive the stage.
     """
     global _PAYLOAD
-    results: list = [None] * plan.n_shards
+    out: dict[int, object] = {index: None for index in shard_indices}
     _PAYLOAD = payload
+    pool = None
+    hung = False
     try:
         context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, plan.n_shards), mp_context=context
-        ) as pool:
-            futures = [
-                pool.submit(_shard_entry, (payload["kind"], shard_index))
-                for shard_index in range(plan.n_shards)
-            ]
-            for shard_index, future in enumerate(futures):
-                try:
-                    results[shard_index] = future.result()
-                except Exception:
-                    # Worker process died (or its result failed to
-                    # travel): leave None, the parent recomputes it.
-                    results[shard_index] = None
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(shard_indices)), mp_context=context
+        )
+        futures = {
+            shard_index: pool.submit(
+                _shard_entry, (payload["kind"], shard_index, attempt)
+            )
+            for shard_index in shard_indices
+        }
+        deadline = None if budget is None else time.monotonic() + budget
+        for shard_index, future in futures.items():
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                out[shard_index] = future.result(timeout=remaining)
+            except _FutureTimeout:
+                hung = True
+                out[shard_index] = None
+            except Exception:
+                # Worker process died (or its result failed to travel):
+                # leave None, the caller retries or recomputes it.
+                out[shard_index] = None
     except Exception:
         # Pool-level failure: every unfinished shard falls back serially.
         pass
     finally:
         _PAYLOAD = None
-    return results
+        if pool is not None:
+            if hung:
+                _kill_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+    return out
+
+
+def _run_shards(payload: dict, plan: ShardPlan, workers: int) -> list:
+    """Fan the plan's shards out, retrying failed shards once.
+
+    Returns one entry per shard: the worker's ``("ok", ...)`` /
+    ``("exhausted", reason)`` result, or None when the worker died or
+    hung twice (the caller recomputes such shards serially).  A fresh
+    fork pool per batch is required for correctness: forked children
+    snapshot the payload global at fork time, so a reused pool would
+    serve stale payloads — and a dead worker breaks its whole pool
+    anyway, so the retry round *needs* a new one.
+
+    Every shard's final outcome feeds the session breaker
+    (:func:`shard_breaker`): enough consecutive failures and the
+    breaker opens, standing the parallel path down for the session
+    (callers then run serial — bit-identical answers either way).
+    """
+    budget = shard_timeout()
+    metrics = payload.get("metrics")
+    results_map = _run_shard_batch(
+        payload, range(plan.n_shards), workers, attempt=0, budget=budget
+    )
+    failed = [
+        index for index in range(plan.n_shards) if results_map[index] is None
+    ]
+    if failed:
+        if metrics is not None and metrics.enabled:
+            metrics.counter("repro_shard_retries_total").inc(len(failed))
+        retry_map = _run_shard_batch(
+            payload, failed, workers, attempt=1, budget=budget
+        )
+        results_map.update(
+            {i: r for i, r in retry_map.items() if r is not None}
+        )
+    breaker = shard_breaker()
+    for index in range(plan.n_shards):
+        if results_map[index] is None:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+    return [results_map[index] for index in range(plan.n_shards)]
 
 
 def _fold_shard_results(
@@ -568,6 +754,22 @@ def _fold_shard_results(
 # The two parallel stages.
 
 
+def _parallel_allowed(context: VerificationContext) -> bool:
+    """Consult the session breaker before forking a pool.
+
+    An open breaker stands the parallel path down: the stage runs
+    serially (bit-identical answer), the stand-down is visible as a
+    span event and the ``repro_parallel_stand_downs_total`` counter.
+    """
+    if shard_breaker().allow():
+        return True
+    context.event("parallel_stood_down", breaker=SHARD_BREAKER)
+    metrics = context.metrics
+    if metrics.enabled:
+        metrics.counter("repro_parallel_stand_downs_total").inc()
+    return False
+
+
 def parallel_collapse(
     group_set: GroupSet,
     sufficient: Predicate,
@@ -596,6 +798,8 @@ def parallel_collapse(
         or not fork_available()
     ):
         return collapse(group_set, sufficient)
+    if not _parallel_allowed(context):
+        return collapse(group_set, sufficient)
     representatives = group_set.representatives()
     plan = ShardPlan.by_components(sufficient, representatives, workers)
     if plan.n_shards < 2:
@@ -607,6 +811,7 @@ def parallel_collapse(
         "records": representatives,
         "plan": plan,
         "counters": context.counters,
+        "metrics": context.metrics,
     }
     results = _run_shards(payload, plan, workers)
     merge_lists = _fold_shard_results(
@@ -662,6 +867,8 @@ def prime_neighbor_index(
         or not index.memoizing
     ):
         return index
+    if not _parallel_allowed(context):
+        return index
     representatives = group_set.representatives()
     plan = ShardPlan.by_candidate_mass(
         index.key_postings, len(representatives), workers
@@ -675,15 +882,24 @@ def prime_neighbor_index(
         # Batch path: workers rebuild the engine from one shared-memory
         # segment of flat arrays and never touch a Record object, so
         # their resident working set is the genuinely shared pages plus
-        # the (compact, CSR) result.
+        # the (compact, CSR) result.  A failed segment creation falls
+        # back to the record-sharing payload — slower, same answers.
         arrays, engine_params = engine.export_state()
-        pack = SharedArrayPack.create(arrays)
+        try:
+            pack = SharedArrayPack.create(arrays)
+        except OSError:
+            context.event("shm_create_failed")
+            if context.metrics.enabled:
+                context.metrics.counter("repro_shm_create_failures_total").inc()
+            pack = None
+    if pack is not None:
         payload = {
             "kind": "neighbors_batch",
             "predicate": necessary,
             "records": representatives,
             "plan": plan,
             "counters": context.counters,
+            "metrics": context.metrics,
             "pack_name": pack.name,
             "pack_manifest": pack.manifest,
             "engine_params": engine_params,
@@ -695,6 +911,7 @@ def prime_neighbor_index(
             "records": representatives,
             "plan": plan,
             "counters": context.counters,
+            "metrics": context.metrics,
             "index": index,
         }
     try:

@@ -38,6 +38,7 @@ File formats are private to this module; the public surface is
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import struct
@@ -45,6 +46,16 @@ import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from .retry import (
+    SITE_CHECKPOINT_WRITE,
+    SITE_WAL_APPEND,
+    SITE_WAL_FSYNC,
+    CircuitBreaker,
+    RetryExhausted,
+    RetryPolicy,
+    fire_fault,
+)
 
 FORMAT_VERSION = 1
 CHECKPOINT_MAGIC = "repro-checkpoint"
@@ -68,10 +79,55 @@ class CheckpointError(PersistenceError):
     """A checkpoint file is structurally invalid or fails its checksums."""
 
 
+class CheckpointWriteError(PersistenceError):
+    """Writing a new checkpoint failed.
+
+    The prior checkpoint and every WAL segment are untouched — a failed
+    snapshot narrows nothing, it only means recovery replays a longer
+    tail.  ``__cause__`` carries the underlying ``OSError``."""
+
+
 class WalCorruptionError(PersistenceError):
     """The WAL is damaged *mid-log*: an invalid entry with intact data
     after it, a segment gap, or an index mismatch.  Unlike a torn tail
-    (which recovery absorbs silently), this indicates real damage."""
+    (which recovery absorbs silently), this indicates real damage.
+
+    ``segment`` names the damaged file when known (the CLI uses it for
+    its remediation hint)."""
+
+    def __init__(self, message: str, segment: str | None = None):
+        super().__init__(message)
+        self.segment = segment
+
+
+#: Default retry schedule for transient WAL/checkpoint I/O errors.
+#: Deliberately short: storage faults that survive three spaced attempts
+#: are treated as persistent and degrade the store instead of blocking
+#: the stream.
+STORAGE_RETRY = RetryPolicy(
+    max_attempts=3,
+    base_delay_seconds=0.002,
+    max_delay_seconds=0.05,
+    retryable=(OSError,),
+)
+
+
+def _transient_storage_error(exc: BaseException) -> bool:
+    """Whether retrying *exc* could plausibly succeed.
+
+    ``ENOSPC`` is the canonical persistent fault — retrying a full disk
+    is pointless, the store degrades instead.  A torn-segment rewind
+    failure is likewise final: retrying would append after a torn frame
+    and corrupt the log.
+    """
+    if isinstance(exc, _SegmentRewindError):
+        return False
+    return getattr(exc, "errno", None) != errno.ENOSPC
+
+
+class _SegmentRewindError(OSError):
+    """Truncating a partially-written entry back off the segment failed;
+    the tail can no longer be proven clean, so appends must stop."""
 
 
 class StateAuditError(PersistenceError):
@@ -241,7 +297,8 @@ def _scan_segment(path: Path, first_index: int, *, final: bool) -> _ScannedSegme
         raise WalCorruptionError(
             f"{path.name}: {reason} at byte {pos} with "
             f"{'data following' if final else 'later segments present'} — "
-            f"mid-log corruption, not a torn tail"
+            f"mid-log corruption, not a torn tail",
+            segment=path.name,
         )
 
     while pos < len(data):
@@ -312,8 +369,11 @@ class DurableStateStore:
     atomicity, rotation, pruning and recovery scanning.
     """
 
-    def __init__(self, policy: DurabilityPolicy):
+    def __init__(
+        self, policy: DurabilityPolicy, retry: RetryPolicy = STORAGE_RETRY
+    ):
         self.policy = policy
+        self.retry = retry
         self.directory = policy.path
         self.directory.mkdir(parents=True, exist_ok=True)
         self._segment_handle = None
@@ -321,6 +381,16 @@ class DurableStateStore:
         self._segment_size = 0
         self._next_index = 0
         self._metrics = None
+        # Per-store breaker (not the global registry): storage health is
+        # a property of this directory/device, and sharing it across
+        # stores would leak one stream's tripped state into another.
+        self.breaker = CircuitBreaker(
+            name="storage.wal", failure_threshold=3, recovery_seconds=30.0
+        )
+        self.durability_degraded = False
+        self.degraded_reason: str | None = None
+        self.appends_suspended = 0
+        self.checkpoints_failed = 0
 
     def set_metrics(self, metrics) -> None:
         """Feed WAL instrumentation (append counts/bytes, fsync latency)
@@ -341,6 +411,21 @@ class DurableStateStore:
             )
             metrics.describe(
                 "repro_wal_bytes_total", "WAL bytes written (framed)"
+            )
+            metrics.describe(
+                "repro_retries_total", "Retried storage/parallel operations"
+            )
+            metrics.describe(
+                "repro_wal_appends_suspended_total",
+                "WAL entries skipped while journaling was suspended",
+            )
+            metrics.describe(
+                "repro_checkpoint_failures_total",
+                "Checkpoint writes that failed (prior checkpoint retained)",
+            )
+            metrics.describe(
+                "repro_durability_degraded",
+                "1 when journaling is suspended (degraded durability)",
             )
 
     # -- lifecycle ----------------------------------------------------
@@ -371,7 +456,46 @@ class DurableStateStore:
     # -- write-ahead log ----------------------------------------------
 
     def append(self, payload: dict) -> None:
-        """Append one framed entry, rotating segments as configured."""
+        """Append one framed entry, rotating segments as configured.
+
+        Transient I/O errors (``EIO`` and friends) are retried under
+        :attr:`retry` with deterministic backoff; a partially-written
+        entry is truncated back off the segment before any retry, so a
+        retry can never land after a torn frame.  Persistent failures —
+        ``ENOSPC``, an unrewindable tail, or retry exhaustion — switch
+        the store into **journaling-suspended** mode
+        (:attr:`durability_degraded`): the entry (and all later ones)
+        is not journaled, live answers stay correct, and recovery
+        replays only the journaled prefix.  Suspension never raises —
+        a full disk must degrade durability, not crash the stream.
+        """
+        if self.durability_degraded:
+            self.appends_suspended += 1
+            if self._metrics is not None:
+                self._metrics.counter("repro_wal_appends_suspended_total").inc()
+            return
+        blob = _frame(payload)
+        try:
+            self.retry.call(
+                lambda attempt: self._append_once(blob, attempt),
+                key="wal.append",
+                retry_on=_transient_storage_error,
+                breaker=self.breaker,
+                metrics=self._metrics,
+                subsystem="wal",
+            )
+        except (RetryExhausted, OSError) as exc:
+            self._suspend(f"WAL append of entry {self._next_index}: {exc}")
+            return
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("repro_wal_appends_total").inc()
+            metrics.counter("repro_wal_bytes_total").inc(len(blob))
+        self._segment_size += len(blob)
+        self._next_index += 1
+
+    def _append_once(self, blob: bytes, attempt: int) -> None:
+        """One append attempt: rotate/open, write, flush, fsync."""
         if (
             self._segment_handle is not None
             and self._segment_size >= self.policy.segment_bytes
@@ -379,24 +503,57 @@ class DurableStateStore:
             self.close()
         if self._segment_handle is None:
             self._start_segment(self._next_index)
-        blob = _frame(payload)
-        self._segment_handle.write(blob)
-        self._segment_handle.flush()
-        metrics = self._metrics
+        handle = self._segment_handle
+        start = self._segment_size
+        fire_fault(SITE_WAL_APPEND, index=self._next_index, attempt=attempt)
+        try:
+            handle.write(blob)
+            handle.flush()
+        except OSError:
+            self._rewind_segment(start)
+            raise
         if self.policy.fsync:
+            metrics = self._metrics
+            started = time.perf_counter() if metrics is not None else 0.0
+            try:
+                fire_fault(
+                    SITE_WAL_FSYNC, index=self._next_index, attempt=attempt
+                )
+                os.fsync(handle.fileno())
+            except OSError:
+                self._rewind_segment(start)
+                raise
             if metrics is not None:
-                started = time.perf_counter()
-                os.fsync(self._segment_handle.fileno())
                 metrics.histogram("repro_wal_fsync_seconds").observe(
                     time.perf_counter() - started
                 )
-            else:
-                os.fsync(self._segment_handle.fileno())
+
+    def _rewind_segment(self, size: int) -> None:
+        """Truncate a failed attempt's partial bytes back off the
+        segment, so the next attempt (or recovery) sees a clean tail."""
+        try:
+            handle = self._segment_handle
+            handle.truncate(size)
+            handle.flush()
+        except OSError as exc:
+            raise _SegmentRewindError(
+                f"could not rewind segment to byte {size}: {exc}"
+            ) from exc
+
+    def _suspend(self, reason: str) -> None:
+        """Enter journaling-suspended (degraded-durability) mode."""
+        self.durability_degraded = True
+        self.degraded_reason = reason
+        self.appends_suspended += 1
+        metrics = self._metrics
         if metrics is not None:
-            metrics.counter("repro_wal_appends_total").inc()
-            metrics.counter("repro_wal_bytes_total").inc(len(blob))
-        self._segment_size += len(blob)
-        self._next_index += 1
+            metrics.counter("repro_wal_appends_suspended_total").inc()
+            metrics.gauge("repro_durability_degraded").set(1.0)
+        try:
+            self.close()
+        except OSError:
+            self._segment_handle = None
+            self._segment_path = None
 
     def _start_segment(self, first_index: int) -> None:
         path = self.directory / (
@@ -420,7 +577,8 @@ class DurableStateStore:
             if expected is not None and first_index != expected:
                 raise WalCorruptionError(
                     f"WAL segment gap: expected entry {expected} next but "
-                    f"{path.name} starts at {first_index}"
+                    f"{path.name} starts at {first_index}",
+                    segment=path.name,
                 )
             scanned = _scan_segment(
                 path, first_index, final=position == len(listed) - 1
@@ -438,6 +596,11 @@ class DurableStateStore:
         numbering stays contiguous with what recovery restored.
         """
         self.close()
+        # A crash mid-checkpoint can leave a ``.tmp`` behind; recovery
+        # never reads them, but clear them so the directory only holds
+        # live state.
+        for stale in self.directory.glob(f"{_CKPT_PREFIX}*{_CKPT_SUFFIX}.tmp"):
+            stale.unlink()
         if log.segments:
             last = log.segments[-1]
             if last.torn_reason is not None:
@@ -457,7 +620,14 @@ class DurableStateStore:
     # -- checkpoints --------------------------------------------------
 
     def write_checkpoint(self, header: dict, sections: dict[str, object]) -> Path:
-        """Atomically write a sectioned, per-section-checksummed snapshot."""
+        """Atomically write a sectioned, per-section-checksummed snapshot.
+
+        Transient I/O errors are retried under :attr:`retry`; a failed
+        write raises :class:`CheckpointWriteError` after removing the
+        tmp file (best-effort — a tmp left by a crash is equally
+        harmless, recovery never reads ``.tmp`` files).  The prior
+        checkpoint and all WAL segments are untouched either way.
+        """
         header = dict(header)
         header["magic"] = CHECKPOINT_MAGIC
         header["format_version"] = FORMAT_VERSION
@@ -470,12 +640,39 @@ class DurableStateStore:
             f"{_CKPT_PREFIX}{entries:0{_INDEX_DIGITS}d}{_CKPT_SUFFIX}"
         )
         tmp = path.with_suffix(path.suffix + ".tmp")
-        with open(tmp, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-        _fsync_dir(self.directory)
+
+        def _attempt(attempt: int) -> None:
+            with open(tmp, "wb") as handle:
+                fire_fault(
+                    SITE_CHECKPOINT_WRITE, entries=entries, attempt=attempt
+                )
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            _fsync_dir(self.directory)
+
+        try:
+            self.retry.call(
+                _attempt,
+                key="checkpoint.write",
+                retry_on=_transient_storage_error,
+                breaker=self.breaker,
+                metrics=self._metrics,
+                subsystem="checkpoint",
+            )
+        except (RetryExhausted, OSError) as exc:
+            self.checkpoints_failed += 1
+            if self._metrics is not None:
+                self._metrics.counter("repro_checkpoint_failures_total").inc()
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise CheckpointWriteError(
+                f"checkpoint at entry {entries} failed ({exc}); the prior "
+                f"checkpoint and all WAL segments are retained"
+            ) from exc
         return path
 
     @staticmethod

@@ -38,6 +38,10 @@ from .durability import (
     run_durability_overhead,
     run_recovery_cost,
 )
+from .fault_overhead import (
+    fault_plane_overhead_checks,
+    run_fault_plane_overhead,
+)
 from .fidelity import fidelity_checks, run_fidelity_sweep
 from .observability import (
     observability_overhead_checks,
@@ -80,6 +84,7 @@ __all__ = [
     "citation_pipeline",
     "cpn_vs_naive_checks",
     "durability_checks",
+    "fault_plane_overhead_checks",
     "fidelity_checks",
     "figure7_cases",
     "format_table",
@@ -92,6 +97,7 @@ __all__ = [
     "run_cpn_vs_naive_constructed",
     "observability_overhead_checks",
     "run_durability_overhead",
+    "run_fault_plane_overhead",
     "run_fidelity_sweep",
     "run_figure7",
     "run_observability_overhead",

@@ -7,8 +7,15 @@ layer (:mod:`repro.core.resilience`) under deterministic failures.
 :mod:`repro.testing.crashpoints` is the crash-point injection harness
 used by the crash-recovery suite and the x9 benchmark to exercise the
 durability layer (:mod:`repro.core.persistence`): it truncates the
-write-ahead log at every entry boundary (and inside entries) and checks
-recovery restores exactly the surviving prefix.
+write-ahead log at every entry boundary (and inside entries), crashes
+checkpoint writes mid-rename, and checks recovery restores exactly the
+surviving prefix.
+
+:mod:`repro.testing.faultplane` is the unified fault plane: one seeded
+:class:`FaultPlane` hooks every ``fire_fault`` site across the storage
+and parallel layers (WAL appends, fsyncs, checkpoint writes, shared-
+memory create/attach, worker crash/hang) and bridges to the older chaos
+plans, so a single seed drives a whole-system fault schedule.
 """
 
 from .chaos import (
@@ -19,27 +26,43 @@ from .chaos import (
     chaos_levels,
 )
 from .crashpoints import (
+    CheckpointCrashPoint,
+    CheckpointCrashResult,
     CrashPoint,
     CrashPointResult,
     enumerate_crash_points,
     reference_fingerprints,
+    run_checkpoint_crash_sweep,
     run_crash_sweep,
+    simulate_checkpoint_crash,
     simulate_crash,
     stream_fingerprint,
     write_stream,
+)
+from .faultplane import (
+    MAX_HANG_SECONDS,
+    WORKER_CRASH_EXIT,
+    FaultPlane,
 )
 
 __all__ = [
     "ChaosError",
     "ChaosPredicate",
     "ChaosScorer",
+    "CheckpointCrashPoint",
+    "CheckpointCrashResult",
     "CrashPoint",
     "CrashPointResult",
     "FaultPlan",
+    "FaultPlane",
+    "MAX_HANG_SECONDS",
+    "WORKER_CRASH_EXIT",
     "chaos_levels",
     "enumerate_crash_points",
     "reference_fingerprints",
+    "run_checkpoint_crash_sweep",
     "run_crash_sweep",
+    "simulate_checkpoint_crash",
     "simulate_crash",
     "stream_fingerprint",
     "write_stream",

@@ -118,16 +118,27 @@ def write_stream(
     segment_bytes: int = 4096,
     checkpoint_every: int = 0,
     fsync: bool = False,
+    keep_checkpoints: int = 2,
+    prune: bool = True,
 ) -> IncrementalTopK:
-    """Run *events* through a durable engine rooted at *state_dir*."""
+    """Run *events* through a durable engine rooted at *state_dir*.
+
+    The checkpoint-crash sweep passes ``prune=False`` (and a generous
+    *keep_checkpoints*) so the full WAL and every checkpoint survive,
+    keeping each checkpoint-write moment reconstructible from the
+    final directory.
+    """
     policy = DurabilityPolicy(
-        state_dir=state_dir, segment_bytes=segment_bytes, fsync=fsync
+        state_dir=state_dir,
+        segment_bytes=segment_bytes,
+        fsync=fsync,
+        keep_checkpoints=keep_checkpoints,
     )
     engine = IncrementalTopK(make_levels(), durability=policy)
     for position, (fields, weight) in enumerate(events, start=1):
         engine.add(fields, weight)
         if checkpoint_every and position % checkpoint_every == 0:
-            engine.checkpoint()
+            engine.checkpoint(prune=prune)
     engine.close()
     return engine
 
@@ -207,6 +218,166 @@ def simulate_crash(
         if entries > point.surviving_entries:
             path.unlink()
     return clone
+
+
+@dataclass(frozen=True)
+class CheckpointCrashPoint:
+    """One simulated crash *during* a checkpoint write.
+
+    The write protocol is tmp file → fsync → rename; a crash before the
+    rename leaves the previous checkpoint as the newest complete one
+    and a ``.tmp`` file of arbitrary completeness lying around.
+
+    Attributes:
+        checkpoint: Name of the checkpoint file being written.
+        entries: WAL entries the interrupted checkpoint would have
+            covered (the WAL is complete through this entry at crash
+            time — appends resume only after the checkpoint call
+            returns).
+        tmp_bytes: Size of the leftover ``.tmp`` file (0 = crashed
+            before any byte reached it; full size = crashed between
+            fsync and rename).
+        complete: True when the tmp file holds the full checkpoint
+            (rename was the only step missing) — recovery must *still*
+            ignore it.
+    """
+
+    checkpoint: str
+    entries: int
+    tmp_bytes: int
+    complete: bool
+
+
+@dataclass(frozen=True)
+class CheckpointCrashResult:
+    """Outcome of recovering from one mid-checkpoint crash."""
+
+    point: CheckpointCrashPoint
+    recovered_entries: int
+    ok: bool
+    detail: str
+
+
+def simulate_checkpoint_crash(
+    state_dir: str | Path, scratch_dir: str | Path, point: CheckpointCrashPoint
+) -> Path:
+    """Clone *state_dir* as it looked when *point*'s write was cut short.
+
+    Rewinds the directory to the moment ``checkpoint()`` was called at
+    entry ``point.entries``: later checkpoints and the interrupted one
+    are gone, a ``.tmp`` of ``tmp_bytes`` stands in its place, and the
+    WAL is truncated back to exactly ``point.entries`` entries.
+    Requires a stream written with pruning disabled (high
+    ``keep_checkpoints``), so the rewind loses nothing.
+    """
+    source = Path(state_dir)
+    clone = (
+        Path(scratch_dir)
+        / f"ckpt-crash-{point.checkpoint}-{point.tmp_bytes}"
+    )
+    if clone.exists():
+        shutil.rmtree(clone)
+    shutil.copytree(source, clone)
+    blob = (clone / point.checkpoint).read_bytes()
+    for entries, path in _list_indexed(clone, _CKPT_PREFIX, _CKPT_SUFFIX):
+        if entries >= point.entries:
+            path.unlink()
+    tmp = clone / (point.checkpoint + ".tmp")
+    tmp.write_bytes(blob[: point.tmp_bytes])
+    # Rewind the WAL to the checkpoint moment: entries >= point.entries
+    # had not been appended yet.
+    for path, first_index, spans in wal_entry_spans(clone):
+        if first_index >= point.entries:
+            path.unlink()
+        elif first_index + len(spans) > point.entries:
+            cut = spans[point.entries - first_index][0]
+            with open(path, "r+b") as handle:
+                handle.truncate(cut)
+    return clone
+
+
+def run_checkpoint_crash_sweep(
+    make_levels: LevelsFactory,
+    events: Sequence[Event],
+    state_dir: str | Path,
+    scratch_dir: str | Path,
+    *,
+    segment_bytes: int = 4096,
+    checkpoint_every: int = 25,
+) -> list[CheckpointCrashResult]:
+    """Crash every checkpoint write at three byte offsets of its tmp file.
+
+    For each checkpoint the stream took, simulate a crash that left the
+    tmp file empty, half-written, and fully-written-but-unrenamed.  In
+    all three shapes recovery must ignore the tmp, seed from the
+    newest *complete* checkpoint (the previous one), replay the WAL to
+    exactly the interrupted checkpoint's entry count, and reproduce the
+    in-memory reference fingerprint — mid-checkpoint crashes lose
+    nothing and corrupt nothing.
+    """
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1 for this sweep")
+    write_stream(
+        make_levels,
+        events,
+        state_dir,
+        segment_bytes=segment_bytes,
+        checkpoint_every=checkpoint_every,
+        keep_checkpoints=max(1, len(events)),
+        prune=False,
+    )
+    references = reference_fingerprints(make_levels, events)
+    results: list[CheckpointCrashResult] = []
+    checkpoints = _list_indexed(Path(state_dir), _CKPT_PREFIX, _CKPT_SUFFIX)
+    for entries, path in checkpoints:
+        size = path.stat().st_size
+        prior = [c for c, _p in checkpoints if c < entries]
+        expected_checkpoint = max(prior) if prior else 0
+        for tmp_bytes in sorted({0, size // 2, size}):
+            point = CheckpointCrashPoint(
+                checkpoint=path.name,
+                entries=entries,
+                tmp_bytes=tmp_bytes,
+                complete=tmp_bytes == size,
+            )
+            clone = simulate_checkpoint_crash(state_dir, scratch_dir, point)
+            try:
+                recovered = IncrementalTopK.restore(clone, make_levels())
+            except Exception as exc:  # noqa: BLE001 — report, don't crash
+                results.append(
+                    CheckpointCrashResult(
+                        point, -1, False, f"restore raised {exc!r}"
+                    )
+                )
+                shutil.rmtree(clone)
+                continue
+            fingerprint = stream_fingerprint(recovered)
+            info = recovered.last_recovery
+            recovered.close()
+            shutil.rmtree(clone)
+            if recovered.entries_applied != entries:
+                ok, detail = False, (
+                    f"recovered {recovered.entries_applied} entries, "
+                    f"expected {entries}"
+                )
+            elif info.checkpoint_entries != expected_checkpoint:
+                ok, detail = False, (
+                    f"recovery seeded from checkpoint at entry "
+                    f"{info.checkpoint_entries}, expected the last "
+                    f"complete one at {expected_checkpoint}"
+                )
+            elif fingerprint != references[entries]:
+                ok, detail = False, (
+                    "recovered state differs from surviving-prefix replay"
+                )
+            else:
+                ok, detail = True, "ok"
+            results.append(
+                CheckpointCrashResult(
+                    point, recovered.entries_applied, ok, detail
+                )
+            )
+    return results
 
 
 def run_crash_sweep(

@@ -730,3 +730,135 @@ class TestObservabilityFlags:
         assert self.run_topk(mentions_csv) == 0
         err = capsys.readouterr().err
         assert "query" not in err
+
+
+class TestWalCorruptionExit:
+    """Mid-log WAL damage exits 3 with a one-line remediation hint."""
+
+    def _seed_state(self, mentions_csv, tmp_path):
+        state = tmp_path / "state"
+        code = main(
+            [
+                "stream",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--state-dir",
+                str(state),
+            ]
+        )
+        assert code == 0
+        return state
+
+    def _corrupt_first_entry(self, state):
+        segment = sorted(state.glob("wal-*.log"))[0]
+        blob = bytearray(segment.read_bytes())
+        blob[6] ^= 0xFF  # inside the first frame: mid-log, not a torn tail
+        segment.write_bytes(bytes(blob))
+        return segment
+
+    def test_restore_exits_3_with_hint(self, mentions_csv, tmp_path, capsys):
+        state = self._seed_state(mentions_csv, tmp_path)
+        capsys.readouterr()
+        segment = self._corrupt_first_entry(state)
+        code = main(["restore", "--state-dir", str(state), "--field", "name"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error: WAL corrupt at")
+        assert segment.name in err
+        assert "restore from last checkpoint" in err
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_stream_resume_exits_3(self, mentions_csv, tmp_path, capsys):
+        state = self._seed_state(mentions_csv, tmp_path)
+        capsys.readouterr()
+        self._corrupt_first_entry(state)
+        code = main(
+            [
+                "stream",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--state-dir",
+                str(state),
+            ]
+        )
+        assert code == 3
+        assert capsys.readouterr().err.startswith("error: WAL corrupt at")
+
+
+class TestHealthVerb:
+    def test_health_without_state(self, capsys):
+        code = main(["health"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live=yes" in out
+        assert "ready=yes" in out
+
+    def test_health_state_dir_requires_field(self, tmp_path, capsys):
+        code = main(["health", "--state-dir", str(tmp_path)])
+        assert code == 2
+        assert "--field" in capsys.readouterr().err
+
+    def test_health_over_state_dir(self, mentions_csv, tmp_path, capsys):
+        state = tmp_path / "state"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--input",
+                    mentions_csv,
+                    "--field",
+                    "name",
+                    "--state-dir",
+                    str(state),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["health", "--state-dir", str(state), "--field", "name", "--audit"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durability.journaling" in out
+        assert "state.audit" in out
+        assert "live=yes ready=yes" in out
+
+    def test_health_metrics_out(self, mentions_csv, tmp_path, capsys):
+        state = tmp_path / "state"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--input",
+                    mentions_csv,
+                    "--field",
+                    "name",
+                    "--state-dir",
+                    str(state),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        metrics_path = tmp_path / "health.prom"
+        code = main(
+            [
+                "health",
+                "--state-dir",
+                str(state),
+                "--field",
+                "name",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "repro_health_ready 1" in text
+        assert "repro_health_degraded 0" in text
+        assert "repro_breaker_state" in text

@@ -13,8 +13,11 @@ import pytest
 
 from repro.predicates.base import FunctionPredicate, PredicateLevel
 from repro.testing.crashpoints import (
+    CheckpointCrashPoint,
     enumerate_crash_points,
+    run_checkpoint_crash_sweep,
     run_crash_sweep,
+    simulate_checkpoint_crash,
     write_stream,
 )
 from tests.conftest import shared_word_predicate
@@ -105,3 +108,71 @@ def test_enumerate_covers_all_entries(tmp_path):
         p.surviving_entries for p in points if not p.mid_entry
     }
     assert boundary_survivals == set(range(51))
+
+
+@pytest.mark.timeout(300)
+def test_checkpoint_crash_sweep_all_recover(tmp_path):
+    events = seeded_events(120, seed=5)
+    results = run_checkpoint_crash_sweep(
+        make_levels,
+        events,
+        tmp_path / "state",
+        tmp_path / "scratch",
+        checkpoint_every=25,
+    )
+    assert_all_ok(results)
+    # Four checkpoints (25..100), each crashed at three tmp offsets:
+    # empty, half-written, and fully-written-but-unrenamed.
+    assert len(results) == 12
+    assert {r.point.entries for r in results} == {25, 50, 75, 100}
+    assert {r.point.complete for r in results} == {True, False}
+
+
+def test_checkpoint_crash_recovery_prefers_last_complete(tmp_path):
+    events = seeded_events(120, seed=9)
+    results = run_checkpoint_crash_sweep(
+        make_levels,
+        events,
+        tmp_path / "state",
+        tmp_path / "scratch",
+        checkpoint_every=30,
+    )
+    assert_all_ok(results)
+    # Crashing the first checkpoint leaves no complete one: recovery
+    # replays the WAL from scratch.  Crashing a later one must seed
+    # from its predecessor — the sweep itself asserts both, so here we
+    # just confirm both shapes were exercised.
+    assert any(r.point.entries == 30 for r in results)
+    assert any(r.point.entries > 30 for r in results)
+
+
+def test_simulate_checkpoint_crash_leaves_only_the_tmp(tmp_path):
+    events = seeded_events(60, seed=2, poison_rate=0.0)
+    write_stream(
+        make_levels,
+        events,
+        tmp_path / "state",
+        segment_bytes=1024,
+        checkpoint_every=20,
+        keep_checkpoints=len(events),
+        prune=False,
+    )
+    checkpoint = tmp_path / "state" / "checkpoint-000000000020.ckpt"
+    size = checkpoint.stat().st_size
+    point = CheckpointCrashPoint(
+        checkpoint=checkpoint.name,
+        entries=20,
+        tmp_bytes=size // 2,
+        complete=False,
+    )
+    clone = simulate_checkpoint_crash(
+        tmp_path / "state", tmp_path / "scratch", point
+    )
+    assert not (clone / checkpoint.name).exists()
+    tmp_file = clone / (checkpoint.name + ".tmp")
+    assert tmp_file.stat().st_size == size // 2
+    # The WAL rewound to exactly the crash moment's 20 entries.
+    from repro.core.persistence import wal_entry_spans
+
+    total = sum(len(spans) for _, _, spans in wal_entry_spans(clone))
+    assert total == 20

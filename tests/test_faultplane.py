@@ -1,0 +1,181 @@
+"""Unit tests for the unified fault plane (repro.testing.faultplane)."""
+
+import errno
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core.parallel import fork_available
+from repro.core.retry import (
+    BREAKERS,
+    SITE_CHECKPOINT_WRITE,
+    SITE_SHM_ATTACH,
+    SITE_SHM_CREATE,
+    SITE_WAL_APPEND,
+    SITE_WAL_FSYNC,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_HANG,
+    fault_hook_installed,
+    fire_fault,
+    install_fault_hook,
+)
+from repro.observability import MetricsRegistry
+from repro.testing import WORKER_CRASH_EXIT, FaultPlan, FaultPlane
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        FaultPlane(wal_append_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlane(worker_crash_rate=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlane(hang_seconds=-1)
+
+
+def test_draw_is_deterministic_and_order_independent():
+    plane = FaultPlane(seed=11)
+    a = plane.draw("wal.append", {"index": 5, "attempt": 0})
+    b = plane.draw("wal.append", {"attempt": 0, "index": 5})
+    assert a == b == FaultPlane(seed=11).draw(
+        "wal.append", {"index": 5, "attempt": 0}
+    )
+    assert 0.0 <= a < 1.0
+    assert plane.draw("wal.append", {"index": 6, "attempt": 0}) != a
+    assert FaultPlane(seed=12).draw(
+        "wal.append", {"index": 5, "attempt": 0}
+    ) != a
+
+
+def test_persistent_plane_ignores_attempt():
+    transient = FaultPlane(seed=3)
+    assert transient.draw("s", {"index": 1, "attempt": 0}) != transient.draw(
+        "s", {"index": 1, "attempt": 1}
+    )
+    persistent = FaultPlane(seed=3, persistent=True)
+    assert persistent.draw("s", {"index": 1, "attempt": 0}) == persistent.draw(
+        "s", {"index": 1, "attempt": 1}
+    )
+
+
+def _first_faulting_ids(plane, site, salt=None, rate=0.5):
+    """First ids dict whose draw falls under *rate* for *site*."""
+    for index in range(1000):
+        ids = {"index": index, "attempt": 0}
+        if plane.draw(salt or site, ids) < rate:
+            return ids
+    raise AssertionError("no faulting draw in 1000 tries")
+
+
+def test_wal_append_eio_and_enospc_injection():
+    plane = FaultPlane(seed=5, wal_append_rate=0.5)
+    ids = _first_faulting_ids(plane, SITE_WAL_APPEND)
+    with pytest.raises(OSError) as exc_info:
+        plane.hook(SITE_WAL_APPEND, ids)
+    assert exc_info.value.errno == errno.EIO
+    assert plane.injected[SITE_WAL_APPEND] == 1
+
+    enospc = FaultPlane(seed=5, wal_enospc_rate=0.5)
+    ids = _first_faulting_ids(enospc, SITE_WAL_APPEND, salt="wal.enospc")
+    with pytest.raises(OSError) as exc_info:
+        enospc.hook(SITE_WAL_APPEND, ids)
+    assert exc_info.value.errno == errno.ENOSPC
+
+
+def test_enospc_wins_over_eio_on_same_append():
+    plane = FaultPlane(seed=5, wal_append_rate=1.0, wal_enospc_rate=1.0)
+    with pytest.raises(OSError) as exc_info:
+        plane.hook(SITE_WAL_APPEND, {"index": 0, "attempt": 0})
+    assert exc_info.value.errno == errno.ENOSPC
+
+
+@pytest.mark.parametrize(
+    ("site", "rate_name", "expected_errno"),
+    [
+        (SITE_WAL_FSYNC, "wal_fsync_rate", errno.EIO),
+        (SITE_CHECKPOINT_WRITE, "checkpoint_rate", errno.EIO),
+        (SITE_SHM_CREATE, "shm_create_rate", errno.ENOMEM),
+        (SITE_SHM_ATTACH, "shm_attach_rate", errno.ENOENT),
+    ],
+)
+def test_site_injection_errno(site, rate_name, expected_errno):
+    plane = FaultPlane(seed=1, **{rate_name: 1.0})
+    with pytest.raises(OSError) as exc_info:
+        plane.hook(site, {"index": 0, "attempt": 0})
+    assert exc_info.value.errno == expected_errno
+    assert plane.injected[site] == 1
+    # Zero rate: same ids, nothing fires.
+    clean = FaultPlane(seed=1)
+    clean.hook(site, {"index": 0, "attempt": 0})
+    assert clean.total_injected == 0
+
+
+def test_worker_hang_sleeps_bounded():
+    plane = FaultPlane(seed=1, worker_hang_rate=1.0, hang_seconds=0.05)
+    started = time.perf_counter()
+    plane.hook(SITE_WORKER_HANG, {"shard": 0, "attempt": 0})
+    assert 0.04 <= time.perf_counter() - started < 1.0
+    assert plane.injected[SITE_WORKER_HANG] == 1
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="platform has no fork start method"
+)
+def test_worker_crash_exits_with_marker_status():
+    plane = FaultPlane(seed=1, worker_crash_rate=1.0)
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(
+        target=plane.hook, args=(SITE_WORKER_CRASH, {"shard": 0, "attempt": 0})
+    )
+    child.start()
+    child.join(30)
+    assert child.exitcode == WORKER_CRASH_EXIT
+
+
+def test_active_installs_and_restores_hook():
+    plane = FaultPlane(seed=2, wal_append_rate=1.0)
+    sentinel_calls = []
+    previous = install_fault_hook(lambda s, i: sentinel_calls.append(s))
+    try:
+        with plane.active():
+            assert fault_hook_installed()
+            with pytest.raises(OSError):
+                fire_fault(SITE_WAL_APPEND, index=0, attempt=0)
+        # The sentinel hook is back after the block.
+        fire_fault(SITE_WAL_APPEND, index=0, attempt=0)
+        assert sentinel_calls == [SITE_WAL_APPEND]
+    finally:
+        install_fault_hook(previous)
+
+
+def test_active_resets_breakers_both_ways():
+    breaker = BREAKERS.breaker("faultplane-test", failure_threshold=1)
+    breaker.record_failure()
+    assert not breaker.allow()
+    with FaultPlane(seed=0).active():
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.allow()
+
+
+def test_active_attaches_metrics_to_injections():
+    metrics = MetricsRegistry()
+    plane = FaultPlane(seed=4, wal_fsync_rate=1.0)
+    with plane.active(metrics=metrics):
+        with pytest.raises(OSError):
+            fire_fault(SITE_WAL_FSYNC, index=0, attempt=0)
+    assert (
+        metrics.value(
+            "repro_faults_injected_total", site=SITE_WAL_FSYNC, kind="eio"
+        )
+        == 1.0
+    )
+    assert plane.total_injected == 1
+
+
+def test_chaos_bridges_share_the_seed():
+    plane = FaultPlane(seed=9)
+    plan = plane.chaos_plan(error_rate=0.1)
+    assert isinstance(plan, FaultPlan)
+    assert plan.seed == 9
+    assert plan.error_rate == 0.1
