@@ -1,0 +1,93 @@
+"""X13: always-on query service under overload and soak (docs/serving.md).
+
+Two scenarios over :func:`repro.experiments.run_serving_load`:
+
+* **Overload** (always runs, CI-sized): seeded mixed traffic fired in
+  bursts offering 4x the admission controller's total capacity, with a
+  transient-fault :class:`~repro.testing.faultplane.FaultPlane` armed
+  for the middle of the run.  Asserts the full SLO contract — every
+  request resolves (success / explicitly degraded / 429 / 503), sheds
+  are counted not silent, queues stay bounded, and a post-drain restart
+  is bit-identical to a clean sequential replay of every acknowledged
+  insert.
+* **Soak** (``REPRO_BENCH_LARGE=1``): a ~10k-insert streaming run with
+  periodic checkpoints and interleaved queries, asserting the admission
+  queue and the dead-letter FIFO stay bounded for the duration.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    format_table,
+    run_serving_load,
+    serving_report_rows,
+    serving_slo_checks,
+)
+from repro.testing.faultplane import FaultPlane
+
+
+@pytest.mark.timeout(600)
+def test_x13_overload_with_faults(benchmark, record_table, tmp_path):
+    plane = FaultPlane(seed=11, wal_append_rate=0.05, wal_fsync_rate=0.02)
+    report = benchmark.pedantic(
+        lambda: run_serving_load(
+            tmp_path / "overload",
+            n_seed_records=80,
+            n_requests=160,
+            overload_factor=4,
+            seed=3,
+            fault_plane=plane,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(
+            serving_report_rows(report),
+            title="X13 — serving under 4x overload (faults armed)",
+        )
+    )
+    checks = serving_slo_checks(report)
+    assert all(checks.values()), (checks, report["by_status"])
+    assert report["faults_injected"] > 0, "fault plane never fired"
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_LARGE", "") != "1",
+    reason="10k-insert soak; enable with REPRO_BENCH_LARGE=1",
+)
+@pytest.mark.timeout(3600)
+def test_x13_soak_bounded_queues(benchmark, record_table, tmp_path):
+    report = benchmark.pedantic(
+        lambda: run_serving_load(
+            tmp_path / "soak",
+            n_seed_records=500,
+            n_requests=12_500,
+            insert_fraction=0.8,
+            overload_factor=1,
+            seed=5,
+            max_pending_queries=8,
+            max_pending_inserts=256,
+            checkpoint_every=1_000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(
+            serving_report_rows(report),
+            title="X13 — 10k-insert soak (periodic checkpoints)",
+        )
+    )
+    # The soak's contract is boundedness and durability, not shedding
+    # (offered load is deliberately near capacity, not a 4x storm).
+    assert report["n_resolved"] == report["n_requests"]
+    assert set(report["by_status"]) <= {200, 429, 503}
+    assert report["acked_inserts"] >= 9_000
+    assert report["peak_pending"]["insert"] <= 256
+    assert report["peak_pending"]["query"] <= 8
+    assert report["dead_letters"] <= 1000, "dead-letter FIFO unbounded"
+    assert report["service_stats"]["checkpoints_written"] >= 5
+    assert report["fingerprint_restored"] == report["fingerprint_replay"]

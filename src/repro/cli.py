@@ -10,6 +10,7 @@ Usage::
     python -m repro checkpoint --state-dir state/ --field name
     python -m repro restore    --state-dir state/ --field name
     python -m repro health     --state-dir state/ --field name
+    python -m repro serve      --state-dir state/ --field name --port 8080
 
 The CSV needs a header row.  ``--field`` names the entity-mention column;
 ``--weight-field`` (optional) names a numeric per-record weight.  The
@@ -23,7 +24,9 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import math
+import os
 import sys
 from collections.abc import Sequence
 
@@ -317,6 +320,102 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the health gauges as a Prometheus text snapshot",
+    )
+    health.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full HealthSnapshot as one JSON object instead "
+        "of the line report (same exit code contract)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the always-on HTTP query service over a (durable) "
+        "incremental engine",
+    )
+    serve.add_argument(
+        "--field", required=True, help="entity-mention column name"
+    )
+    serve.add_argument(
+        "--ngram-threshold",
+        type=float,
+        default=0.6,
+        help="necessary-predicate 3-gram overlap threshold (default 0.6)",
+    )
+    serve.add_argument(
+        "--input",
+        default=None,
+        help="optional CSV to seed the engine with before serving",
+    )
+    serve.add_argument(
+        "--weight-field", default=None, help="numeric weight column of --input"
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="durable state directory (WAL-journaled inserts, restored "
+        "on start; omit for a purely in-memory service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = ephemeral; the bound port is announced on "
+        "stdout as 'serving on HOST:PORT')",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint after every N applied inserts (0 = only on "
+        "drain; requires --state-dir)",
+    )
+    serve.add_argument(
+        "--max-pending-queries",
+        type=int,
+        default=32,
+        help="admission bound on queries in flight (beyond: 429)",
+    )
+    serve.add_argument(
+        "--max-concurrent-queries",
+        type=int,
+        default=2,
+        help="reader threads actually executing queries",
+    )
+    serve.add_argument(
+        "--max-pending-inserts",
+        type=int,
+        default=256,
+        help="admission bound on accepted-but-unapplied inserts",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="deadline stamped on queries that do not carry one; an "
+        "expiring query returns an explicitly degraded anytime answer",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="budget for the SIGTERM drain sequence",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per query (sharded pipeline; default 1)",
+    )
+    serve.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the Prometheus /metrics endpoint",
     )
 
     generate = commands.add_parser(
@@ -705,6 +804,9 @@ def run_health(args: argparse.Namespace) -> int:
                 handle.write(prometheus_text(registry))
         else:
             snapshot = monitor.snapshot()
+        if args.json:
+            print(json.dumps(snapshot.as_dict(), indent=2))
+            return 0 if snapshot.ready else 1
         for check in snapshot.checks:
             marker = "ok  " if check.ok else "WARN"
             print(f"{marker}  {check.name}: {check.detail}")
@@ -717,6 +819,110 @@ def run_health(args: argparse.Namespace) -> int:
     finally:
         if engine is not None:
             engine.close()
+
+
+def _fault_plane_from_env():
+    """Build the FaultPlane requested via ``$REPRO_FAULT_PLANE``.
+
+    The variable holds a JSON object of :class:`FaultPlane` constructor
+    arguments (``{"seed": 7, "wal_append_rate": 0.05}``).  This is the
+    testing hook that lets a *subprocess* server run under seeded
+    infrastructure faults — the in-process harness arms the plane
+    directly.
+    """
+    spec = os.environ.get("REPRO_FAULT_PLANE")
+    if not spec:
+        return None
+    from .testing.faultplane import FaultPlane
+
+    payload = json.loads(spec)
+    if not isinstance(payload, dict):
+        raise ValueError("REPRO_FAULT_PLANE must be a JSON object")
+    return FaultPlane(**payload)
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` verb: run the HTTP query service until drained.
+
+    The bound address is announced on stdout (``serving on HOST:PORT``)
+    as soon as the listener is up — before the engine finishes loading,
+    during which readiness probes answer 503.  SIGTERM and SIGINT both
+    trigger the graceful drain (stop admitting, apply the accepted
+    insert queue, checkpoint, close the WAL); a POST /drain does the
+    same remotely.  Exits 0 after a clean drain.
+    """
+    import asyncio
+    import signal
+
+    from .server import AdmissionConfig, HttpServer, QueryService, ServerConfig
+
+    if args.checkpoint_every < 0:
+        raise ValueError("--checkpoint-every must be >= 0")
+    if args.checkpoint_every and args.state_dir is None:
+        raise ValueError("--checkpoint-every requires --state-dir")
+    metrics = MetricsRegistry() if args.metrics else None
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        label_field=args.field,
+        admission=AdmissionConfig(
+            max_pending_queries=args.max_pending_queries,
+            max_concurrent_queries=args.max_concurrent_queries,
+            max_pending_inserts=args.max_pending_inserts,
+            default_deadline_seconds=args.default_deadline,
+        ),
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_on_drain=args.state_dir is not None,
+        drain_grace_seconds=args.drain_grace,
+        workers=args.workers or 1,
+    )
+
+    def loader() -> IncrementalTopK:
+        if args.state_dir is not None:
+            engine = _open_stream_engine(
+                args.state_dir,
+                args.field,
+                args.ngram_threshold,
+                metrics=metrics,
+            )
+        else:
+            engine = IncrementalTopK(
+                generic_levels(args.field, args.ngram_threshold),
+                metrics=metrics,
+            )
+        if args.input is not None:
+            store = load_csv(args.input, args.field, args.weight_field)
+            for record in store:
+                engine.add(record.fields, record.weight)
+        return engine
+
+    async def serve() -> int:
+        service = QueryService(loader=loader, config=config, metrics=metrics)
+        server = HttpServer(service, metrics=metrics)
+        await server.start()
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await service.start()
+        stopper = asyncio.create_task(stop.wait())
+        drained = asyncio.create_task(service.wait_drained())
+        await asyncio.wait(
+            {stopper, drained}, return_when=asyncio.FIRST_COMPLETED
+        )
+        report = await service.drain()
+        await server.close()
+        for task in (stopper, drained):
+            task.cancel()
+        print(f"drained: {json.dumps(report)}", file=sys.stderr)
+        return 0
+
+    plane = _fault_plane_from_env()
+    if plane is not None:
+        with plane.active(metrics=metrics):
+            return asyncio.run(serve())
+    return asyncio.run(serve())
 
 
 def run_generate(args: argparse.Namespace) -> int:
@@ -759,6 +965,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "checkpoint": run_checkpoint,
         "restore": run_restore,
         "health": run_health,
+        "serve": run_serve,
         "generate": run_generate,
     }
     try:

@@ -91,6 +91,12 @@ class HealthMonitor:
         audit: Run the engine's (O(n)) :meth:`audit` on every snapshot
             and clear readiness on problems.  Off by default — restores
             already audit, and a polled health endpoint should be cheap.
+        extra_checks: Callables contributing further
+            :class:`HealthCheck` lists to every snapshot — the query
+            service registers its writer/admission/lifecycle signals
+            here.  A check named with a ``critical.`` prefix clears
+            readiness when not ok (everything else only marks the
+            snapshot degraded).
     """
 
     def __init__(
@@ -98,10 +104,12 @@ class HealthMonitor:
         engine=None,
         breakers: BreakerRegistry | None = None,
         audit: bool = False,
+        extra_checks=None,
     ):
         self.engine = engine
         self.breakers = breakers if breakers is not None else BREAKERS
         self.audit = audit
+        self.extra_checks = list(extra_checks) if extra_checks else []
 
     def snapshot(self) -> HealthSnapshot:
         checks: list[HealthCheck] = []
@@ -193,6 +201,12 @@ class HealthMonitor:
                     )
                 )
                 if problems:
+                    ready = False
+
+        for contribute in self.extra_checks:
+            for check in contribute():
+                checks.append(check)
+                if not check.ok and check.name.startswith("critical."):
                     ready = False
 
         degraded = any(not check.ok for check in checks)

@@ -59,6 +59,35 @@ from .verification import VerificationContext
 
 
 @dataclass(frozen=True)
+class EngineSnapshotState:
+    """Immutable copy of the engine state one query generation serves.
+
+    Produced by :meth:`IncrementalTopK.snapshot_state` under the
+    single-writer discipline: the writer (and only the writer) freezes
+    the state between inserts, so the copy is never torn.  Everything
+    inside is either immutable (:class:`~repro.core.records.Record`)
+    or copied at freeze time (the component membership lists), so a
+    reader holding this snapshot is isolated from every later insert.
+
+    Attributes:
+        records: All records at freeze time, in id order.
+        components: The level-1 sufficient closure as member-id tuples,
+            ordered by smallest member id (deterministic across runs).
+        generation: The engine :attr:`~IncrementalTopK.version` the
+            snapshot reflects.
+        entries_applied: WAL position at freeze time.
+        dead_letters: Quarantine size at freeze time (a health signal,
+            not replayable state).
+    """
+
+    records: tuple
+    components: tuple[tuple[int, ...], ...]
+    generation: int
+    entries_applied: int
+    dead_letters: int
+
+
+@dataclass(frozen=True)
 class DeadLetter:
     """One quarantined stream record.
 
@@ -319,6 +348,31 @@ class IncrementalTopK:
         metrics = self._verification.metrics
         if metrics.enabled:
             metrics.counter("repro_records_quarantined_total", stage=stage).inc()
+
+    def snapshot_state(self) -> EngineSnapshotState:
+        """Freeze the current closure for snapshot-isolated readers.
+
+        Must be called by the stream's single writer (never concurrently
+        with :meth:`add`): the records tuple and the component member
+        lists are copied here, so the returned snapshot is immune to
+        every later insert — the query service publishes these through
+        an atomic generation pointer and long-running readers never
+        observe a torn in-flight add.
+        """
+        by_root: dict[int, list[int]] = defaultdict(list)
+        for record_id in range(len(self._records)):
+            by_root[self._uf.find(record_id)].append(record_id)
+        components = tuple(
+            tuple(members)
+            for members in sorted(by_root.values(), key=lambda m: m[0])
+        )
+        return EngineSnapshotState(
+            records=tuple(self._records),
+            components=components,
+            generation=self._version,
+            entries_applied=self._entries_applied,
+            dead_letters=len(self._dead_letters),
+        )
 
     def add_store(self, store: RecordStore) -> None:
         """Bulk-insert every record of *store* (ids are reassigned)."""
@@ -719,6 +773,12 @@ class IncrementalTopK:
         return problems
 
     def close(self) -> None:
-        """Release the WAL file handle (no-op without durability)."""
+        """Release the WAL file handle (no-op without durability).
+
+        Idempotent: closing twice — or closing after a storage fault
+        already wedged the segment handle — is always safe.  A server
+        draining through an error path must be able to call this
+        unconditionally.
+        """
         if self._durable is not None:
             self._durable.close()

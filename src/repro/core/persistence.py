@@ -443,10 +443,23 @@ class DurableStateStore:
         self._next_index = 0
 
     def close(self) -> None:
-        if self._segment_handle is not None:
-            self._segment_handle.close()
-            self._segment_handle = None
-            self._segment_path = None
+        """Release the open WAL segment handle.
+
+        Idempotent and exception-safe: a second close is a no-op, and a
+        handle whose final flush fails (the device died under us, or a
+        fault-injection run left the descriptor wedged) is dropped
+        instead of raising — the on-disk tail is recovered like any
+        torn tail, and close() is routinely called from ``finally``
+        blocks that must not mask the original error.
+        """
+        handle = self._segment_handle
+        self._segment_handle = None
+        self._segment_path = None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
 
     @property
     def next_index(self) -> int:

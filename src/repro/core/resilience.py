@@ -39,7 +39,7 @@ results are bit-identical to the unguarded ones.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import TYPE_CHECKING, Callable, TypeVar
 
 from ..predicates.base import Predicate, PredicateLevel
@@ -113,6 +113,17 @@ class ExecutionPolicy:
     def start(self, counters: "PipelineCounters") -> "ExecutionState":
         """Arm the policy: start the deadline clock now."""
         return ExecutionState(self, counters)
+
+    def with_deadline(self, deadline_seconds: float | None) -> "ExecutionPolicy":
+        """This policy with its deadline replaced (a new frozen instance).
+
+        The query service keeps one base policy (error containment,
+        stage budgets) and stamps each admitted request's *remaining*
+        deadline onto it — the time a request spent queued counts
+        against its budget, so an admitted-but-slow query degrades
+        instead of overstaying.
+        """
+        return _dc_replace(self, deadline_seconds=deadline_seconds)
 
 
 class ExecutionState:

@@ -64,6 +64,11 @@ from .harness import (
 from .pruning_tables import PAPER_K_VALUES, run_pruning_table, shape_checks
 from .report import format_table
 from .robustness import robustness_checks, run_noise_sweep
+from .serving import (
+    run_serving_load,
+    serving_report_rows,
+    serving_slo_checks,
+)
 from .scaling import run_scaling_sweep, scaling_checks
 from .timing import (
     PAPER_TIMING_K_VALUES,
@@ -110,6 +115,9 @@ __all__ = [
     "run_pruning_table",
     "run_recovery_cost",
     "run_scaling_sweep",
+    "run_serving_load",
+    "serving_report_rows",
+    "serving_slo_checks",
     "run_rank_query_ablation",
     "run_segmentation_vs_hierarchy",
     "run_timing_comparison",

@@ -1,0 +1,60 @@
+"""Always-on query service: snapshot-isolated serving over the engine.
+
+See :mod:`repro.server.service` for the architecture (single writer,
+snapshot readers, admission control, supervised restarts, graceful
+drain) and ``docs/serving.md`` for the operator contract.
+"""
+
+from .admission import (
+    CLASS_INSERT,
+    CLASS_QUERY,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+    SHED_COST,
+    SHED_DRAINING,
+    SHED_NOT_READY,
+    SHED_QUEUE_FULL,
+    estimate_query_cost,
+)
+from .client import ServiceClient
+from .http import HttpServer, serve_forever
+from .service import (
+    QUERY_KINDS,
+    STATE_DRAINING,
+    STATE_READY,
+    STATE_STARTING,
+    STATE_STOPPED,
+    QueryService,
+    ServerConfig,
+    ServiceStats,
+)
+from .snapshot import EngineSnapshot, SnapshotPublisher
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "CLASS_INSERT",
+    "CLASS_QUERY",
+    "EngineSnapshot",
+    "HttpServer",
+    "QUERY_KINDS",
+    "QueryService",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceStats",
+    "SHED_COST",
+    "SHED_DRAINING",
+    "SHED_NOT_READY",
+    "SHED_QUEUE_FULL",
+    "SnapshotPublisher",
+    "STATE_DRAINING",
+    "STATE_READY",
+    "STATE_STARTING",
+    "STATE_STOPPED",
+    "estimate_query_cost",
+    "serve_forever",
+]

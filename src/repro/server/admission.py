@@ -1,0 +1,219 @@
+"""Admission control: bounded queues and load shedding for the service.
+
+Work is rejected *before* it starts, never dropped after: a request the
+service cannot afford gets an immediate ``429`` with ``Retry-After``
+(shed-and-counted), everything admitted resolves as success or an
+explicitly degraded anytime answer.  Decisions are per request class —
+queries and inserts degrade independently, so an insert storm cannot
+starve reads and a heavy analytical query cannot block the stream.
+
+The controller is deliberately synchronous and lock-free: the service
+calls it only from the event-loop thread, and its counters are plain
+ints.  That keeps it trivially unit-testable and means admission adds
+nanoseconds, not queue hops, to the request path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Request classes the controller tracks independently.
+CLASS_QUERY = "query"
+CLASS_INSERT = "insert"
+
+#: Shed reasons (stable strings: they label metrics and responses).
+SHED_QUEUE_FULL = "queue_full"
+SHED_COST = "cost"
+SHED_DRAINING = "draining"
+SHED_NOT_READY = "not_ready"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Capacity contract of one service instance.
+
+    Attributes:
+        max_pending_queries: Queries admitted but not yet finished
+            (queued + executing).  Past this, new queries shed with 429.
+        max_concurrent_queries: Queries actually executing on reader
+            threads; the rest of the admitted ones wait (their deadline
+            keeps running, so a long wait degrades, never hangs).
+        max_pending_inserts: Inserts accepted but not yet applied by
+            the writer.  Bounds the admission queue's memory and the
+            replay gap a crash could lose.
+        max_query_cost: Estimated-cost ceiling per query — a request
+            whose predicted work exceeds it is shed up front (429,
+            reason ``cost``) rather than admitted and left to time out.
+        cost_unit_records: Records per unit of estimated cost (the
+            denominator of :func:`estimate_query_cost`).
+        retry_after_seconds: Hint sent with every 429.
+        default_deadline_seconds: Deadline stamped on requests that do
+            not carry one.
+        max_deadline_seconds: Ceiling on client-requested deadlines.
+    """
+
+    max_pending_queries: int = 32
+    max_concurrent_queries: int = 2
+    max_pending_inserts: int = 256
+    max_query_cost: float = 64.0
+    cost_unit_records: int = 2000
+    retry_after_seconds: float = 0.5
+    default_deadline_seconds: float = 10.0
+    max_deadline_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending_queries < 1:
+            raise ValueError("max_pending_queries must be >= 1")
+        if self.max_concurrent_queries < 1:
+            raise ValueError("max_concurrent_queries must be >= 1")
+        if self.max_pending_inserts < 1:
+            raise ValueError("max_pending_inserts must be >= 1")
+        if self.max_query_cost <= 0:
+            raise ValueError("max_query_cost must be > 0")
+        if self.cost_unit_records < 1:
+            raise ValueError("cost_unit_records must be >= 1")
+        for name in (
+            "retry_after_seconds",
+            "default_deadline_seconds",
+            "max_deadline_seconds",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+
+    def clamp_deadline(self, requested: float | None) -> float:
+        """The deadline a request actually runs under."""
+        if requested is None:
+            return self.default_deadline_seconds
+        return max(0.001, min(requested, self.max_deadline_seconds))
+
+
+#: Relative cost weight per query kind: rank and threshold run the full
+#: per-level pipeline on the raw store, counts start from the maintained
+#: closure.
+_KIND_WEIGHT = {"topk": 1.0, "rank": 2.0, "threshold": 2.0}
+
+
+def estimate_query_cost(
+    kind: str, n_records: int, config: AdmissionConfig
+) -> float:
+    """Predicted work units of one query against *n_records* records.
+
+    Deliberately coarse — a monotone proxy (records / unit, weighted by
+    verb) is enough to shed the obviously unaffordable before any work
+    starts; the per-request deadline handles the rest.
+    """
+    base = 1.0 + n_records / config.cost_unit_records
+    return base * _KIND_WEIGHT.get(kind, 2.0)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission attempt.
+
+    ``admitted`` requests MUST be released exactly once; shed requests
+    carry the machine-readable ``reason`` and the ``retry_after``
+    seconds to surface as a 429.
+    """
+
+    admitted: bool
+    reason: str = ""
+    retry_after_seconds: float = 0.0
+
+
+@dataclass
+class AdmissionStats:
+    """Monotone counters the stats endpoint and the soak harness read."""
+
+    admitted: dict = field(
+        default_factory=lambda: {CLASS_QUERY: 0, CLASS_INSERT: 0}
+    )
+    shed: dict = field(default_factory=dict)
+    peak_pending: dict = field(
+        default_factory=lambda: {CLASS_QUERY: 0, CLASS_INSERT: 0}
+    )
+
+    def as_dict(self) -> dict:
+        return {
+            "admitted": dict(self.admitted),
+            "shed": dict(self.shed),
+            "peak_pending": dict(self.peak_pending),
+        }
+
+
+class AdmissionController:
+    """Tracks pending work per class and admits or sheds new requests."""
+
+    def __init__(self, config: AdmissionConfig, metrics=None):
+        self.config = config
+        self._pending = {CLASS_QUERY: 0, CLASS_INSERT: 0}
+        self.stats = AdmissionStats()
+        self._metrics = metrics
+        if metrics is not None and getattr(metrics, "enabled", False):
+            metrics.describe(
+                "repro_admission_queue_depth",
+                "Admitted-but-unfinished requests per class",
+            )
+            metrics.describe(
+                "repro_requests_shed_total",
+                "Requests rejected before any work started",
+            )
+
+    def pending(self, request_class: str) -> int:
+        return self._pending[request_class]
+
+    def _limit(self, request_class: str) -> int:
+        if request_class == CLASS_QUERY:
+            return self.config.max_pending_queries
+        return self.config.max_pending_inserts
+
+    def _publish_depth(self, request_class: str) -> None:
+        metrics = self._metrics
+        if metrics is not None and getattr(metrics, "enabled", False):
+            metrics.gauge(
+                "repro_admission_queue_depth", queue=request_class
+            ).set(float(self._pending[request_class]))
+
+    def _shed(self, request_class: str, reason: str) -> AdmissionDecision:
+        key = f"{request_class}.{reason}"
+        self.stats.shed[key] = self.stats.shed.get(key, 0) + 1
+        metrics = self._metrics
+        if metrics is not None and getattr(metrics, "enabled", False):
+            metrics.counter(
+                "repro_requests_shed_total",
+                queue=request_class,
+                reason=reason,
+            ).inc()
+        return AdmissionDecision(
+            admitted=False,
+            reason=reason,
+            retry_after_seconds=self.config.retry_after_seconds,
+        )
+
+    def try_admit(
+        self, request_class: str, cost: float = 1.0
+    ) -> AdmissionDecision:
+        """Admit one request or shed it (queue depth, then cost)."""
+        if self._pending[request_class] >= self._limit(request_class):
+            return self._shed(request_class, SHED_QUEUE_FULL)
+        if (
+            request_class == CLASS_QUERY
+            and cost > self.config.max_query_cost
+        ):
+            return self._shed(request_class, SHED_COST)
+        self._pending[request_class] += 1
+        self.stats.admitted[request_class] += 1
+        self.stats.peak_pending[request_class] = max(
+            self.stats.peak_pending[request_class],
+            self._pending[request_class],
+        )
+        self._publish_depth(request_class)
+        return AdmissionDecision(admitted=True)
+
+    def release(self, request_class: str) -> None:
+        """One admitted request finished (any outcome)."""
+        if self._pending[request_class] <= 0:
+            raise RuntimeError(
+                f"release({request_class!r}) without a matching admit"
+            )
+        self._pending[request_class] -= 1
+        self._publish_depth(request_class)

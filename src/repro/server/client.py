@@ -1,0 +1,134 @@
+"""Tiny asyncio HTTP client for exercising the query service.
+
+The load harness and the test suite need nothing more than "send one
+JSON request, read one JSON response" against the loopback server —
+this keeps them free of any HTTP dependency, mirroring the hand-rolled
+server framing in :mod:`repro.server.http`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+
+class ServiceClient:
+    """One keep-alive connection to a running service.
+
+    Not task-safe: each concurrent client task should hold its own
+    instance (exactly how the open-loop harness models independent
+    callers).  Use as an async context manager or call :meth:`close`.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def _connect(self) -> None:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict, dict]:
+        """Send one request; returns ``(status, headers, parsed body)``.
+
+        Retries once on a broken keep-alive connection (the server may
+        have closed it between requests); any further failure raises.
+        """
+        payload = b"" if body is None else json.dumps(body).encode()
+        for attempt in (0, 1):
+            await self._connect()
+            try:
+                return await asyncio.wait_for(
+                    self._roundtrip(method, path, payload), self.timeout
+                )
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+            ):
+                await self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    async def _roundtrip(
+        self, method: str, path: str, payload: bytes
+    ) -> tuple[int, dict, dict]:
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        self._writer.write(head + payload)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionResetError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        content_type = headers.get("content-type", "")
+        if "json" in content_type and raw:
+            parsed = json.loads(raw.decode())
+        else:
+            parsed = {"text": raw.decode(errors="replace")}
+        return status, headers, parsed
+
+    # -- convenience verbs --------------------------------------------
+
+    async def query(self, **payload) -> tuple[int, dict]:
+        status, _, body = await self.request("POST", "/query", payload)
+        return status, body
+
+    async def insert(
+        self, fields: dict, weight: float = 1.0
+    ) -> tuple[int, dict]:
+        status, _, body = await self.request(
+            "POST", "/insert", {"fields": fields, "weight": weight}
+        )
+        return status, body
+
+    async def drain(self) -> tuple[int, dict]:
+        status, _, body = await self.request("POST", "/drain")
+        return status, body
+
+    async def get(self, path: str) -> tuple[int, dict]:
+        status, _, body = await self.request("GET", path)
+        return status, body

@@ -1,0 +1,276 @@
+"""Minimal asyncio HTTP/1.1 front end for :class:`QueryService`.
+
+Hand-rolled on :func:`asyncio.start_server` — the repository ships no
+web framework and needs none: the protocol surface is seven fixed
+routes exchanging small JSON bodies.  The layer is deliberately thin;
+every decision (admission, deadlines, shedding, outcomes) lives in
+:mod:`repro.server.service`, which is what the tests exercise directly.
+
+Routes:
+
+========  =========== ====================================================
+method    path        behaviour
+========  =========== ====================================================
+GET       /healthz    liveness — 200 while the process runs
+GET       /readyz     readiness — 200 ready / 503 (starting, draining,
+                      durability degraded, failed critical check)
+GET       /health     full HealthSnapshot JSON (always 200 when live)
+GET       /metrics    Prometheus text exposition
+GET       /stats      service counters (requests, admission, generation)
+POST      /query      ``{kind, k, min_weight, deadline_seconds}``
+POST      /insert     ``{fields, weight}``
+POST      /drain      graceful drain; responds with the drain report
+========  =========== ====================================================
+
+Shed responses (429) carry a ``Retry-After`` header.  Bodies above
+:data:`MAX_BODY_BYTES` are refused with 413 before being read into
+memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+
+from ..observability.exporters import prometheus_text
+from .service import QueryService
+
+#: Largest request body the server will buffer.
+MAX_BODY_BYTES = 1 << 20
+
+#: Cap on the request line + headers block.
+MAX_HEADER_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _BadRequest(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: dict | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+class HttpServer:
+    """Bind a :class:`QueryService` to a TCP port."""
+
+    def __init__(self, service: QueryService, metrics=None):
+        self.service = service
+        self.metrics = metrics
+        self._server: asyncio.Server | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Start listening.  The listener comes up *before* the service
+        finishes loading, so readiness probes get an honest 503 during a
+        long WAL replay instead of connection refused."""
+        config = self.service.config
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=config.host, port=config.port
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    payload = json.dumps({"error": exc.message}).encode()
+                    writer.write(
+                        _response_bytes(
+                            exc.status, payload, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                method, path, headers, body = request
+                status, payload, extra = await self._dispatch(
+                    method, path, body
+                )
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                writer.write(
+                    _response_bytes(
+                        status,
+                        payload,
+                        content_type=extra.pop(
+                            "content-type", "application/json"
+                        ),
+                        extra_headers=extra,
+                        keep_alive=keep_alive,
+                    )
+                )
+                await writer.drain()
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            # The task may be cancelled while waiting for the transport
+            # to flush (server.close() during shutdown) — either way the
+            # connection is done.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request frame; None on clean EOF between requests."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise _BadRequest(400, "truncated request") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise _BadRequest(413, "headers too large") from exc
+        if len(head) > MAX_HEADER_BYTES:
+            raise _BadRequest(413, "headers too large")
+        try:
+            header_text = head.decode("latin-1")
+        except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+            raise _BadRequest(400, "undecodable headers") from exc
+        request_line, _, header_block = header_text.partition("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _BadRequest(400, f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        for line in header_block.split("\r\n"):
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _BadRequest(400, f"malformed header {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length_text = headers.get("content-length")
+        if length_text is not None:
+            try:
+                length = int(length_text)
+            except ValueError as exc:
+                raise _BadRequest(400, "bad Content-Length") from exc
+            if length < 0:
+                raise _BadRequest(400, "bad Content-Length")
+            if length > MAX_BODY_BYTES:
+                raise _BadRequest(413, "body too large")
+            if length:
+                try:
+                    body = await reader.readexactly(length)
+                except asyncio.IncompleteReadError as exc:
+                    raise _BadRequest(400, "truncated body") from exc
+        return method, path, headers, body
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes, dict]:
+        """Route one request; returns (status, payload, extra headers)."""
+        service = self.service
+        extra: dict[str, str] = {}
+        if method == "GET":
+            if path == "/healthz":
+                return 200, _json(service.liveness()), extra
+            if path == "/readyz":
+                ready, detail = service.readiness()
+                return (200 if ready else 503), _json(detail), extra
+            if path == "/health":
+                return 200, _json(service.health_body()), extra
+            if path == "/stats":
+                return 200, _json(service.stats_body()), extra
+            if path == "/metrics":
+                if self.metrics is None or not getattr(
+                    self.metrics, "enabled", False
+                ):
+                    return (
+                        404,
+                        _json({"error": "metrics not enabled"}),
+                        extra,
+                    )
+                if service.monitor is not None:
+                    service.monitor.publish(self.metrics)
+                extra["content-type"] = "text/plain; version=0.0.4"
+                return 200, prometheus_text(self.metrics).encode(), extra
+            return 404, _json({"error": f"no route {path}"}), extra
+        if method == "POST":
+            if path == "/drain":
+                report = await service.drain()
+                return 200, _json({"drained": True, **report}), extra
+            if path in ("/query", "/insert"):
+                try:
+                    payload = json.loads(body.decode() or "{}")
+                    if not isinstance(payload, dict):
+                        raise ValueError("body must be a JSON object")
+                except (ValueError, UnicodeDecodeError) as exc:
+                    return (
+                        400,
+                        _json({"error": f"bad JSON body: {exc}"}),
+                        extra,
+                    )
+                if path == "/query":
+                    status, answer = await service.handle_query(payload)
+                else:
+                    status, answer = await service.handle_insert(payload)
+                if status == 429:
+                    retry_after = answer.get("retry_after_seconds", 1.0)
+                    extra["Retry-After"] = f"{max(retry_after, 0.001):.3f}"
+                return status, _json(answer), extra
+            return 404, _json({"error": f"no route {path}"}), extra
+        return 405, _json({"error": f"method {method} not supported"}), extra
+
+
+def _json(value) -> bytes:
+    return json.dumps(value).encode()
+
+
+async def serve_forever(service: QueryService, metrics=None) -> HttpServer:
+    """Convenience: bind, start the service, return the running server."""
+    server = HttpServer(service, metrics=metrics)
+    await server.start()
+    await service.start()
+    return server

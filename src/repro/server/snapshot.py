@@ -1,0 +1,285 @@
+"""Snapshot-isolated read path: immutable engine generations for readers.
+
+The query service runs one writer task and many concurrent readers.
+The writer owns the mutable :class:`~repro.core.incremental.IncrementalTopK`
+and, after each applied batch, freezes its state
+(:meth:`~repro.core.incremental.IncrementalTopK.snapshot_state`) into an
+:class:`EngineSnapshot` — records tuple plus copied closure membership,
+nothing shared-mutable with the live engine.  The
+:class:`SnapshotPublisher` then swaps a single generation pointer: a
+reader grabs ``publisher.current`` exactly once per request and answers
+entirely from that object, so a long query can never observe a torn
+in-flight add or a mixed-generation index, no matter how many inserts
+land while it runs.
+
+Snapshots answer all three query verbs through the same machinery as
+the engines (:func:`~repro.core.pruned_dedup.run_level_pipeline` for
+counts on the maintained closure, the rank/threshold pipelines on the
+frozen store), including :class:`~repro.core.resilience.ExecutionPolicy`
+anytime degradation — the substrate the service's per-request deadlines
+thread into.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.incremental import EngineSnapshotState
+from ..core.pruned_dedup import PrunedDedupResult, run_level_pipeline
+from ..core.rank_query import (
+    RankQueryResult,
+    thresholded_rank_query,
+    topk_rank_query,
+)
+from ..core.records import Group, GroupSet, RecordStore, merge_groups
+from ..core.resilience import ExecutionPolicy
+from ..core.verification import VerificationContext
+
+
+class EngineSnapshot:
+    """One immutable, queryable generation of the stream engine.
+
+    Construction copies nothing itself — the writer already copied the
+    mutable parts into the :class:`EngineSnapshotState` — so publishing
+    is cheap.  Queries build a fresh
+    :class:`~repro.core.verification.VerificationContext` per call
+    (readers run on worker threads; nothing here is shared-mutable
+    between concurrent queries except the answer cache, which is
+    lock-guarded).  Identical policy-free queries are cached per
+    snapshot: the state can never change under it.
+    """
+
+    def __init__(
+        self,
+        state: EngineSnapshotState,
+        levels,
+        *,
+        prune_iterations: int = 2,
+    ):
+        self._state = state
+        self._levels = levels
+        self._prune_iterations = prune_iterations
+        self._cache: dict[tuple, object] = {}
+        self._cache_lock = threading.Lock()
+
+    @classmethod
+    def freeze(cls, engine, *, prune_iterations: int = 2) -> "EngineSnapshot":
+        """Freeze *engine*'s current state (writer-side only — see
+        :meth:`IncrementalTopK.snapshot_state`)."""
+        return cls(
+            engine.snapshot_state(),
+            engine._levels,
+            prune_iterations=prune_iterations,
+        )
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Engine version this snapshot reflects (monotone per insert)."""
+        return self._state.generation
+
+    @property
+    def entries_applied(self) -> int:
+        return self._state.entries_applied
+
+    @property
+    def n_records(self) -> int:
+        return len(self._state.records)
+
+    @property
+    def n_components(self) -> int:
+        return len(self._state.components)
+
+    @property
+    def dead_letters(self) -> int:
+        return self._state.dead_letters
+
+    def record_label(self, record_id: int, field: str) -> str:
+        """Field value of one record (for response labelling)."""
+        return self._state.records[record_id][field]
+
+    def consistency_problems(self) -> list[str]:
+        """Structural self-check (the atomic-publication property).
+
+        A correctly published snapshot's components partition exactly
+        its own record ids — a mixed-generation index (members from a
+        newer record set, or records missing from the closure) shows up
+        here immediately.  Used by the isolation property suite and the
+        soak harness; cheap (O(n)).
+        """
+        problems: list[str] = []
+        n = len(self._state.records)
+        seen: set[int] = set()
+        for members in self._state.components:
+            for member in members:
+                if not 0 <= member < n:
+                    problems.append(
+                        f"component member {member} outside record range "
+                        f"0..{n - 1}"
+                    )
+                elif member in seen:
+                    problems.append(f"record {member} in two components")
+                seen.add(member)
+        if len(seen) != n:
+            problems.append(
+                f"components cover {len(seen)} records but the snapshot "
+                f"holds {n}"
+            )
+        for record_id, record in enumerate(self._state.records):
+            if record.record_id != record_id:
+                problems.append(
+                    f"record at position {record_id} carries id "
+                    f"{record.record_id}"
+                )
+        return problems
+
+    # -- queries -------------------------------------------------------
+
+    def _collapsed_groups(self) -> GroupSet:
+        """A fresh GroupSet of the frozen closure (per call — the level
+        pipeline consumes its input)."""
+        store = RecordStore(list(self._state.records))
+        groups = [
+            merge_groups(
+                store, [Group.singleton(0, store[m]) for m in members]
+            )
+            for members in self._state.components
+        ]
+        return GroupSet(store=store, groups=groups)
+
+    def _cached(self, key: tuple, compute):
+        with self._cache_lock:
+            hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        result = compute()
+        with self._cache_lock:
+            self._cache.setdefault(key, result)
+        return result
+
+    def query_topk(
+        self,
+        k: int,
+        policy: ExecutionPolicy | None = None,
+        workers: int = 1,
+        metrics=None,
+    ) -> PrunedDedupResult:
+        """Top-K count query on the frozen closure (mirrors
+        :meth:`IncrementalTopK.query`, minus the live-state coupling)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+
+        def compute() -> PrunedDedupResult:
+            context = VerificationContext(metrics=metrics)
+            with context.span("query", kind="server-topk", k=k):
+                before_run = context.counters.snapshot()
+                with context.span("collapse"):
+                    with context.stage("collapse"):
+                        groups = self._collapsed_groups()
+                return run_level_pipeline(
+                    groups,
+                    k,
+                    self._levels,
+                    context=context,
+                    prune_iterations=self._prune_iterations,
+                    policy=policy,
+                    skip_first_collapse=True,
+                    n_starting_records=self.n_records,
+                    before_run=before_run,
+                    workers=workers,
+                )
+
+        if policy is None and workers == 1:
+            return self._cached(("topk", k), compute)
+        return compute()
+
+    def query_rank(
+        self,
+        k: int,
+        policy: ExecutionPolicy | None = None,
+        workers: int = 1,
+        metrics=None,
+    ) -> RankQueryResult:
+        """Top-K rank query over the frozen record store."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+
+        def compute() -> RankQueryResult:
+            store = RecordStore(list(self._state.records))
+            context = VerificationContext(metrics=metrics)
+            return topk_rank_query(
+                store,
+                k,
+                self._levels,
+                prune_iterations=self._prune_iterations,
+                context=context,
+                policy=policy,
+                workers=workers,
+            )
+
+        if policy is None and workers == 1:
+            return self._cached(("rank", k), compute)
+        return compute()
+
+    def query_threshold(
+        self,
+        min_weight: float,
+        policy: ExecutionPolicy | None = None,
+        workers: int = 1,
+        metrics=None,
+    ) -> RankQueryResult:
+        """Thresholded rank query over the frozen record store."""
+
+        def compute() -> RankQueryResult:
+            store = RecordStore(list(self._state.records))
+            context = VerificationContext(metrics=metrics)
+            return thresholded_rank_query(
+                store,
+                min_weight,
+                self._levels,
+                prune_iterations=self._prune_iterations,
+                context=context,
+                policy=policy,
+                workers=workers,
+            )
+
+        if policy is None and workers == 1:
+            return self._cached(("threshold", min_weight), compute)
+        return compute()
+
+
+class SnapshotPublisher:
+    """The atomic generation pointer readers dereference once per request.
+
+    ``publish`` swaps one attribute (atomic under the GIL, and in the
+    service called only from the event loop); ``current`` hands back
+    whole snapshots — there is no window in which a reader can see half
+    of one generation and half of another.  Epochs count publications
+    (distinct from the engine generation, which counts inserts).
+    """
+
+    def __init__(self) -> None:
+        self._current: EngineSnapshot | None = None
+        self._epoch = 0
+
+    @property
+    def current(self) -> EngineSnapshot | None:
+        """The newest published snapshot (None before the first)."""
+        return self._current
+
+    @property
+    def epoch(self) -> int:
+        """Number of publications so far."""
+        return self._epoch
+
+    def publish(self, snapshot: EngineSnapshot) -> int:
+        """Make *snapshot* the current generation; returns its epoch.
+
+        In-flight readers keep the snapshot they already dereferenced;
+        the old generation is garbage-collected once the last of them
+        finishes.
+        """
+        self._epoch += 1
+        self._current = snapshot
+        return self._epoch
