@@ -1,0 +1,101 @@
+"""X14: columnar-store cold start vs. in-memory (docs/storage.md).
+
+Three tiers of the same measurement
+(:func:`repro.experiments.run_storage_scale` — build both store kinds,
+checkpoint, cold-start each in a fresh subprocess):
+
+* **Smoke** (``REPRO_BENCH_SMOKE=1``, CI storage job): 2k records;
+  asserts only the contract shape — zero WAL replay, clean audit,
+  identical restored answers — since timing at this size is noise.
+* **Default** (always runs): 10k records; same contract at a size
+  where restore cost is measurable but timing still too noisy to rank.
+* **Large** (``REPRO_BENCH_LARGE=1``): 100k and 1M records; asserts
+  the headline claim — columnar cold-start wall time *and* peak RSS
+  both strictly below the in-memory store's.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    format_table,
+    run_storage_scale,
+    storage_report_rows,
+)
+
+
+def _assert_contract(report):
+    for store, stats in report["results"].items():
+        assert stats["entries_replayed"] == 0, (store, stats)
+        assert stats["audit_problems"] == 0, (store, stats)
+        assert stats["entries"] == report["n_records"]
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_SMOKE", "") != "1",
+    reason="bench-smoke guard; enable with REPRO_BENCH_SMOKE=1",
+)
+@pytest.mark.timeout(600)
+def test_x14_smoke_cold_start_contract(record_table, tmp_path):
+    report = run_storage_scale(tmp_path, 2_000, seed=14)
+    record_table(
+        format_table(
+            storage_report_rows(report),
+            title="X14 — cold start, smoke tier (2k records)",
+        )
+    )
+    _assert_contract(report)
+
+
+@pytest.mark.timeout(1200)
+def test_x14_cold_start_10k(benchmark, record_table, tmp_path):
+    report = benchmark.pedantic(
+        lambda: run_storage_scale(tmp_path, 10_000, seed=14),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        format_table(
+            storage_report_rows(report),
+            title="X14 — cold start, 10k records",
+        )
+    )
+    _assert_contract(report)
+    # Both artifacts exist and hold the full corpus; no size assertion —
+    # the columnar sidecar also persists the blocking-key index (which
+    # the JSON checkpoint omits and rebuilds on restore), so relative
+    # size is a design trade, not a contract.
+    for stats in report["results"].values():
+        assert stats["checkpoint_bytes"] > 0
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_LARGE", "") != "1",
+    reason="100k/1M cold starts; enable with REPRO_BENCH_LARGE=1",
+)
+@pytest.mark.timeout(3600)
+@pytest.mark.parametrize("n_records", [100_000, 1_000_000])
+def test_x14_large_columnar_beats_memory(record_table, tmp_path, n_records):
+    report = run_storage_scale(tmp_path, n_records, seed=14)
+    record_table(
+        format_table(
+            storage_report_rows(report),
+            title=f"X14 — cold start, {n_records:,} records "
+            "(REPRO_BENCH_LARGE run)",
+        )
+    )
+    _assert_contract(report)
+    results = report["results"]
+    assert (
+        results["columnar"]["cold_start_s"] < results["memory"]["cold_start_s"]
+    ), (
+        "columnar cold start slower than in-memory: "
+        f"{results['columnar']['cold_start_s']:.3f}s vs "
+        f"{results['memory']['cold_start_s']:.3f}s"
+    )
+    assert results["columnar"]["maxrss_kb"] < results["memory"]["maxrss_kb"], (
+        "columnar cold start peaked above in-memory: "
+        f"{results['columnar']['maxrss_kb']}kB vs "
+        f"{results['memory']['maxrss_kb']}kB"
+    )

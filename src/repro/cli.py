@@ -211,6 +211,18 @@ def _common_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        choices=("memory", "columnar"),
+        default="memory",
+        help="record store backend: 'columnar' compacts checkpoints "
+        "into memory-mapped array generations, so large corpora "
+        "cold-start by mapping instead of replaying (answers are "
+        "bit-identical either way)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -260,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot the stream state after every N inserts and once "
         "at the end (0 = never; requires --state-dir)",
     )
+    _store_argument(stream)
 
     checkpoint = commands.add_parser(
         "checkpoint",
@@ -275,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.6,
         help="necessary-predicate 3-gram overlap threshold (default 0.6)",
     )
+    _store_argument(checkpoint)
 
     restore = commands.add_parser(
         "restore",
@@ -290,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.6,
         help="necessary-predicate 3-gram overlap threshold (default 0.6)",
     )
+    _store_argument(restore)
 
     health = commands.add_parser(
         "health",
@@ -372,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint after every N applied inserts (0 = only on "
         "drain; requires --state-dir)",
     )
+    _store_argument(serve)
     serve.add_argument(
         "--max-pending-queries",
         type=int,
@@ -681,17 +697,22 @@ def _open_stream_engine(
     ngram_threshold: float,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    store: str = "memory",
 ) -> IncrementalTopK:
     """Restore an engine from *state_dir*, or start a fresh durable one."""
     levels = generic_levels(field, ngram_threshold)
     if has_state(state_dir):
         engine = IncrementalTopK.restore(
-            state_dir, levels, tracer=tracer, metrics=metrics
+            state_dir, levels, tracer=tracer, metrics=metrics, store=store
         )
         _print_recovery(engine)
         return engine
     return IncrementalTopK(
-        levels, durability=state_dir, tracer=tracer, metrics=metrics
+        levels,
+        durability=state_dir,
+        tracer=tracer,
+        metrics=metrics,
+        store=store,
     )
 
 
@@ -708,12 +729,14 @@ def run_stream(args: argparse.Namespace) -> int:
             args.ngram_threshold,
             tracer=tracer,
             metrics=metrics,
+            store=args.store,
         )
     else:
         engine = IncrementalTopK(
             generic_levels(args.field, args.ngram_threshold),
             tracer=tracer,
             metrics=metrics,
+            store=args.store,
         )
     try:
         store = load_csv(args.input, args.field, args.weight_field)
@@ -747,7 +770,7 @@ def run_stream(args: argparse.Namespace) -> int:
 
 def run_checkpoint(args: argparse.Namespace) -> int:
     engine = _open_stream_engine(
-        args.state_dir, args.field, args.ngram_threshold
+        args.state_dir, args.field, args.ngram_threshold, store=args.store
     )
     try:
         path = engine.checkpoint()
@@ -762,7 +785,9 @@ def run_checkpoint(args: argparse.Namespace) -> int:
 
 def run_restore(args: argparse.Namespace) -> int:
     engine = IncrementalTopK.restore(
-        args.state_dir, generic_levels(args.field, args.ngram_threshold)
+        args.state_dir,
+        generic_levels(args.field, args.ngram_threshold),
+        store=args.store,
     )
     try:
         _print_recovery(engine)
@@ -884,11 +909,13 @@ def run_serve(args: argparse.Namespace) -> int:
                 args.field,
                 args.ngram_threshold,
                 metrics=metrics,
+                store=args.store,
             )
         else:
             engine = IncrementalTopK(
                 generic_levels(args.field, args.ngram_threshold),
                 metrics=metrics,
+                store=args.store,
             )
         if args.input is not None:
             store = load_csv(args.input, args.field, args.weight_field)

@@ -36,9 +36,11 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict, deque
-from collections.abc import Hashable, Mapping
+from collections.abc import Hashable, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
+
+import numpy as np
 
 from ..graphs.union_find import UnionFind
 from ..predicates.base import PredicateLevel
@@ -70,7 +72,11 @@ class EngineSnapshotState:
     reader holding this snapshot is isolated from every later insert.
 
     Attributes:
-        records: All records at freeze time, in id order.
+        records: All records at freeze time, in id order — a tuple for
+            the in-memory store, or an immutable lazily-materialising
+            :class:`~repro.storage.columnar.FrozenRecordView` over the
+            mapped generation for the columnar store (either way,
+            isolated from every later insert).
         components: The level-1 sufficient closure as member-id tuples,
             ordered by smallest member id (deterministic across runs).
         generation: The engine :attr:`~IncrementalTopK.version` the
@@ -80,7 +86,7 @@ class EngineSnapshotState:
             not replayable state).
     """
 
-    records: tuple
+    records: Sequence
     components: tuple[tuple[int, ...], ...]
     generation: int
     entries_applied: int
@@ -154,6 +160,15 @@ class IncrementalTopK:
             journal inserts into.  Must not already hold stream state —
             resume an existing directory with :meth:`restore` instead.
             None (the default) keeps the engine purely in-memory.
+        store: ``"memory"`` (the default) keeps records as resident
+            Python objects and writes inline-JSON checkpoints;
+            ``"columnar"`` keeps records in a
+            :class:`~repro.storage.columnar.HybridRecordList` (an
+            immutable mapped base generation plus an in-memory tail)
+            and compacts checkpoints into ``columnar-<entries>.col``
+            array sidecars, so a restore cold-starts by mapping the
+            sidecar instead of parsing JSON.  Answers are bit-identical
+            between the two.
         tracer: Span sink (:class:`repro.observability.Tracer`) for
             query traces; the zero-overhead default otherwise.
         metrics: Metric sink (:class:`repro.observability.MetricsRegistry`)
@@ -169,6 +184,7 @@ class IncrementalTopK:
         quarantine: bool = True,
         dead_letter_limit: int = 1000,
         durability: DurabilityPolicy | str | Path | None = None,
+        store: str = "memory",
         tracer=None,
         metrics=None,
     ):
@@ -178,10 +194,20 @@ class IncrementalTopK:
             raise ValueError(
                 f"dead_letter_limit must be >= 0, got {dead_letter_limit}"
             )
+        if store not in ("memory", "columnar"):
+            raise ValueError(
+                f"store must be 'memory' or 'columnar', got {store!r}"
+            )
         self._levels = levels
         self._max_verifications = max_block_verifications
         self._quarantine = quarantine
-        self._records: list[Record] = []
+        self._store_kind = store
+        if store == "columnar":
+            from ..storage.columnar import HybridRecordList
+
+            self._records: Sequence[Record] = HybridRecordList()
+        else:
+            self._records = []
         self._uf = UnionFind(0)
         self._key_members: dict[Hashable, list[int]] = defaultdict(list)
         self._version = 0
@@ -235,6 +261,11 @@ class IncrementalTopK:
         """Insert *attempts* applied (quarantined ones included) — the
         engine's position in its write-ahead log."""
         return self._entries_applied
+
+    @property
+    def store_kind(self) -> str:
+        """The record-store backend: ``"memory"`` or ``"columnar"``."""
+        return self._store_kind
 
     @property
     def durable(self) -> bool:
@@ -366,8 +397,12 @@ class IncrementalTopK:
             tuple(members)
             for members in sorted(by_root.values(), key=lambda m: m[0])
         )
+        # The columnar container freezes into an immutable view sharing
+        # the mapped base — copying one tuple of tail references, not
+        # the corpus; the in-memory list is copied wholesale as before.
+        freeze = getattr(self._records, "freeze", None)
         return EngineSnapshotState(
-            records=tuple(self._records),
+            records=freeze() if freeze is not None else tuple(self._records),
             components=components,
             generation=self._version,
             entries_applied=self._entries_applied,
@@ -462,6 +497,14 @@ class IncrementalTopK:
         checkpoints subsumed by the retention policy are pruned unless
         *prune* is False (crash harnesses keep the full history so any
         write moment stays reconstructible).
+
+        With the columnar store, the bulk state is **compacted** into a
+        ``columnar-<entries>.col`` array sidecar written before the
+        (now small) checkpoint file that references it, and the live
+        container swaps its base to the freshly mapped generation —
+        releasing the resident tail.  A crash between the two writes
+        leaves an orphan sidecar that the next prune removes.
+
         Returns the checkpoint's path.  Requires durability.
         """
         if self._durable is None:
@@ -469,41 +512,64 @@ class IncrementalTopK:
                 "checkpoint() requires durability: construct the engine "
                 "with a state directory (durability=...)"
             )
-        group_weights: dict[int, float] = defaultdict(float)
-        for record in self._records:
-            group_weights[self._uf.find(record.record_id)] += record.weight
         parent, size, n_components = self._uf.state()
         header = {
             "engine_version": self._version,
             "entries_applied": self._entries_applied,
             "n_records": len(self._records),
         }
-        sections: dict[str, object] = {
-            "records": [
-                {"fields": dict(r.fields), "weight": r.weight}
-                for r in self._records
+        dead_letters_section = {
+            "letters": [
+                {
+                    "fields": dict(letter.fields),
+                    "weight": letter.weight,
+                    "error": letter.error,
+                    "stage": letter.stage,
+                }
+                for letter in self._dead_letters
             ],
-            "union_find": {
-                "parent": parent,
-                "size": size,
-                "n_components": n_components,
-            },
-            "groups": sorted(group_weights.items()),
-            "dead_letters": {
-                "letters": [
-                    {
-                        "fields": dict(letter.fields),
-                        "weight": letter.weight,
-                        "error": letter.error,
-                        "stage": letter.stage,
-                    }
-                    for letter in self._dead_letters
-                ],
-                "dropped": self._dead_letters_dropped,
-                "limit": self._dead_letter_limit,
-            },
+            "dropped": self._dead_letters_dropped,
+            "limit": self._dead_letter_limit,
         }
-        path = self._durable.write_checkpoint(header, sections)
+        if self._store_kind == "columnar":
+            from ..storage import engine_state as col_state
+
+            arrays, meta, _has_postings = col_state.build_sidecar_arrays(
+                self._records, parent, size, n_components, self._key_members
+            )
+            meta["engine_version"] = self._version
+            meta["entries_applied"] = self._entries_applied
+            sidecar = col_state.write_sidecar(
+                self._durable.directory, self._entries_applied, arrays, meta
+            )
+            sections: dict[str, object] = {
+                "columnar": {
+                    "file": sidecar.name,
+                    "n_records": len(self._records),
+                },
+                "dead_letters": dead_letters_section,
+            }
+            path = self._durable.write_checkpoint(header, sections)
+            generation = col_state.open_sidecar(sidecar)
+            self._records.swap_base(generation.records)
+        else:
+            group_weights: dict[int, float] = defaultdict(float)
+            for record in self._records:
+                group_weights[self._uf.find(record.record_id)] += record.weight
+            sections = {
+                "records": [
+                    {"fields": dict(r.fields), "weight": r.weight}
+                    for r in self._records
+                ],
+                "union_find": {
+                    "parent": parent,
+                    "size": size,
+                    "n_components": n_components,
+                },
+                "groups": sorted(group_weights.items()),
+                "dead_letters": dead_letters_section,
+            }
+            path = self._durable.write_checkpoint(header, sections)
         if prune:
             self._durable.prune()
         return path
@@ -518,6 +584,7 @@ class IncrementalTopK:
         verdict_cache_limit: int = 2_000_000,
         quarantine: bool = True,
         dead_letter_limit: int = 1000,
+        store: str = "memory",
         tracer=None,
         metrics=None,
     ) -> "IncrementalTopK":
@@ -533,13 +600,24 @@ class IncrementalTopK:
         recorded in :attr:`last_recovery`.  The returned engine keeps
         journaling into the same directory.
 
+        A ``store="columnar"`` engine restoring from a compacted
+        (format-2) checkpoint maps the ``columnar-<entries>.col``
+        sidecar: records stay on disk and materialise lazily, the
+        closure is validated with array kernels, and the blocking-key
+        index is loaded from persisted postings instead of re-keying
+        every record — no per-record Python work before the WAL tail
+        replays.  Either store kind restores either checkpoint format
+        (a memory engine materialises a columnar checkpoint; a columnar
+        engine accepts an inline-JSON one and compacts at its next
+        checkpoint), with bit-identical answers throughout.
+
         *levels* must be the same predicate suite the stream was built
         with (predicates are code and are not serialized); recovery
         equality additionally assumes the suite is deterministic.
         """
         policy = as_policy(state_dir)
-        store = DurableStateStore(policy)
-        if not store.has_state():
+        durable = DurableStateStore(policy)
+        if not durable.has_state():
             raise PersistenceError(
                 f"{policy.path} holds no stream state to restore"
             )
@@ -550,18 +628,21 @@ class IncrementalTopK:
             quarantine=quarantine,
             dead_letter_limit=dead_letter_limit,
             durability=None,
+            store=store,
             tracer=tracer,
             metrics=metrics,
         )
-        loaded = store.load_latest_checkpoint()
+        loaded = durable.load_latest_checkpoint()
         checkpoint_path: Path | None = None
         checkpoint_entries = 0
         corrupt_skipped = 0
         if loaded is not None:
             header, sections, checkpoint_path, corrupt_skipped = loaded
-            engine._install_checkpoint(header, sections)
+            engine._install_checkpoint(
+                header, sections, directory=durable.directory
+            )
             checkpoint_entries = engine._entries_applied
-        log = store.recover_log()
+        log = durable.recover_log()
         if log.segments and log.first_index > checkpoint_entries:
             raise WalCorruptionError(
                 f"WAL starts at entry {log.first_index} but the newest "
@@ -589,9 +670,9 @@ class IncrementalTopK:
             raise StateAuditError(
                 "recovered state failed audit: " + "; ".join(problems)
             )
-        store.resume_appends(log, engine._entries_applied)
-        store.set_metrics(engine._verification.metrics)
-        engine._durable = store
+        durable.resume_appends(log, engine._entries_applied)
+        durable.set_metrics(engine._verification.metrics)
+        engine._durable = durable
         engine.last_recovery = RecoveryInfo(
             checkpoint_path=checkpoint_path,
             checkpoint_entries=checkpoint_entries,
@@ -602,9 +683,120 @@ class IncrementalTopK:
         return engine
 
     def _install_checkpoint(
+        self, header: dict, sections: dict[str, object], *, directory=None
+    ) -> None:
+        """Load a validated checkpoint's sections into this (empty) engine.
+
+        Dispatches on the checkpoint's shape, not the engine's store
+        kind: a ``columnar`` reference section installs by mapping the
+        array sidecar, inline JSON sections install the v1 way.  Either
+        engine kind accepts either shape — the store kind only decides
+        whether the installed records live in a hybrid mapped container
+        or a plain list.
+        """
+        if "columnar" in sections:
+            self._install_columnar_checkpoint(header, sections, directory)
+        else:
+            self._install_json_checkpoint(header, sections)
+
+    def _install_columnar_checkpoint(
+        self, header: dict, sections: dict[str, object], directory
+    ) -> None:
+        """Map a format-2 checkpoint's array sidecar and adopt it.
+
+        The sidecar's closure is validated with array kernels (same
+        invariants as the scalar path, bit for bit), and when the
+        blocking-key index was persisted it loads from postings with
+        zero predicate calls; otherwise it is re-derived exactly like a
+        v1 restore.
+        """
+        from ..storage import engine_state as col_state
+        from ..storage.columnar import HybridRecordList
+        from ..storage.layout import ArrayFileError
+        from .persistence import CheckpointError
+
+        if directory is None:
+            raise CheckpointError(
+                "a columnar checkpoint needs its state directory to "
+                "resolve the array sidecar"
+            )
+        try:
+            ref = sections["columnar"]
+            dead = sections["dead_letters"]
+            name = ref["file"]
+            n_declared = int(ref["n_records"])
+            self._dead_letters = deque(
+                DeadLetter(
+                    fields=dict(entry["fields"]),
+                    weight=entry["weight"],
+                    error=entry["error"],
+                    stage=entry["stage"],
+                )
+                for entry in dead["letters"]
+            )
+            self._dead_letters_dropped = int(dead["dropped"])
+            self._version = int(header["engine_version"])
+            self._entries_applied = int(header["entries_applied"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint sections are malformed: {exc!r}"
+            ) from exc
+        try:
+            columns = col_state.open_sidecar(Path(directory) / name)
+            columns.validate()
+        except (ArrayFileError, OSError) as exc:
+            raise CheckpointError(
+                f"columnar sidecar {name} is unusable: {exc}"
+            ) from exc
+        if columns.records.n != n_declared or n_declared != int(
+            header.get("n_records", n_declared)
+        ):
+            raise CheckpointError(
+                f"checkpoint declares {n_declared} records but the sidecar "
+                f"holds {columns.records.n}"
+            )
+        self._uf = UnionFind.from_state(
+            columns.uf_parent.tolist(),
+            columns.uf_size.tolist(),
+            columns.n_components,
+        )
+        if self._store_kind == "columnar":
+            self._records = HybridRecordList(columns.records)
+        else:
+            self._records = [
+                columns.records.record(i) for i in range(columns.records.n)
+            ]
+        key_members = columns.key_members()
+        if key_members is not None:
+            self._key_members = key_members
+        else:
+            self._rebuild_key_index()
+
+    def _rebuild_key_index(self) -> None:
+        """Re-derive the blocking-key index from the record store.
+
+        Re-keys in id order so the per-key member lists match the
+        original insertion order exactly.
+        """
+        sufficient = self._levels[0].sufficient
+        self._key_members = defaultdict(list)
+        for record in self._records:
+            try:
+                keys = set(sufficient.blocking_keys(record))
+            except Exception as exc:
+                raise StateAuditError(
+                    f"blocking-key rebuild failed for record "
+                    f"{record.record_id}: {exc!r} (stored records keyed "
+                    f"successfully when inserted — is the predicate suite "
+                    f"deterministic and unchanged?)"
+                ) from exc
+            for key in keys:
+                self._key_members[key].append(record.record_id)
+
+    def _install_json_checkpoint(
         self, header: dict, sections: dict[str, object]
     ) -> None:
-        """Load a validated checkpoint's sections into this (empty) engine."""
+        """Install inline (v1-style) JSON sections."""
         from .persistence import CheckpointError
 
         try:
@@ -663,46 +855,51 @@ class IncrementalTopK:
             raise StateAuditError(
                 "checkpointed group weights do not sum to member weights"
             )
-        # The blocking-key index is cheap to rebuild and deliberately
-        # not persisted; re-key in id order so the per-key member lists
-        # match the original insertion order exactly.
-        sufficient = self._levels[0].sufficient
-        self._key_members = defaultdict(list)
-        for record in self._records:
-            try:
-                keys = set(sufficient.blocking_keys(record))
-            except Exception as exc:
-                raise StateAuditError(
-                    f"blocking-key rebuild failed for record "
-                    f"{record.record_id}: {exc!r} (stored records keyed "
-                    f"successfully when inserted — is the predicate suite "
-                    f"deterministic and unchanged?)"
-                ) from exc
-            for key in keys:
-                self._key_members[key].append(record.record_id)
+        if self._store_kind == "columnar":
+            # A columnar engine restoring a v1 checkpoint keeps its
+            # hybrid container (all records in the tail); the next
+            # checkpoint compacts them into a mapped generation.
+            from ..storage.columnar import HybridRecordList
 
-    def audit(self, strict: bool = True) -> list[str]:
-        """Self-check the closure invariants of the live state.
+            hybrid = HybridRecordList()
+            for record in self._records:
+                hybrid.append(record)
+            self._records = hybrid
+        # The v1 format deliberately does not persist the blocking-key
+        # index; it is re-derived from the records.
+        self._rebuild_key_index()
 
-        Verifies that every record is covered by the union-find (and
-        every parent chain terminates acyclically in range), that
-        component sizes and the component count are consistent, that
-        group weights sum to member weights with finite values, that
-        the blocking-key index references valid record ids in insertion
-        order, and that the dead-letter bound holds.
+    def _audit_closure_fast(self, parent, record_weights, n):
+        """Vectorised closure walk: ``(root → count, root → weight)``.
 
-        Returns the list of problems found (empty when healthy).  With
-        ``strict`` (the default) a non-empty list raises
-        :class:`~repro.core.persistence.StateAuditError` instead.
+        Only applicable when the record store exposes its weights as an
+        array (hybrid/columnar containers) and the union-find covers the
+        store exactly.  Returns ``None`` when inapplicable or when the
+        parent array is malformed — the scalar walk then re-discovers
+        the damage one record at a time with precise messages.
         """
-        problems: list[str] = []
-        parent, size, n_components = self._uf.state()
-        n = len(self._records)
-        if len(parent) != n:
-            problems.append(
-                f"union-find covers {len(parent)} elements but the store "
-                f"holds {n} records"
-            )
+        if record_weights is None or len(parent) != n or n == 0:
+            return None
+        from ..storage.engine_state import resolve_roots
+        from ..storage.layout import ArrayFileError
+
+        try:
+            resolved = resolve_roots(np.asarray(parent, dtype=np.int64))
+        except (ArrayFileError, ValueError):
+            return None
+        counts = np.bincount(resolved, minlength=n)
+        sums = np.bincount(resolved, weights=record_weights, minlength=n)
+        root_ids = np.nonzero(counts)[0]
+        roots = {
+            int(root): int(counts[root]) for root in root_ids.tolist()
+        }
+        weights = {
+            int(root): float(sums[root]) for root in root_ids.tolist()
+        }
+        return roots, weights
+
+    def _audit_closure_scalar(self, parent, record_weights, n, problems):
+        """The original record-at-a-time closure walk (precise messages)."""
         roots: dict[int, int] = defaultdict(int)  # root -> member count
         weights: dict[int, float] = defaultdict(float)
         for record_id in range(min(n, len(parent))):
@@ -729,7 +926,43 @@ class IncrementalTopK:
             if node is None:
                 continue
             roots[node] += 1
-            weights[node] += self._records[record_id].weight
+            if record_weights is not None:
+                weights[node] += float(record_weights[record_id])
+            else:
+                weights[node] += self._records[record_id].weight
+        return roots, weights
+
+    def audit(self, strict: bool = True) -> list[str]:
+        """Self-check the closure invariants of the live state.
+
+        Verifies that every record is covered by the union-find (and
+        every parent chain terminates acyclically in range), that
+        component sizes and the component count are consistent, that
+        group weights sum to member weights with finite values, that
+        the blocking-key index references valid record ids in insertion
+        order, and that the dead-letter bound holds.
+
+        Returns the list of problems found (empty when healthy).  With
+        ``strict`` (the default) a non-empty list raises
+        :class:`~repro.core.persistence.StateAuditError` instead.
+        """
+        problems: list[str] = []
+        parent, size, n_components = self._uf.state()
+        n = len(self._records)
+        if len(parent) != n:
+            problems.append(
+                f"union-find covers {len(parent)} elements but the store "
+                f"holds {n} records"
+            )
+        weights_array = getattr(self._records, "weights_array", None)
+        record_weights = weights_array() if weights_array is not None else None
+        fast = self._audit_closure_fast(parent, record_weights, n)
+        if fast is not None:
+            roots, weights = fast
+        else:
+            roots, weights = self._audit_closure_scalar(
+                parent, record_weights, n, problems
+            )
         if len(parent) == n:
             if n_components != len(roots):
                 problems.append(
@@ -746,7 +979,10 @@ class IncrementalTopK:
             if not math.isfinite(weight):
                 problems.append(f"group at root {root} has non-finite weight")
         total_group = sum(weights.values())
-        total_records = sum(r.weight for r in self._records)
+        if record_weights is not None:
+            total_records = float(np.sum(record_weights))
+        else:
+            total_records = sum(r.weight for r in self._records)
         if not math.isclose(total_group, total_records, rel_tol=1e-9, abs_tol=1e-9):
             problems.append(
                 f"group weights sum to {total_group} but record weights "

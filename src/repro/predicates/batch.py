@@ -811,3 +811,41 @@ class BatchNeighborEngine:
             verifier=verifier,
             symmetric=params.get("symmetric", True),
         )
+
+
+def save_engine_state(engine: BatchNeighborEngine, path) -> None:
+    """Persist an engine's :meth:`~BatchNeighborEngine.export_state`
+    into one checksummed array container (:mod:`repro.storage.layout`).
+
+    The same transport shape the parallel layer ships over shared
+    memory, just durable: arrays in the body, the params dict in the
+    header (floats survive the JSON round-trip exactly — Python's float
+    repr is shortest-exact).
+    """
+    from ..storage.layout import write_arrays
+
+    arrays, params = engine.export_state()
+    write_arrays(
+        path, arrays, {"kind": "batch-neighbor-engine", "params": params}
+    )
+
+
+def load_engine_state(path) -> BatchNeighborEngine:
+    """Rebuild a member-probe engine with its arrays memory-mapped.
+
+    ``np.memmap`` is an ``ndarray`` subclass, so every kernel —
+    ``gather_rows``, ``intersection_counts``, the block rules — gathers
+    rows straight from the mapped file; nothing is copied until a page
+    is touched, and verdicts are bit-identical to the resident engine.
+    """
+    from ..storage.layout import ArrayFileError, MappedArrays
+
+    mapped = MappedArrays(path)
+    if mapped.meta.get("kind") != "batch-neighbor-engine":
+        raise ArrayFileError(
+            f"{path} is not a serialized neighbor engine "
+            f"(kind={mapped.meta.get('kind')!r})"
+        )
+    return BatchNeighborEngine.from_state(
+        dict(mapped.arrays), mapped.meta["params"]
+    )

@@ -85,6 +85,9 @@ class ServerConfig:
             responses (None = ids only).
         admission: Capacity contract (queue depths, deadlines, cost).
         prune_iterations: Upper-bound refinement passes per query.
+        snapshot_cache_limit: Distinct cached answers per snapshot; the
+            oldest are evicted FIFO past this bound (a parameter sweep
+            must not grow server memory without limit).
         workers: Worker processes per query (sharded pipeline); keep 1
             unless the host has cores to spare — reader threads already
             provide request-level parallelism.
@@ -111,6 +114,7 @@ class ServerConfig:
     label_field: str | None = None
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     prune_iterations: int = 2
+    snapshot_cache_limit: int = 256
     workers: int = 1
     max_insert_batch: int = 64
     checkpoint_every: int = 0
@@ -244,6 +248,10 @@ class QueryService:
                 "repro_writer_restarts_total",
                 "Writer task crashes recovered by the supervisor",
             )
+            metrics.describe(
+                "repro_snapshot_cache_evictions_total",
+                "Snapshot answer-cache entries evicted (FIFO bound)",
+            )
 
     # -- lifecycle -----------------------------------------------------
 
@@ -283,7 +291,10 @@ class QueryService:
 
     def _freeze(self) -> EngineSnapshot:
         return EngineSnapshot.freeze(
-            self.engine, prune_iterations=self.config.prune_iterations
+            self.engine,
+            prune_iterations=self.config.prune_iterations,
+            cache_limit=self.config.snapshot_cache_limit,
+            metrics=self.metrics,
         )
 
     def _publish(self, snapshot: EngineSnapshot) -> None:

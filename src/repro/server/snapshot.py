@@ -22,7 +22,9 @@ thread into.
 
 from __future__ import annotations
 
+import math
 import threading
+from itertools import islice
 
 from ..core.incremental import EngineSnapshotState
 from ..core.pruned_dedup import PrunedDedupResult, run_level_pipeline
@@ -47,6 +49,14 @@ class EngineSnapshot:
     between concurrent queries except the answer cache, which is
     lock-guarded).  Identical policy-free queries are cached per
     snapshot: the state can never change under it.
+
+    The cache is **bounded** (``cache_limit`` distinct keys): a client
+    sweeping ``k`` or ``min_weight`` across a long-lived snapshot must
+    not grow server memory without limit, so the oldest entries are
+    evicted FIFO — the same bounded-cache discipline as the engine's
+    verdict cache.  Evictions are counted (:attr:`cache_evictions`) and
+    published as ``repro_snapshot_cache_evictions_total`` when a
+    metrics registry is attached.
     """
 
     def __init__(
@@ -55,21 +65,37 @@ class EngineSnapshot:
         levels,
         *,
         prune_iterations: int = 2,
+        cache_limit: int = 256,
+        metrics=None,
     ):
+        if cache_limit < 1:
+            raise ValueError(f"cache_limit must be >= 1, got {cache_limit}")
         self._state = state
         self._levels = levels
         self._prune_iterations = prune_iterations
         self._cache: dict[tuple, object] = {}
         self._cache_lock = threading.Lock()
+        self._cache_limit = cache_limit
+        self._cache_evictions = 0
+        self._metrics = metrics
 
     @classmethod
-    def freeze(cls, engine, *, prune_iterations: int = 2) -> "EngineSnapshot":
+    def freeze(
+        cls,
+        engine,
+        *,
+        prune_iterations: int = 2,
+        cache_limit: int = 256,
+        metrics=None,
+    ) -> "EngineSnapshot":
         """Freeze *engine*'s current state (writer-side only — see
         :meth:`IncrementalTopK.snapshot_state`)."""
         return cls(
             engine.snapshot_state(),
             engine._levels,
             prune_iterations=prune_iterations,
+            cache_limit=cache_limit,
+            metrics=metrics,
         )
 
     # -- identity ------------------------------------------------------
@@ -148,14 +174,38 @@ class EngineSnapshot:
         ]
         return GroupSet(store=store, groups=groups)
 
+    @property
+    def cache_evictions(self) -> int:
+        """Answer-cache entries evicted over this snapshot's lifetime."""
+        with self._cache_lock:
+            return self._cache_evictions
+
+    @property
+    def cache_size(self) -> int:
+        with self._cache_lock:
+            return len(self._cache)
+
     def _cached(self, key: tuple, compute):
         with self._cache_lock:
             hit = self._cache.get(key)
         if hit is not None:
             return hit
         result = compute()
+        evicted = 0
         with self._cache_lock:
             self._cache.setdefault(key, result)
+            excess = len(self._cache) - self._cache_limit
+            if excess > 0:
+                # dicts preserve insertion order, so the leading keys
+                # are the oldest answers — evict those first.
+                for oldest in list(islice(iter(self._cache), excess)):
+                    del self._cache[oldest]
+                self._cache_evictions += excess
+                evicted = excess
+        if evicted and self._metrics is not None:
+            self._metrics.counter(
+                "repro_snapshot_cache_evictions_total"
+            ).inc(evicted)
         return result
 
     def query_topk(
@@ -229,7 +279,20 @@ class EngineSnapshot:
         workers: int = 1,
         metrics=None,
     ) -> RankQueryResult:
-        """Thresholded rank query over the frozen record store."""
+        """Thresholded rank query over the frozen record store.
+
+        Rejects non-finite thresholds up front (the HTTP layer already
+        400s them; this guards embedded callers too): a NaN threshold
+        would cache a dead entry under a key that can never hit again
+        (``NaN != NaN``), and infinities answer nothing useful.  The
+        cache key canonicalises the sign of zero — ``-0.0 == 0.0``
+        answers identically, so the two must share one entry rather
+        than occupying two cache slots for one answer.
+        """
+        if not math.isfinite(min_weight):
+            raise ValueError(
+                f"min_weight must be finite, got {min_weight!r}"
+            )
 
         def compute() -> RankQueryResult:
             store = RecordStore(list(self._state.records))
@@ -245,7 +308,10 @@ class EngineSnapshot:
             )
 
         if policy is None and workers == 1:
-            return self._cached(("threshold", min_weight), compute)
+            # min_weight + 0.0 maps -0.0 to +0.0 (all other finite
+            # floats are unchanged), so both spellings of zero share
+            # one cache slot.
+            return self._cached(("threshold", min_weight + 0.0), compute)
         return compute()
 
 

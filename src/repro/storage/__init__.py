@@ -1,0 +1,68 @@
+"""Columnar record storage with memory-mapped on-disk generations.
+
+The package that takes the reproduction from "all records are resident
+Python objects" to "a million-record corpus cold-starts by mapping a
+compacted checkpoint":
+
+- :mod:`~repro.storage.layout` — the physical array container
+  (named, checksummed NumPy buffers in one file, opened via
+  ``np.memmap``).
+- :mod:`~repro.storage.strings` — dictionary-encoded string pools.
+- :mod:`~repro.storage.columnar` — records as CSR field columns, plus
+  the hybrid (mapped base + in-memory tail) container the incremental
+  engine mutates.
+- :mod:`~repro.storage.postings` — blocking-key postings as flat
+  arrays with a tagged key codec.
+- :mod:`~repro.storage.engine_state` — the ``columnar-<entries>.col``
+  checkpoint sidecar schema and its vectorised closure validation.
+
+See ``docs/storage.md`` for the layout, the mmap lifecycle, and how
+checkpoint compaction interacts with WAL pruning.
+"""
+
+from .columnar import FrozenRecordView, HybridRecordList, RecordColumns
+from .engine_state import (
+    SIDECAR_PREFIX,
+    SIDECAR_SUFFIX,
+    EngineStateColumns,
+    build_sidecar_arrays,
+    open_sidecar,
+    resolve_roots,
+    sidecar_name,
+    sidecar_path,
+    write_sidecar,
+)
+from .layout import ArrayFileError, MappedArrays, read_header_meta, write_arrays
+from .postings import (
+    KeyEncodingError,
+    decode_key,
+    encode_key,
+    postings_from_arrays,
+    postings_to_arrays,
+)
+from .strings import StringPool
+
+__all__ = [
+    "ArrayFileError",
+    "EngineStateColumns",
+    "FrozenRecordView",
+    "HybridRecordList",
+    "KeyEncodingError",
+    "MappedArrays",
+    "RecordColumns",
+    "SIDECAR_PREFIX",
+    "SIDECAR_SUFFIX",
+    "StringPool",
+    "build_sidecar_arrays",
+    "decode_key",
+    "encode_key",
+    "open_sidecar",
+    "postings_from_arrays",
+    "postings_to_arrays",
+    "read_header_meta",
+    "resolve_roots",
+    "sidecar_name",
+    "sidecar_path",
+    "write_arrays",
+    "write_sidecar",
+]

@@ -1,0 +1,75 @@
+"""Dictionary-encoded string storage: one UTF-8 blob + int64 offsets.
+
+The columnar record store never materialises Python strings at load
+time: a :class:`StringPool` keeps every distinct string as a slice of a
+single mapped byte blob, decoded on demand.  This extends the intent of
+:class:`repro.similarity.encoding.TokenDictionary` (string → small int
+at ingest) with the inverse direction served from disk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class StringPool(Sequence):
+    """An immutable, index-addressed pool of UTF-8 strings.
+
+    ``pool[i]`` decodes string *i* from the blob; building the reverse
+    ``str → id`` map (:meth:`index`) is deferred until someone actually
+    needs to encode, so a cold start pays nothing for it.
+    """
+
+    __slots__ = ("_blob", "_offsets", "_index")
+
+    def __init__(self, blob: np.ndarray, offsets: np.ndarray):
+        self._blob = np.asarray(blob, dtype=np.uint8)
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        if self._offsets.ndim != 1 or len(self._offsets) == 0:
+            raise ValueError("offsets must be a non-empty 1-d int64 array")
+        self._index: dict[str, int] | None = None
+
+    @classmethod
+    def build(cls, strings: Iterable[str]) -> "StringPool":
+        """Encode *strings* (in order) into a fresh in-memory pool."""
+        chunks: list[bytes] = []
+        offsets = [0]
+        total = 0
+        for text in strings:
+            encoded = text.encode("utf-8")
+            chunks.append(encoded)
+            total += len(encoded)
+            offsets.append(total)
+        blob = np.frombuffer(b"".join(chunks), dtype=np.uint8)
+        return cls(blob, np.asarray(offsets, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, i: int) -> str:
+        start, end = self._offsets[i], self._offsets[i + 1]
+        return self._blob[start:end].tobytes().decode("utf-8")
+
+    def __iter__(self):
+        offsets = self._offsets
+        for i in range(len(offsets) - 1):
+            yield self._blob[offsets[i] : offsets[i + 1]].tobytes().decode(
+                "utf-8"
+            )
+
+    def index(self) -> dict[str, int]:
+        """The reverse map (str → id), built on first use and cached."""
+        if self._index is None:
+            self._index = {text: i for i, text in enumerate(self)}
+        return self._index
+
+    def to_arrays(self, prefix: str) -> dict[str, np.ndarray]:
+        """The pool's physical arrays, named ``<prefix>blob``/``offsets``."""
+        return {f"{prefix}blob": self._blob, f"{prefix}offsets": self._offsets}
+
+    @classmethod
+    def from_arrays(cls, arrays, prefix: str) -> "StringPool":
+        """Rebuild a pool from :meth:`to_arrays` output (mapped or not)."""
+        return cls(arrays[f"{prefix}blob"], arrays[f"{prefix}offsets"])

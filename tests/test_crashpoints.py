@@ -176,3 +176,40 @@ def test_simulate_checkpoint_crash_leaves_only_the_tmp(tmp_path):
 
     total = sum(len(spans) for _, _, spans in wal_entry_spans(clone))
     assert total == 20
+
+
+@pytest.mark.timeout(300)
+def test_columnar_store_sweep_with_checkpoints(tmp_path):
+    # The columnar store compacts checkpoints into mapped sidecars; a
+    # crash anywhere in the WAL (sidecars of vanished checkpoints
+    # included — they are written first) must recover identically.
+    events = seeded_events(200, seed=11, poison_rate=0.05)
+    results = run_crash_sweep(
+        make_levels,
+        events,
+        tmp_path / "state",
+        tmp_path / "scratch",
+        segment_bytes=2048,
+        checkpoint_every=60,
+        store="columnar",
+    )
+    assert_all_ok(results)
+    assert any(
+        p.name.startswith("columnar-")
+        for p in (tmp_path / "state").iterdir()
+    )
+
+
+@pytest.mark.timeout(300)
+def test_columnar_checkpoint_crash_sweep_all_recover(tmp_path):
+    events = seeded_events(120, seed=13)
+    results = run_checkpoint_crash_sweep(
+        make_levels,
+        events,
+        tmp_path / "state",
+        tmp_path / "scratch",
+        checkpoint_every=30,
+        store="columnar",
+    )
+    assert_all_ok(results)
+    assert {r.point.entries for r in results} == {30, 60, 90, 120}

@@ -296,6 +296,31 @@ class TestCheckpoint:
         with pytest.raises(CheckpointError):
             DurableStateStore.read_checkpoint(path)
 
+    def test_checkpoint_frames_above_wal_entry_cap_stay_readable(
+        self, tmp_path
+    ):
+        # Regression: checkpoint sections hold the whole record store
+        # and legitimately clear the WAL's 32 MiB per-insert bound
+        # (~400k records inline).  Reading them back through that bound
+        # made every large checkpoint unreadable the moment after it
+        # was written — restores silently fell back to full WAL replay.
+        from repro.core.persistence import MAX_ENTRY_BYTES
+
+        store = DurableStateStore(policy_for(tmp_path))
+        store.directory.mkdir(parents=True, exist_ok=True)
+        filler = "x" * 1024
+        rows = [[filler, 1.0]] * (MAX_ENTRY_BYTES // 1024 + 64)
+        path = store.write_checkpoint(
+            {"entries_applied": 7, "version": 7}, {"records": rows}
+        )
+        assert path.stat().st_size > MAX_ENTRY_BYTES
+        header, sections = DurableStateStore.read_checkpoint(path)
+        assert header["entries_applied"] == 7
+        assert sections["records"] == rows
+        assert store.checkpoint_usable(path)
+        loaded = store.load_latest_checkpoint()
+        assert loaded is not None and loaded[2] == path
+
     def test_tampered_group_weights_fail_restore(self, tmp_path):
         engine = IncrementalTopK(plain_levels(), durability=policy_for(tmp_path))
         feed(engine, ["a", "a", "b"], 2.0)
@@ -311,6 +336,120 @@ class TestCheckpoint:
         )
         with pytest.raises(StateAuditError, match="group weights"):
             IncrementalTopK.restore(tmp_path / "state", plain_levels())
+
+
+class TestPruneRetention:
+    """Regression: prune must never count corrupt checkpoints toward
+    retention — doing so deleted the older *valid* checkpoint plus the
+    WAL segments needed to replay forward from it, turning a
+    recoverable directory into an unrecoverable one."""
+
+    def _grow_state(self, tmp_path, *, store="memory", rounds=3):
+        engine = IncrementalTopK(
+            plain_levels(),
+            durability=policy_for(tmp_path, keep_checkpoints=2),
+            store=store,
+        )
+        for round_number in range(rounds):
+            feed(engine, [f"name-{round_number} shared"] * 10)
+            engine.checkpoint(prune=False)
+        fingerprint = stream_fingerprint(engine)
+        engine.close()
+        return tmp_path / "state", fingerprint
+
+    @staticmethod
+    def _pruned_store(state):
+        store = DurableStateStore(policy_for(state.parent, keep_checkpoints=2))
+        log = store.recover_log()
+        store.resume_appends(log, log.end_index)
+        store.prune()
+        store.close()
+
+    @pytest.mark.parametrize("store_kind", ["memory", "columnar"])
+    def test_corrupt_checkpoints_do_not_occupy_retention_slots(
+        self, tmp_path, store_kind
+    ):
+        state, fingerprint = self._grow_state(tmp_path, store=store_kind)
+        checkpoints = sorted(state.glob("checkpoint-*.ckpt"))
+        assert len(checkpoints) == 3
+        for path in checkpoints[1:]:  # entries 20 and 30 — the newest two
+            path.write_bytes(b"\x00" * 64)
+        self._pruned_store(state)
+        # The only valid checkpoint (entries=10) survived, with the WAL
+        # tail needed to replay entries 10..30 behind it.
+        survivors = sorted(state.glob("checkpoint-*.ckpt"))
+        assert survivors == [checkpoints[0]]
+        assert any(p.name.startswith("wal-") for p in state.iterdir())
+        restored = IncrementalTopK.restore(
+            state, plain_levels(), store=store_kind
+        )
+        assert stream_fingerprint(restored) == fingerprint
+        assert restored.entries_applied == 30
+        assert restored.last_recovery.checkpoint_entries == 10
+        assert restored.last_recovery.entries_replayed == 20
+        restored.close()
+
+    def test_no_valid_checkpoint_prunes_nothing(self, tmp_path):
+        state, fingerprint = self._grow_state(tmp_path)
+        checkpoints = sorted(state.glob("checkpoint-*.ckpt"))
+        for path in checkpoints:
+            path.write_bytes(b"\x00" * 64)
+        wal_before = sorted(p.name for p in state.glob("wal-*.log"))
+        self._pruned_store(state)
+        # Recovery must replay from entry 0, so every WAL segment (and
+        # the checkpoint files, for forensics) is still load-bearing.
+        assert sorted(p.name for p in state.glob("wal-*.log")) == wal_before
+        assert sorted(state.glob("checkpoint-*.ckpt")) == checkpoints
+        restored = IncrementalTopK.restore(state, plain_levels())
+        assert stream_fingerprint(restored) == fingerprint
+        assert restored.last_recovery.checkpoint_path is None
+        assert restored.last_recovery.entries_replayed == 30
+        restored.close()
+
+    def test_columnar_sidecars_follow_their_checkpoints(self, tmp_path):
+        state, _ = self._grow_state(tmp_path, store="columnar", rounds=4)
+        assert len(sorted(state.glob("columnar-*.col"))) == 4
+        # Fabricate an orphan sidecar (crash between sidecar write and
+        # checkpoint rename leaves exactly this).
+        orphan = state / "columnar-000000000099.col"
+        orphan.write_bytes(b"orphan")
+        self._pruned_store(state)
+        survivors = sorted(state.glob("checkpoint-*.ckpt"))
+        assert len(survivors) == 2
+        kept = {p.name.split("-")[1].split(".")[0] for p in survivors}
+        sidecars = sorted(state.glob("columnar-*.col"))
+        assert {
+            p.name.split("-")[1].split(".")[0] for p in sidecars
+        } == kept
+        assert not orphan.exists()
+        restored = IncrementalTopK.restore(
+            state, plain_levels(), store="columnar"
+        )
+        assert restored.last_recovery.entries_replayed == 0
+        restored.close()
+
+    def test_missing_sidecar_invalidates_checkpoint_for_retention(
+        self, tmp_path
+    ):
+        # A v2 checkpoint whose sidecar vanished must not count toward
+        # retention either: restores cannot seed from it.
+        state, fingerprint = self._grow_state(tmp_path, store="columnar")
+        sidecars = sorted(state.glob("columnar-*.col"))
+        assert len(sidecars) == 3
+        for path in sidecars[1:]:  # strand checkpoints 20 and 30
+            path.unlink()
+        self._pruned_store(state)
+        survivors = sorted(state.glob("checkpoint-*.ckpt"))
+        assert [p.name for p in survivors] == [
+            "checkpoint-000000000010.ckpt"
+        ]
+        restored = IncrementalTopK.restore(
+            state, plain_levels(), store="columnar"
+        )
+        assert stream_fingerprint(restored) == fingerprint
+        assert restored.last_recovery.checkpoint_entries == 10
+        assert restored.last_recovery.entries_replayed == 20
+        restored.close()
 
 
 class TestDeadLetterDurability:
