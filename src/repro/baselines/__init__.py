@@ -1,4 +1,5 @@
-"""Full-deduplication baseline pipelines (Figure 6 comparators)."""
+"""Full-deduplication baseline pipelines (Figure 6 comparators) and the
+brute-force possible-worlds oracle for interval answer semantics."""
 
 from .full_dedup import (
     DedupOutcome,
@@ -7,11 +8,25 @@ from .full_dedup import (
     full_dedup_pipeline,
     none_pipeline,
 )
+from .possible_worlds import (
+    MAX_ORACLE_N,
+    OracleAnswer,
+    OracleEntity,
+    OracleWorld,
+    enumerate_all_segmentations,
+    possible_worlds_answer,
+)
 
 __all__ = [
     "DedupOutcome",
+    "MAX_ORACLE_N",
+    "OracleAnswer",
+    "OracleEntity",
+    "OracleWorld",
     "canopy_collapse_pipeline",
     "canopy_pipeline",
+    "enumerate_all_segmentations",
     "full_dedup_pipeline",
     "none_pipeline",
+    "possible_worlds_answer",
 ]

@@ -1,0 +1,249 @@
+"""Brute-force possible-worlds oracle for interval answer semantics.
+
+Exhaustively enumerates **every** valid Top-K segmentation of an
+embedded record line (2^(n-1) cut patterns — refuse beyond a small n),
+scores each world through :func:`partition_score` (an independent code
+path from the segmentation DP's score table), assigns exact Gibbs
+masses, and computes the exact per-position count distribution, count
+envelope, and top-K membership mass.
+
+This is the ground truth the differential suites hold
+:mod:`repro.uncertainty` against: the engine's enumerated world set at
+full R must coincide with the oracle's, its intervals must contain every
+oracle count, and its membership probabilities must converge to the
+oracle's exact mass as R reaches the full world count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..clustering.correlation import ScoreMatrix, partition_score
+from ..embedding.greedy import LinearEmbedding
+
+__all__ = [
+    "MAX_ORACLE_N",
+    "OracleWorld",
+    "OracleEntity",
+    "OracleAnswer",
+    "enumerate_all_segmentations",
+    "possible_worlds_answer",
+]
+
+MAX_ORACLE_N = 12
+
+
+@dataclass(frozen=True)
+class OracleWorld:
+    """One exhaustively-enumerated world: a full partition of the base
+    positions with its strict top-K prefix and Eq. 1 score."""
+
+    clusters: tuple[tuple[int, ...], ...]
+    weights: tuple[float, ...]
+    n_top: int
+    score: float
+    mass: float
+
+
+@dataclass(frozen=True)
+class OracleEntity:
+    """Exact per-position ground truth.
+
+    ``distribution`` maps each achievable cluster weight of the position
+    to its total world mass (sorted by weight).
+    """
+
+    position: int
+    count_lo: float
+    count_hi: float
+    expected_count: float
+    membership_probability: float
+    distribution: tuple[tuple[float, float], ...]
+
+
+@dataclass(frozen=True)
+class OracleAnswer:
+    """Exact possible-worlds semantics of a Top-K query."""
+
+    worlds: tuple[OracleWorld, ...]
+    entities: tuple[OracleEntity, ...]
+    temperature: float
+    map_counts: tuple[float, ...]
+
+    @property
+    def n_worlds(self) -> int:
+        return len(self.worlds)
+
+    def world_keys(self) -> set[tuple]:
+        """Canonical identity of every world, for set comparison with
+        the engine's enumeration."""
+        return {(world.clusters, world.n_top) for world in self.worlds}
+
+    def entity(self, position: int) -> OracleEntity:
+        return self.entities[position]
+
+
+def enumerate_all_segmentations(
+    n: int, breaks: set[int], max_span: int
+) -> list[tuple[tuple[int, int], ...]]:
+    """Every segmentation of embedded slots ``0..n-1`` as (start, end)
+    runs, honouring the DP's segment rule: a segment may not contain a
+    break at any index other than its own start, and may not exceed
+    *max_span* slots."""
+    if n > MAX_ORACLE_N:
+        raise ValueError(
+            f"exhaustive enumeration limited to n <= {MAX_ORACLE_N}, got {n}"
+        )
+    segmentations: list[tuple[tuple[int, int], ...]] = []
+    for mask in range(1 << max(n - 1, 0)):
+        cuts = [0]
+        cuts.extend(i for i in range(1, n) if mask & (1 << (i - 1)))
+        cuts.append(n)
+        segments = []
+        valid = True
+        for start, stop in zip(cuts, cuts[1:]):
+            end = stop - 1
+            if end - start + 1 > max_span:
+                valid = False
+                break
+            if any(i in breaks for i in range(start + 1, end + 1)):
+                valid = False
+                break
+            segments.append((start, end))
+        if valid:
+            segmentations.append(tuple(segments))
+    return segmentations
+
+
+def _strict_top_k(weights: Sequence[float], k: int) -> float | None:
+    """Return the strict top-K boundary (the weight every top cluster
+    must exceed), or None when the segmentation does not support an
+    unambiguous Top-K answer — mirroring the DP's ``weight > l``
+    threshold semantics."""
+    if len(weights) < k:
+        return None
+    ordered = sorted(weights, reverse=True)
+    boundary = ordered[k] if len(weights) > k else 0.0
+    if ordered[k - 1] <= boundary:
+        return None
+    return boundary
+
+
+def possible_worlds_answer(
+    scores: ScoreMatrix,
+    embedding: LinearEmbedding,
+    weights: Sequence[float],
+    k: int,
+    *,
+    max_span: int = 30,
+    temperature: float | None = None,
+) -> OracleAnswer:
+    """Exact interval/membership semantics by exhaustive enumeration.
+
+    Takes the same ``(scores, embedding, weights, k, max_span)`` world
+    model as the engine (see :func:`repro.uncertainty.world_model`) so
+    both sides quantify over the identical world space, but scores each
+    world via :func:`partition_score` — a code path that shares nothing
+    with the DP's prefix-sum score table.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = len(weights)
+    if scores.n != n:
+        raise ValueError(f"{n} weights for a {scores.n}-record score matrix")
+
+    raw_worlds: list[tuple[tuple[tuple[int, ...], ...], tuple[float, ...], int, float]] = []
+    for segments in enumerate_all_segmentations(n, embedding.breaks, max_span):
+        clusters = []
+        for start, end in segments:
+            members = tuple(
+                sorted(embedding.order[i] for i in range(start, end + 1))
+            )
+            clusters.append((members, sum(weights[m] for m in members)))
+        boundary = _strict_top_k([w for _, w in clusters], k)
+        if boundary is None:
+            continue
+        clusters.sort(key=lambda entry: (-entry[1], entry[0]))
+        world_clusters = tuple(members for members, _ in clusters)
+        world_weights = tuple(weight for _, weight in clusters)
+        score = partition_score([list(c) for c in world_clusters], scores)
+        raw_worlds.append((world_clusters, world_weights, k, score))
+
+    raw_worlds.sort(key=lambda world: (-world[3], world[0]))
+    world_scores = [score for _, _, _, score in raw_worlds]
+    if temperature is None:
+        spread = (max(world_scores) - min(world_scores)) if world_scores else 0.0
+        temperature = max(spread / 4.0, 1.0)
+
+    masses: list[float] = []
+    if world_scores:
+        shift = max(world_scores)
+        unnormalized = [
+            math.exp((score - shift) / temperature) for score in world_scores
+        ]
+        total = sum(unnormalized)
+        masses = [value / total for value in unnormalized]
+
+    worlds = tuple(
+        OracleWorld(
+            clusters=clusters,
+            weights=cluster_weights,
+            n_top=n_top,
+            score=score,
+            mass=mass,
+        )
+        for (clusters, cluster_weights, n_top, score), mass in zip(
+            raw_worlds, masses
+        )
+    )
+
+    entities = []
+    for position in range(n):
+        distribution: dict[float, float] = {}
+        membership = 0.0
+        expected = 0.0
+        lo = float("inf")
+        hi = float("-inf")
+        for world in worlds:
+            for cluster, cluster_weight in zip(world.clusters, world.weights):
+                if position in cluster:
+                    break
+            else:  # pragma: no cover - worlds always cover every position
+                raise AssertionError("world does not cover every position")
+            distribution[cluster_weight] = (
+                distribution.get(cluster_weight, 0.0) + world.mass
+            )
+            expected += world.mass * cluster_weight
+            lo = min(lo, cluster_weight)
+            hi = max(hi, cluster_weight)
+            member_index = world.clusters.index(cluster)
+            if member_index < world.n_top:
+                membership += world.mass
+        entities.append(
+            OracleEntity(
+                position=position,
+                count_lo=lo,
+                count_hi=hi,
+                expected_count=expected,
+                membership_probability=membership,
+                distribution=tuple(sorted(distribution.items())),
+            )
+        )
+
+    map_counts = tuple(0.0 for _ in range(n))
+    if worlds:
+        best = worlds[0]  # canonical order: best score first
+        counts = [0.0] * n
+        for cluster, cluster_weight in zip(best.clusters, best.weights):
+            for position in cluster:
+                counts[position] = cluster_weight
+        map_counts = tuple(counts)
+
+    return OracleAnswer(
+        worlds=worlds,
+        entities=tuple(entities),
+        temperature=temperature,
+        map_counts=map_counts,
+    )

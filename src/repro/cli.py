@@ -38,6 +38,7 @@ from .core.rank_query import thresholded_rank_query, topk_rank_query
 from .core.records import RecordStore
 from .core.resilience import ExecutionPolicy
 from .core.topk import topk_count_query
+from .uncertainty import topk_interval_query
 from .core.verification import PipelineCounters, VerificationContext
 from .observability import (
     MetricsRegistry,
@@ -240,6 +241,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=-3.0,
         help="pairwise scorer bias (more negative = stricter matching)",
     )
+    topk.add_argument(
+        "--semantics",
+        choices=("count", "interval"),
+        default="count",
+        help="answer semantics: 'count' returns point counts per entity, "
+        "'interval' returns [lo, hi] count bounds and top-K membership "
+        "probabilities aggregated over the --worlds best segmentations",
+    )
+    topk.add_argument(
+        "--worlds",
+        type=int,
+        default=8,
+        metavar="R",
+        help="possible worlds (R-best segmentations) to aggregate for "
+        "--semantics interval (default 8)",
+    )
+    topk.add_argument(
+        "--min-probability",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="drop entities whose top-K membership probability is "
+        "certifiably below P (interval semantics only; default 0)",
+    )
 
     rank = commands.add_parser("rank", help="rank order of the K largest groups")
     _common_arguments(rank)
@@ -356,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.6,
         help="necessary-predicate 3-gram overlap threshold (default 0.6)",
+    )
+    serve.add_argument(
+        "--score-bias",
+        type=float,
+        default=-3.0,
+        help="pairwise scorer bias for interval-semantics queries "
+        "(more negative = stricter matching)",
     )
     serve.add_argument(
         "--input",
@@ -577,7 +609,48 @@ def print_stats(
         print(f"  {stage:<12} {seconds:8.3f}s", file=out)
 
 
+def _run_topk_interval(args: argparse.Namespace) -> int:
+    """``topk --semantics interval``: count bounds over possible worlds."""
+    store = load_csv(args.input, args.field, args.weight_field)
+    levels = generic_levels(args.field, args.ngram_threshold)
+    scorer = generic_scorer(args.field, args.score_bias)
+    context, tracer, metrics = context_from_args(args)
+    result = topk_interval_query(
+        store,
+        args.k,
+        levels,
+        scorer,
+        r=args.worlds,
+        min_probability=args.min_probability,
+        label_field=args.field,
+        context=context,
+        policy=policy_from_args(args),
+        workers=args.workers,
+    )
+    export_observability(args, tracer, metrics)
+    if result.degraded:
+        _warn_degraded(result.degraded_reason)
+    print(
+        f"# {result.worlds_enumerated} world(s) aggregated"
+        + (" (exact)" if result.exact else "")
+        + (" — intervals collapsed" if result.collapsed else "")
+    )
+    for entity in result.entities:
+        print(
+            f"[{entity.count_lo:10.2f}, {entity.count_hi:10.2f}]  "
+            f"p={entity.membership_probability:.2f}  {entity.label}"
+        )
+    if args.stats:
+        pruning = result.pruning
+        print_stats(
+            pruning.counters if pruning is not None else None, pruning
+        )
+    return 0
+
+
 def run_topk(args: argparse.Namespace) -> int:
+    if args.semantics == "interval":
+        return _run_topk_interval(args)
     store = load_csv(args.input, args.field, args.weight_field)
     levels = generic_levels(args.field, args.ngram_threshold)
     scorer = generic_scorer(args.field, args.score_bias)
@@ -698,12 +771,18 @@ def _open_stream_engine(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     store: str = "memory",
+    scorer: CachedScorer | None = None,
 ) -> IncrementalTopK:
     """Restore an engine from *state_dir*, or start a fresh durable one."""
     levels = generic_levels(field, ngram_threshold)
     if has_state(state_dir):
         engine = IncrementalTopK.restore(
-            state_dir, levels, tracer=tracer, metrics=metrics, store=store
+            state_dir,
+            levels,
+            tracer=tracer,
+            metrics=metrics,
+            store=store,
+            scorer=scorer,
         )
         _print_recovery(engine)
         return engine
@@ -713,6 +792,7 @@ def _open_stream_engine(
         tracer=tracer,
         metrics=metrics,
         store=store,
+        scorer=scorer,
     )
 
 
@@ -903,6 +983,7 @@ def run_serve(args: argparse.Namespace) -> int:
     )
 
     def loader() -> IncrementalTopK:
+        scorer = generic_scorer(args.field, args.score_bias)
         if args.state_dir is not None:
             engine = _open_stream_engine(
                 args.state_dir,
@@ -910,12 +991,14 @@ def run_serve(args: argparse.Namespace) -> int:
                 args.ngram_threshold,
                 metrics=metrics,
                 store=args.store,
+                scorer=scorer,
             )
         else:
             engine = IncrementalTopK(
                 generic_levels(args.field, args.ngram_threshold),
                 metrics=metrics,
                 store=args.store,
+                scorer=scorer,
             )
         if args.input is not None:
             store = load_csv(args.input, args.field, args.weight_field)

@@ -120,7 +120,10 @@ def exact_topk_answers(
             sum(math.exp(s - shift) for s in masses[answer])
         )
         ranked.append((answer, top_score, log_mass))
-    ranked.sort(key=lambda item: -item[1])
+    # Canonical tie order: equal-score answers sort by their group tuple
+    # so the cut at r is stable across enumeration orders (the oracle
+    # suites diff this list against the segmentation DP's output).
+    ranked.sort(key=lambda item: (-item[1], item[0]))
     return ranked[:r]
 
 
@@ -139,7 +142,10 @@ def exact_top_partitions(
             f"exact enumeration limited to n <= {MAX_EXACT_N}, got {scores.n}"
         )
     ranked = sorted(
-        ((partition_score(p, scores), p) for p in all_partitions(scores.n)),
-        key=lambda pair: -pair[0],
+        (
+            (partition_score(p, scores), sorted(sorted(g) for g in p))
+            for p in all_partitions(scores.n)
+        ),
+        key=lambda pair: (-pair[0], pair[1]),
     )
     return [(p, s) for s, p in ranked[:r]]

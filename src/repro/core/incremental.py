@@ -169,6 +169,12 @@ class IncrementalTopK:
             array sidecars, so a restore cold-starts by mapping the
             sidecar instead of parsing JSON.  Answers are bit-identical
             between the two.
+        scorer: Final pairwise criterion P
+            (:class:`~repro.scoring.pairwise.PairwiseScorer`), required
+            only for ``query(kind="interval")`` — interval semantics
+            enumerate scored dedup worlds, which the count path never
+            needs.  None (the default) leaves interval queries
+            unavailable.
         tracer: Span sink (:class:`repro.observability.Tracer`) for
             query traces; the zero-overhead default otherwise.
         metrics: Metric sink (:class:`repro.observability.MetricsRegistry`)
@@ -185,6 +191,7 @@ class IncrementalTopK:
         dead_letter_limit: int = 1000,
         durability: DurabilityPolicy | str | Path | None = None,
         store: str = "memory",
+        scorer=None,
         tracer=None,
         metrics=None,
     ):
@@ -199,6 +206,7 @@ class IncrementalTopK:
                 f"store must be 'memory' or 'columnar', got {store!r}"
             )
         self._levels = levels
+        self._scorer = scorer
         self._max_verifications = max_block_verifications
         self._quarantine = quarantine
         self._store_kind = store
@@ -212,10 +220,9 @@ class IncrementalTopK:
         self._key_members: dict[Hashable, list[int]] = defaultdict(list)
         self._version = 0
         self._entries_applied = 0
-        self._query_cache: dict[
-            tuple[int, ExecutionPolicy | None, int],
-            tuple[int, PrunedDedupResult],
-        ] = {}
+        # Keyed by (kind, k, policy, workers) plus the interval-specific
+        # (r, min_probability) tail; values are (version, result).
+        self._query_cache: dict[tuple, tuple[int, object]] = {}
         self._dead_letters: deque[DeadLetter] = deque()
         self._dead_letter_limit = dead_letter_limit
         self._dead_letters_dropped = 0
@@ -438,52 +445,109 @@ class IncrementalTopK:
         prune_iterations: int = 2,
         policy: ExecutionPolicy | None = None,
         workers: int | None = None,
-    ) -> PrunedDedupResult:
-        """Answer the Top-K pruning query on the current stream state.
+        kind: str = "count",
+        r: int = 8,
+        min_probability: float = 0.0,
+    ):
+        """Answer the Top-K query on the current stream state.
 
-        Results are cached per ``(k, policy, workers)`` until the next
-        insert.  With a *policy*, the query degrades anytime exactly
-        like the batch engine: on deadline/budget exhaustion it returns
-        the best answer derivable from the current collapsed state,
-        flagged ``degraded``.  *workers* > 1 shards the level pipeline
+        With ``kind="count"`` (the default) returns the pruning result
+        (:class:`~repro.core.pruned_dedup.PrunedDedupResult`), exactly
+        as before.  With ``kind="interval"`` the engine must have been
+        constructed with a ``scorer``; the query then enumerates the *r*
+        highest-scoring dedup worlds over the pruned state and returns
+        an :class:`~repro.uncertainty.IntervalQueryResult` with
+        per-entity count intervals and top-K membership probabilities
+        (entities below *min_probability* membership mass are pruned).
+
+        Results are cached per ``(kind, k, policy, workers[, r,
+        min_probability])`` until the next insert.  With a *policy*, the
+        query degrades anytime exactly like the batch engine: on
+        deadline/budget exhaustion it returns the best answer derivable
+        from the current collapsed state, flagged ``degraded``.
+        *workers* > 1 shards the level pipeline
         (:mod:`repro.core.parallel`) with bit-identical results; ``None``
         consults ``REPRO_WORKERS``.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if kind not in ("count", "interval"):
+            raise ValueError(f"kind must be 'count' or 'interval', got {kind!r}")
+        if kind == "interval" and self._scorer is None:
+            raise ValueError(
+                "interval queries need a pairwise scorer: construct the "
+                "engine with scorer=..."
+            )
         n_workers = resolve_workers(workers)
-        cache_key = (k, policy, n_workers)
+        if kind == "interval":
+            cache_key: tuple = (
+                "interval", k, policy, n_workers, r, min_probability
+            )
+        else:
+            cache_key = (k, policy, n_workers)
         cached = self._query_cache.get(cache_key)
         if cached is not None and cached[0] == self._version:
             return cached[1]
 
         d = len(self._records)
         context = self._verification
-        with context.span("query", kind="stream", k=k):
+        span_kind = "stream" if kind == "count" else "stream_interval"
+        with context.span("query", kind=span_kind, k=k):
             before_run = context.counters.snapshot()
+            # Interval queries arm the policy up front so pruning and
+            # world scoring share one deadline (as in the batch engine);
+            # count queries keep arming it inside the level pipeline.
+            state = (
+                policy.start(context.counters)
+                if policy is not None and kind == "interval"
+                else None
+            )
             with context.span("collapse"):
                 with context.stage("collapse"):
                     groups = self.collapsed_groups()
-            result = run_level_pipeline(
+            pruning = run_level_pipeline(
                 groups,
                 k,
                 self._levels,
                 context=context,
                 prune_iterations=prune_iterations,
-                policy=policy,
+                policy=policy if state is None else None,
+                execution_state=state,
                 skip_first_collapse=True,
                 n_starting_records=d,
                 before_run=before_run,
                 workers=n_workers,
             )
+            if kind == "interval":
+                from ..uncertainty.query import interval_from_pruning
+
+                result = interval_from_pruning(
+                    pruning,
+                    k,
+                    self._scorer,
+                    self._levels[-1].necessary,
+                    r=r,
+                    min_probability=min_probability,
+                    context=context,
+                    state=state,
+                )
+            else:
+                result = pruning
         metrics = context.metrics
         if metrics.enabled:
-            metrics.counter("repro_queries_total", kind="stream").inc()
-            if result.degraded:
-                metrics.counter(
-                    "repro_degraded_queries_total", reason=result.degraded_reason
-                ).inc()
-            context.publish_pipeline_metrics(result.counters)
+            if kind == "interval":
+                from ..uncertainty.query import publish_interval_metrics
+
+                publish_interval_metrics(context, result, None)
+                context.publish_pipeline_metrics(pruning.counters)
+            else:
+                metrics.counter("repro_queries_total", kind="stream").inc()
+                if result.degraded:
+                    metrics.counter(
+                        "repro_degraded_queries_total",
+                        reason=result.degraded_reason,
+                    ).inc()
+                context.publish_pipeline_metrics(result.counters)
         self._query_cache[cache_key] = (self._version, result)
         return result
 
@@ -585,6 +649,7 @@ class IncrementalTopK:
         quarantine: bool = True,
         dead_letter_limit: int = 1000,
         store: str = "memory",
+        scorer=None,
         tracer=None,
         metrics=None,
     ) -> "IncrementalTopK":
@@ -629,6 +694,7 @@ class IncrementalTopK:
             dead_letter_limit=dead_letter_limit,
             durability=None,
             store=store,
+            scorer=scorer,
             tracer=tracer,
             metrics=metrics,
         )

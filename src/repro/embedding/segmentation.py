@@ -272,8 +272,23 @@ def top_r_segmentations(
                 continue
             seen.add(key)
             best.append(segmentation)
-    best.sort(key=lambda s: -s.score)
+    # Equal-score segmentations are ordered canonically (by their segment
+    # layout), not by threshold-iteration order: the uncertainty layer
+    # treats this list as an enumeration of possible worlds, so the cut
+    # at r must not depend on which threshold happened to surface a
+    # tied segmentation first.
+    best.sort(key=_segmentation_order)
     return best[:r]
+
+
+def _segmentation_order(segmentation: Segmentation) -> tuple:
+    """Total order for enumerated segmentations: score descending, then
+    the segment layout lexicographically — deterministic under ties."""
+    return (
+        -segmentation.score,
+        segmentation.segments,
+        segmentation.big_flags,
+    )
 
 
 def _dp_for_threshold(
@@ -444,9 +459,11 @@ def top_k_answers(
                     log_mass=mass,
                 )
             )
-        ranked = sorted(with_mass, key=lambda a: -(a.log_mass or 0.0))
+        ranked = sorted(
+            with_mass, key=lambda a: (-(a.log_mass or 0.0), a.groups)
+        )
     else:
-        ranked = sorted(merged.values(), key=lambda a: -a.score)
+        ranked = sorted(merged.values(), key=lambda a: (-a.score, a.groups))
     return ranked[:r]
 
 

@@ -89,21 +89,29 @@ class AdmissionConfig:
 
 #: Relative cost weight per query kind: rank and threshold run the full
 #: per-level pipeline on the raw store, counts start from the maintained
-#: closure.
-_KIND_WEIGHT = {"topk": 1.0, "rank": 2.0, "threshold": 2.0}
+#: closure.  Interval queries add the world-scoring stage on top of the
+#: closure pipeline; their weight grows with the requested world count
+#: (see :func:`estimate_query_cost`).
+_KIND_WEIGHT = {"topk": 1.0, "rank": 2.0, "threshold": 2.0, "interval": 2.0}
 
 
 def estimate_query_cost(
-    kind: str, n_records: int, config: AdmissionConfig
+    kind: str, n_records: int, config: AdmissionConfig, worlds: int = 1
 ) -> float:
     """Predicted work units of one query against *n_records* records.
 
     Deliberately coarse — a monotone proxy (records / unit, weighted by
     verb) is enough to shed the obviously unaffordable before any work
-    starts; the per-request deadline handles the rest.
+    starts; the per-request deadline handles the rest.  For interval
+    queries the weight scales with the requested world count *worlds*:
+    the segmentation DP keeps R candidates per cell, so enumeration work
+    grows with R and a huge R must shed up front, not time out.
     """
     base = 1.0 + n_records / config.cost_unit_records
-    return base * _KIND_WEIGHT.get(kind, 2.0)
+    weight = _KIND_WEIGHT.get(kind, 2.0)
+    if kind == "interval":
+        weight += max(worlds - 1, 0) / 4.0
+    return base * weight
 
 
 @dataclass(frozen=True)

@@ -62,7 +62,7 @@ STATE_DRAINING = "draining"
 STATE_STOPPED = "stopped"
 
 #: Query kinds the service answers.
-QUERY_KINDS = ("topk", "rank", "threshold")
+QUERY_KINDS = ("topk", "rank", "threshold", "interval")
 
 #: Request outcomes (``repro_requests_total{verb,outcome}`` label values).
 OUTCOME_OK = "ok"
@@ -458,8 +458,21 @@ class QueryService:
         snapshot = self.publisher.current
         if snapshot is None:
             return self._unavailable(verb, started)
+        if kind == "interval" and not snapshot.supports_interval:
+            return self._finish(
+                verb,
+                started,
+                400,
+                {
+                    "error": "interval queries need a pairwise scorer: "
+                    "construct the engine with scorer=..."
+                },
+                OUTCOME_INVALID,
+            )
         try:
-            k, min_weight = self._query_params(kind, payload)
+            k, min_weight, worlds, min_probability = self._query_params(
+                kind, payload
+            )
             deadline_raw = payload.get("deadline_seconds")
             if deadline_raw is not None:
                 deadline_raw = float(deadline_raw)
@@ -474,7 +487,7 @@ class QueryService:
             )
         deadline = self.config.admission.clamp_deadline(deadline_raw)
         cost = estimate_query_cost(
-            kind, snapshot.n_records, self.config.admission
+            kind, snapshot.n_records, self.config.admission, worlds=worlds
         )
         decision = self.admission.try_admit(CLASS_QUERY, cost)
         if not decision.admitted:
@@ -501,6 +514,15 @@ class QueryService:
                 if kind == "topk":
                     run = lambda: snapshot.query_topk(  # noqa: E731
                         k,
+                        policy=policy,
+                        workers=self.config.workers,
+                        metrics=self.metrics,
+                    )
+                elif kind == "interval":
+                    run = lambda: snapshot.query_interval(  # noqa: E731
+                        k,
+                        r=worlds,
+                        min_probability=min_probability,
                         policy=policy,
                         workers=self.config.workers,
                         metrics=self.metrics,
@@ -543,10 +565,12 @@ class QueryService:
         return self._finish(verb, started, 200, body, outcome)
 
     @staticmethod
-    def _query_params(kind: str, payload: dict) -> tuple[int, float]:
+    def _query_params(kind: str, payload: dict) -> tuple[int, float, int, float]:
         k = 10
         min_weight = 0.0
-        if kind in ("topk", "rank"):
+        worlds = 1
+        min_probability = 0.0
+        if kind in ("topk", "rank", "interval"):
             k = payload.get("k", 10)
             if not isinstance(k, int) or isinstance(k, bool) or k < 1:
                 raise ValueError(f"k must be a positive integer, got {k!r}")
@@ -556,7 +580,24 @@ class QueryService:
             min_weight = float(payload["min_weight"])
             if not math.isfinite(min_weight):
                 raise ValueError("min_weight must be finite")
-        return k, min_weight
+        if kind == "interval":
+            worlds = payload.get("worlds", 8)
+            if (
+                not isinstance(worlds, int)
+                or isinstance(worlds, bool)
+                or worlds < 1
+            ):
+                raise ValueError(
+                    f"worlds must be a positive integer, got {worlds!r}"
+                )
+            min_probability = float(payload.get("min_probability", 0.0))
+            if not math.isfinite(min_probability) or not (
+                0.0 <= min_probability <= 1.0
+            ):
+                raise ValueError(
+                    f"min_probability must be in [0, 1], got {min_probability!r}"
+                )
+        return k, min_weight, worlds, min_probability
 
     def _serialize_result(
         self, kind: str, snapshot: EngineSnapshot, result, k: int
@@ -588,6 +629,20 @@ class QueryService:
                     "label": label(group.representative_id),
                 }
                 for group in groups
+            ]
+        elif kind == "interval":
+            body["worlds_enumerated"] = result.worlds_enumerated
+            body["exact"] = result.exact
+            body["entities"] = [
+                {
+                    "count_lo": entity.count_lo,
+                    "count_hi": entity.count_hi,
+                    "expected_count": entity.expected_count,
+                    "membership_probability": entity.membership_probability,
+                    "representative_id": entity.representative_id,
+                    "label": label(entity.representative_id),
+                }
+                for entity in result.entities
             ]
         else:
             ranking = result.ranking

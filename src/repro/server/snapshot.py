@@ -66,12 +66,14 @@ class EngineSnapshot:
         *,
         prune_iterations: int = 2,
         cache_limit: int = 256,
+        scorer=None,
         metrics=None,
     ):
         if cache_limit < 1:
             raise ValueError(f"cache_limit must be >= 1, got {cache_limit}")
         self._state = state
         self._levels = levels
+        self._scorer = scorer
         self._prune_iterations = prune_iterations
         self._cache: dict[tuple, object] = {}
         self._cache_lock = threading.Lock()
@@ -95,6 +97,7 @@ class EngineSnapshot:
             engine._levels,
             prune_iterations=prune_iterations,
             cache_limit=cache_limit,
+            scorer=getattr(engine, "_scorer", None),
             metrics=metrics,
         )
 
@@ -120,6 +123,12 @@ class EngineSnapshot:
     @property
     def dead_letters(self) -> int:
         return self._state.dead_letters
+
+    @property
+    def supports_interval(self) -> bool:
+        """True when the engine carried a pairwise scorer at freeze time
+        (interval queries need one to score dedup worlds)."""
+        return self._scorer is not None
 
     def record_label(self, record_id: int, field: str) -> str:
         """Field value of one record (for response labelling)."""
@@ -242,6 +251,82 @@ class EngineSnapshot:
 
         if policy is None and workers == 1:
             return self._cached(("topk", k), compute)
+        return compute()
+
+    def query_interval(
+        self,
+        k: int,
+        r: int = 8,
+        min_probability: float = 0.0,
+        policy: ExecutionPolicy | None = None,
+        workers: int = 1,
+        metrics=None,
+    ):
+        """Interval-semantics Top-K query on the frozen closure.
+
+        Enumerates the *r* highest-scoring dedup worlds over the pruned
+        state and returns an
+        :class:`~repro.uncertainty.IntervalQueryResult` — per-entity
+        count intervals and top-K membership probabilities.  Requires
+        the snapshot to carry the engine's pairwise scorer.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if self._scorer is None:
+            raise ValueError(
+                "interval queries need a pairwise scorer: construct the "
+                "engine (and so its snapshots) with scorer=..."
+            )
+
+        def compute():
+            from ..uncertainty.query import (
+                interval_from_pruning,
+                publish_interval_metrics,
+            )
+
+            context = VerificationContext(metrics=metrics)
+            with context.span("query", kind="server-interval", k=k, r=r):
+                before_run = context.counters.snapshot()
+                state = (
+                    policy.start(context.counters)
+                    if policy is not None
+                    else None
+                )
+                with context.span("collapse"):
+                    with context.stage("collapse"):
+                        groups = self._collapsed_groups()
+                pruning = run_level_pipeline(
+                    groups,
+                    k,
+                    self._levels,
+                    context=context,
+                    prune_iterations=self._prune_iterations,
+                    execution_state=state,
+                    skip_first_collapse=True,
+                    n_starting_records=self.n_records,
+                    before_run=before_run,
+                    workers=workers,
+                )
+                result = interval_from_pruning(
+                    pruning,
+                    k,
+                    self._scorer,
+                    self._levels[-1].necessary,
+                    r=r,
+                    min_probability=min_probability,
+                    context=context,
+                    state=state,
+                )
+            if context.metrics.enabled:
+                publish_interval_metrics(context, result, None)
+            return result
+
+        if policy is None and workers == 1:
+            # min_probability + 0.0 canonicalises -0.0 (see
+            # query_threshold).
+            return self._cached(
+                ("interval", k, r, min_probability + 0.0), compute
+            )
         return compute()
 
     def query_rank(

@@ -862,3 +862,101 @@ class TestHealthVerb:
         assert "repro_health_ready 1" in text
         assert "repro_health_degraded 0" in text
         assert "repro_breaker_state" in text
+
+
+class TestIntervalSemantics:
+    """``topk --semantics interval``: the uncertainty-aware round trip."""
+
+    def test_interval_round_trip(self, mentions_csv, capsys):
+        code = main(
+            [
+                "topk",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--weight-field",
+                "count",
+                "--k",
+                "2",
+                "--semantics",
+                "interval",
+                "--worlds",
+                "8",
+                "--ngram-threshold",
+                "0.3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "world(s) aggregated" in out
+        lines = [line for line in out.splitlines() if line.startswith("[")]
+        assert lines
+        for line in lines:
+            # "[        lo,         hi]  p=0.93  label"
+            bounds, rest = line.split("]", 1)
+            lo, hi = (float(part) for part in bounds.strip("[").split(","))
+            assert lo <= hi
+            probability = float(rest.split("p=")[1].split()[0])
+            assert 0.0 <= probability <= 1.0
+        assert "ann smith" in out
+
+    def test_interval_validates_worlds(self, mentions_csv, capsys):
+        code = main(
+            [
+                "topk",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--semantics",
+                "interval",
+                "--worlds",
+                "0",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_interval_validates_min_probability(self, mentions_csv, capsys):
+        code = main(
+            [
+                "topk",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--semantics",
+                "interval",
+                "--min-probability",
+                "1.5",
+            ]
+        )
+        assert code == 2
+        assert "min_probability" in capsys.readouterr().err
+
+    def test_interval_stats_and_metrics(self, mentions_csv, capsys, tmp_path):
+        metrics_path = tmp_path / "interval.prom"
+        code = main(
+            [
+                "topk",
+                "--input",
+                mentions_csv,
+                "--field",
+                "name",
+                "--semantics",
+                "interval",
+                "--ngram-threshold",
+                "0.3",
+                "--stats",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "verification stats" in captured.err
+        text = metrics_path.read_text()
+        assert 'repro_queries_total{kind="interval"}' in text
+        assert "repro_worlds_enumerated_total" in text
+        assert "repro_interval_width" in text

@@ -1,0 +1,231 @@
+"""Differential suite: interval semantics vs the brute-force oracle.
+
+:func:`repro.baselines.possible_worlds_answer` exhaustively enumerates
+every valid Top-K segmentation of the embedded record line (2^(n-1) cut
+patterns) and scores each world through :func:`partition_score` — an
+independent code path from the segmentation DP's prefix-sum score table.
+That makes it exact ground truth for the uncertainty layer's possible-
+worlds semantics.
+
+For every seed x dataset family (tiny corpora, n = 12, so exhaustive
+enumeration stays cheap) this suite checks:
+
+* the engine's world enumeration at full R is *identical* (as a set of
+  canonical worlds) to the oracle's;
+* every reported ``[count_lo, count_hi]`` interval contains every count
+  the oracle says the entity can achieve — including the MAP world's;
+* membership probabilities match the oracle's exact mass to float
+  tolerance, and positions the engine does not report carry (certifiably)
+  zero oracle membership;
+* intervals converge monotonically as R grows: the envelope at a smaller
+  R is nested inside the envelope at a larger R, and at full R equals
+  the oracle's exactly.
+"""
+
+import pytest
+
+from repro.baselines import possible_worlds_answer
+from repro.cli import generic_levels, generic_scorer
+from repro.core.records import GroupSet
+from repro.uncertainty import (
+    enumerate_worlds,
+    interval_over_groups,
+    topk_interval_query,
+    world_model,
+)
+
+K = 2
+N_RECORDS = 12
+SEEDS = tuple(range(20))
+DATASETS = ("citations", "students")
+#: Large enough to exhaust every world of an n=12 corpus.
+FULL_R = 4096
+TOL = 1e-9
+
+
+def _generate(family: str, seed: int):
+    if family == "citations":
+        from repro.datasets import generate_citations
+
+        return generate_citations(n_records=N_RECORDS, seed=seed), "author"
+    from repro.datasets import generate_students
+
+    return generate_students(n_records=N_RECORDS, seed=seed), "name"
+
+
+# One world model + full-R answer + oracle per seed x family, shared by
+# every check (the enumeration dominates the suite's cost).
+_cases: dict = {}
+
+
+def _case(family: str, seed: int):
+    key = (family, seed)
+    if key not in _cases:
+        dataset, field = _generate(family, seed)
+        scorer = generic_scorer(field, -3.0)
+        necessary = generic_levels(field, 0.3)[-1].necessary
+        groups = GroupSet.singletons(dataset.store)
+        scores, embedding, max_span = world_model(groups, scorer, necessary)
+        result = interval_over_groups(
+            groups,
+            K,
+            scorer,
+            necessary,
+            r=FULL_R,
+            max_span=max_span,
+            max_thresholds=FULL_R,
+        )
+        oracle = possible_worlds_answer(
+            scores,
+            embedding,
+            groups.weights(),
+            K,
+            max_span=max_span,
+            temperature=result.temperature,
+        )
+        _cases[key] = {
+            "field": field,
+            "scorer": scorer,
+            "necessary": necessary,
+            "groups": groups,
+            "scores": scores,
+            "embedding": embedding,
+            "max_span": max_span,
+            "result": result,
+            "oracle": oracle,
+        }
+    return _cases[key]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", DATASETS)
+class TestAgainstOracle:
+    def test_world_enumeration_is_exhaustive(self, family, seed):
+        """At full R the engine's world set equals the oracle's exactly."""
+        case = _case(family, seed)
+        worlds = enumerate_worlds(
+            case["scores"],
+            case["embedding"],
+            case["groups"].weights(),
+            K,
+            FULL_R,
+            max_span=case["max_span"],
+            max_thresholds=FULL_R,
+        )
+        engine_keys = {(world.clusters, world.n_top) for world in worlds}
+        assert engine_keys == case["oracle"].world_keys()
+        assert case["result"].worlds_enumerated == case["oracle"].n_worlds
+        # Same worlds, same temperature => the scores must agree too
+        # (partition_score vs the DP's prefix-sum table).
+        oracle_scores = sorted(w.score for w in case["oracle"].worlds)
+        engine_scores = sorted(w.score for w in worlds)
+        for ours, theirs in zip(engine_scores, oracle_scores):
+            assert ours == pytest.approx(theirs, abs=1e-7)
+
+    def test_intervals_contain_every_exact_count(self, family, seed):
+        """lo <= exact <= hi for every count achievable in any world."""
+        case = _case(family, seed)
+        for entity in case["result"].entities:
+            for position in entity.positions:
+                exact = case["oracle"].entity(position)
+                assert entity.count_lo - TOL <= exact.count_lo
+                assert exact.count_hi <= entity.count_hi + TOL
+                for weight, mass in exact.distribution:
+                    assert (
+                        entity.count_lo - TOL
+                        <= weight
+                        <= entity.count_hi + TOL
+                    )
+                # The MAP world's count is one of the possible worlds'.
+                assert (
+                    entity.count_lo - TOL
+                    <= case["oracle"].map_counts[position]
+                    <= entity.count_hi + TOL
+                )
+
+    def test_membership_matches_exact_mass(self, family, seed):
+        """Membership probabilities equal the oracle's exact mass, and
+        everything unreported is certifiably out of the top K."""
+        case = _case(family, seed)
+        reported = set()
+        for entity in case["result"].entities:
+            for position in entity.positions:
+                reported.add(position)
+                exact = case["oracle"].entity(position)
+                assert entity.membership_probability == pytest.approx(
+                    exact.membership_probability, abs=1e-9
+                )
+                assert entity.expected_count == pytest.approx(
+                    exact.expected_count, abs=1e-9
+                )
+        for position in range(len(case["groups"])):
+            if position not in reported:
+                exact = case["oracle"].entity(position)
+                assert exact.membership_probability == pytest.approx(
+                    0.0, abs=1e-9
+                )
+
+    def test_convergence_in_r(self, family, seed):
+        """Envelopes nest as R grows and equal the oracle's at full R."""
+        case = _case(family, seed)
+        full = {
+            position: entity
+            for entity in case["result"].entities
+            for position in entity.positions
+        }
+        for r in (1, 2, 4, FULL_R):
+            partial = interval_over_groups(
+                case["groups"],
+                K,
+                case["scorer"],
+                case["necessary"],
+                r=r,
+                max_span=case["max_span"],
+                max_thresholds=FULL_R,
+                temperature=case["result"].temperature,
+            )
+            assert partial.worlds_enumerated <= case["oracle"].n_worlds
+            for entity in partial.entities:
+                for position in entity.positions:
+                    if position not in full:
+                        continue
+                    envelope = full[position]
+                    # Fewer worlds => a nested (narrower or equal) range.
+                    assert entity.count_lo >= envelope.count_lo - TOL
+                    assert entity.count_hi <= envelope.count_hi + TOL
+        # At full R the envelope coincides with the oracle's.
+        for position, entity in full.items():
+            exact = case["oracle"].entity(position)
+            assert entity.count_lo == pytest.approx(exact.count_lo, abs=TOL)
+            assert entity.count_hi == pytest.approx(exact.count_hi, abs=TOL)
+
+
+@pytest.mark.parametrize("family", DATASETS)
+def test_end_to_end_invariants(family):
+    """The full pipeline query (pruning included) keeps every structural
+    invariant of the answer contract."""
+    dataset, field = _generate(family, 1)
+    result = topk_interval_query(
+        dataset.store,
+        K,
+        generic_levels(field, 0.3),
+        generic_scorer(field, -3.0),
+        r=16,
+        label_field=field,
+    )
+    assert result.worlds_enumerated >= 1
+    assert not result.degraded
+    slot_totals = [0.0] * K
+    for entity in result.entities:
+        assert 0.0 <= entity.membership_probability <= 1.0 + TOL
+        assert entity.count_lo <= entity.expected_count + TOL
+        assert entity.expected_count <= entity.count_hi + TOL
+        assert len(entity.slot_probabilities) == K
+        assert sum(entity.slot_probabilities) <= (
+            entity.membership_probability + TOL
+        )
+        for slot, mass in enumerate(entity.slot_probabilities):
+            assert mass >= -TOL
+            slot_totals[slot] += mass
+    for total in slot_totals:
+        assert total <= 1.0 + TOL

@@ -775,3 +775,184 @@ def test_durable_store_close_is_idempotent(tmp_path):
     other._segment_handle.close()
     other.close()
     other.close()
+
+
+# -- interval answer semantics ----------------------------------------
+
+
+def interval_engine(verify_delay: float = 0.0) -> IncrementalTopK:
+    """A scorer-equipped engine over noisy duplicate names."""
+    from repro.cli import generic_scorer
+
+    engine = IncrementalTopK(
+        name_levels(verify_delay=verify_delay),
+        scorer=generic_scorer("name", -3.0),
+    )
+    for name, weight in [
+        ("ann smith", 1.0),
+        ("ann  smith", 2.0),
+        ("ann smyth", 1.0),
+        ("bob jones", 5.0),
+        ("bob jonez", 1.0),
+        ("cara lee", 3.0),
+    ]:
+        engine.add({"name": name}, weight)
+    return engine
+
+
+def test_interval_query_round_trip():
+    async def scenario():
+        service = QueryService(
+            interval_engine(), config=ServerConfig(label_field="name")
+        )
+        await service.start()
+        try:
+            status, body = await service.handle_query(
+                {"kind": "interval", "k": 2, "worlds": 8}
+            )
+            assert status == 200 and body["outcome"] == "ok"
+            assert body["kind"] == "interval"
+            assert body["worlds_enumerated"] >= 1
+            assert body["entities"]
+            for entity in body["entities"]:
+                assert entity["count_lo"] <= entity["count_hi"]
+                assert (
+                    entity["count_lo"]
+                    <= entity["expected_count"] + 1e-9
+                )
+                assert entity["expected_count"] <= entity["count_hi"] + 1e-9
+                assert 0.0 <= entity["membership_probability"] <= 1.0 + 1e-9
+                assert entity["label"]
+            assert service.stats.requests == {"interval.ok": 1}
+        finally:
+            await service.drain()
+
+    run_async(scenario())
+
+
+def test_interval_query_without_scorer_is_400():
+    async def scenario():
+        service = make_service()  # seeded_engine carries no scorer
+        await service.start()
+        try:
+            status, body = await service.handle_query(
+                {"kind": "interval", "k": 2}
+            )
+            assert status == 400
+            assert body["outcome"] == "invalid"
+            assert "scorer" in body["error"]
+        finally:
+            await service.drain()
+
+    run_async(scenario())
+
+
+def test_interval_invalid_params_are_400():
+    async def scenario():
+        service = QueryService(
+            interval_engine(), config=ServerConfig(label_field="name")
+        )
+        await service.start()
+        try:
+            for payload in (
+                {"kind": "interval", "k": 2, "worlds": 0},
+                {"kind": "interval", "k": 2, "worlds": True},
+                {"kind": "interval", "k": 2, "worlds": "many"},
+                {"kind": "interval", "k": 2, "min_probability": 1.5},
+                {"kind": "interval", "k": 2, "min_probability": "nan"},
+            ):
+                status, body = await service.handle_query(payload)
+                assert status == 400, payload
+                assert body["outcome"] == "invalid"
+        finally:
+            await service.drain()
+
+    run_async(scenario())
+
+
+def test_interval_cost_scales_with_worlds_and_sheds():
+    config = AdmissionConfig()
+    base = estimate_query_cost("interval", 1_000, config, worlds=1)
+    # Heavier than a plain count (the world-scoring stage), and monotone
+    # in the requested world count.
+    assert base > estimate_query_cost("topk", 1_000, config)
+    assert estimate_query_cost("interval", 1_000, config, worlds=64) > base
+
+    async def scenario():
+        service = QueryService(
+            interval_engine(), config=ServerConfig(label_field="name")
+        )
+        await service.start()
+        try:
+            status, body = await service.handle_query(
+                {"kind": "interval", "k": 2, "worlds": 10**6}
+            )
+            assert status == 429
+            assert body["reason"] == SHED_COST
+            assert service.stats.requests == {"interval.shed": 1}
+            # A sane world count on the same service is still served.
+            status, _ = await service.handle_query(
+                {"kind": "interval", "k": 2, "worlds": 8}
+            )
+            assert status == 200
+        finally:
+            await service.drain()
+
+    run_async(scenario())
+
+
+def test_interval_deadline_expiry_returns_widest_known_interval():
+    async def scenario():
+        # Slow verifications blow the 1ms budget during pruning: the
+        # answer must still arrive — flagged degraded, intervals spanning
+        # from each group's certified weight up to the retained total.
+        service = QueryService(
+            interval_engine(verify_delay=0.025),
+            config=ServerConfig(label_field="name"),
+        )
+        await service.start()
+        try:
+            status, body = await service.handle_query(
+                {"kind": "interval", "k": 2, "deadline_seconds": 0.001}
+            )
+            assert status == 200
+            assert body["outcome"] == "degraded"
+            assert body["degraded"] is True
+            assert body["degraded_reason"]
+            assert body["worlds_enumerated"] == 0
+            assert body["entities"]
+            highest = max(e["count_hi"] for e in body["entities"])
+            for entity in body["entities"]:
+                assert entity["count_lo"] <= entity["count_hi"]
+                # Every interval is capped by the same retained total.
+                assert entity["count_hi"] == pytest.approx(highest)
+                assert entity["membership_probability"] == 0.0
+            assert service.stats.requests == {"interval.degraded": 1}
+        finally:
+            await service.drain()
+
+    run_async(scenario())
+
+
+def test_interval_over_http():
+    async def scenario():
+        service = QueryService(
+            interval_engine(), config=ServerConfig(label_field="name")
+        )
+        server = HttpServer(service)
+        await server.start()
+        await service.start()
+        try:
+            async with ServiceClient("127.0.0.1", server.port) as client:
+                status, _, body = await client.request(
+                    "POST", "/query",
+                    {"kind": "interval", "k": 2, "worlds": 8},
+                )
+            assert status == 200
+            assert body["kind"] == "interval"
+            assert body["entities"]
+        finally:
+            await service.drain()
+            await server.close()
+
+    run_async(scenario())
